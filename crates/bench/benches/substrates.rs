@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks for the hot substrate paths: these are the
+//! inner loops of every experiment, so their cost bounds the scale the
+//! simulation worlds can reach.
+
+use bittorrent::bencode::Value;
+use bittorrent::choker::{Choker, ChokerConfig, PeerSnapshot};
+use bittorrent::metainfo::Metainfo;
+use bittorrent::picker::{PickContext, PiecePicker, RarestFirst};
+use bittorrent::sha1::Sha1;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use p2p_simulation::rates::{max_min_rates, FlowDemand};
+use sim_tcp::reasm::Reassembly;
+use sim_tcp::seq::SeqNum;
+use simnet::event::EventQueue;
+use simnet::link::{Link, LinkConfig};
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+fn bench_bencode(c: &mut Criterion) {
+    let meta = Metainfo::synthetic("bench.iso", "tr", 256 * 1024, 688 * 1024 * 1024, 1);
+    let bytes = meta.to_bytes();
+    let mut g = c.benchmark_group("bencode");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_torrent", |b| {
+        b.iter(|| black_box(meta.to_bytes()))
+    });
+    g.bench_function("decode_torrent", |b| {
+        b.iter(|| black_box(Value::decode(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let data = vec![0xA5u8; 256 * 1024];
+    let mut g = c.benchmark_group("sha1");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("piece_256k", |b| b.iter(|| black_box(Sha1::digest(&data))));
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at(SimTime::from_micros((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    c.bench_function("tcp_reassembly/1k_segments_shuffled", |b| {
+        let mut rng = SimRng::new(3);
+        let mut order: Vec<u32> = (0..1000).collect();
+        rng.shuffle(&mut order);
+        b.iter(|| {
+            let mut r = Reassembly::new(SeqNum(0));
+            for &i in &order {
+                r.on_data(SeqNum(i * 1460), 1460);
+            }
+            black_box(r.delivered_total())
+        })
+    });
+}
+
+fn bench_picker(c: &mut Criterion) {
+    // The Fedora-image scale the paper uses: 2752 pieces.
+    let avail: Vec<u32> = (0..2752).map(|i| (i % 37) + 1).collect();
+    let candidates: Vec<u32> = (0..2752).collect();
+    let ctx = PickContext {
+        availability: &avail,
+        downloaded_fraction: 0.5,
+        stable_for: SimDuration::from_secs(60),
+    };
+    c.bench_function("picker/rarest_first_2752_pieces", |b| {
+        let mut rng = SimRng::new(1);
+        let mut p = RarestFirst;
+        b.iter(|| black_box(p.pick(&candidates, &ctx, &mut rng)))
+    });
+}
+
+fn bench_choker(c: &mut Criterion) {
+    let peers: Vec<PeerSnapshot> = (0..50)
+        .map(|k| PeerSnapshot {
+            key: k,
+            interested: k % 3 != 0,
+            credit: (k * 977 % 101) as f64,
+        })
+        .collect();
+    c.bench_function("choker/rechoke_50_peers", |b| {
+        let mut ch = Choker::new(ChokerConfig::default());
+        let mut rng = SimRng::new(2);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_secs(10);
+            black_box(ch.rechoke(t, &peers, &mut rng))
+        })
+    });
+}
+
+fn bench_rates(c: &mut Criterion) {
+    // A swarm-scale allocation: 500 flows over 200 nodes' resources.
+    let flows: Vec<FlowDemand> = (0..500)
+        .map(|i| FlowDemand::new((i * 13) % 400, (i * 29 + 1) % 400))
+        .collect();
+    let caps: Vec<f64> = (0..400).map(|i| 50_000.0 + (i % 7) as f64 * 30_000.0).collect();
+    c.bench_function("rates/max_min_500_flows", |b| {
+        b.iter(|| black_box(max_min_rates(&flows, &caps)))
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link/send_1k_packets", |b| {
+        let mut rng = SimRng::new(4);
+        b.iter(|| {
+            let mut link = Link::new(LinkConfig {
+                bandwidth_bps: 10_000_000,
+                prop_delay: SimDuration::from_millis(10),
+                queue_packets: 64,
+                ber: 1e-6,
+            });
+            let mut t = SimTime::ZERO;
+            let mut delivered = 0u32;
+            for _ in 0..1000 {
+                if link.send(t, 1500, &mut rng).delivered_at().is_some() {
+                    delivered += 1;
+                }
+                t += SimDuration::from_micros(1200);
+            }
+            black_box(delivered)
+        })
+    });
+}
+
+fn bench_flow_world(c: &mut Criterion) {
+    use bittorrent::metainfo::Metainfo;
+    use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskSpec, TorrentSpec};
+
+    c.bench_function("flow_world/10_peer_swarm_60s", |b| {
+        b.iter(|| {
+            let meta = Metainfo::synthetic("bench.bin", "tr", 256 * 1024, 16 * 1024 * 1024, 1);
+            let torrent = TorrentSpec::from_metainfo(&meta, 64 * 1024);
+            let mut w = FlowWorld::new(FlowConfig::default(), 1);
+            let sn = w.add_node(Access::campus());
+            w.add_task(TaskSpec::default_client(sn, torrent, true));
+            let mut last = 0;
+            for _ in 0..9 {
+                let n = w.add_node(Access::residential());
+                last = w.add_task(TaskSpec::default_client(n, torrent, false));
+            }
+            w.start();
+            w.run_until(SimTime::from_secs(60), |_| {});
+            black_box(w.downloaded_bytes(last))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bencode,
+    bench_sha1,
+    bench_event_queue,
+    bench_reassembly,
+    bench_picker,
+    bench_choker,
+    bench_rates,
+    bench_link,
+    bench_flow_world,
+);
+criterion_main!(benches);

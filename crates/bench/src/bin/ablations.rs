@@ -1,0 +1,52 @@
+//! Runs the ablation studies: mobility-aware fetching schedules, AM
+//! component decomposition, LIHD sensitivity, and the paper's §4.2
+//! future-work experiment (seed-mode LIHD protecting foreground traffic).
+
+use p2p_simulation::experiments::ablations::{
+    ablate_am, ablate_delack, ablate_lihd, ablate_mf_schedules, ablate_seed_lihd, am_table,
+    delack_table, lihd_table, mf_table, seed_lihd_table,
+};
+use p2p_simulation::experiments::fig2::Fig2aParams;
+use p2p_simulation::experiments::fig8::Fig8aParams;
+use p2p_simulation::experiments::playability::PlayabilityParams;
+use simnet::time::SimDuration;
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Ablations", preset);
+
+    let mf_params = match preset {
+        Preset::Quick => PlayabilityParams::quick_5mb(),
+        Preset::Paper => PlayabilityParams::paper_5mb(),
+    };
+    mf_table(&ablate_mf_schedules(&mf_params, 0xAB1)).print();
+    println!();
+
+    let am_params = match preset {
+        Preset::Quick => Fig8aParams::quick(),
+        Preset::Paper => Fig8aParams::paper(),
+    };
+    am_table(&am_params, &ablate_am(&am_params)).print();
+    println!();
+
+    let f2 = match preset {
+        Preset::Quick => Fig2aParams::quick(),
+        Preset::Paper => Fig2aParams::paper(),
+    };
+    delack_table(&ablate_delack(&f2)).print();
+    println!();
+
+    let (dur, seed) = match preset {
+        Preset::Quick => (SimDuration::from_mins(5), 0x11D),
+        Preset::Paper => (SimDuration::from_mins(12), 0x11D),
+    };
+    lihd_table(&ablate_lihd(60_000.0, dur, seed)).print();
+    println!();
+
+    let dur = match preset {
+        Preset::Quick => SimDuration::from_mins(6),
+        Preset::Paper => SimDuration::from_mins(15),
+    };
+    seed_lihd_table(&ablate_seed_lihd(100_000.0, dur, 0x5EED)).print();
+}

@@ -1,0 +1,136 @@
+//! Runs every figure-regeneration experiment in sequence and prints all
+//! tables — a one-command reproduction of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release -p wp2p-bench --bin all_figures            # quick
+//! cargo run --release -p wp2p-bench --bin all_figures -- --paper # full
+//! ```
+
+use p2p_simulation::experiments::{fig2, fig3, fig4, fig8, fig9, playability};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("All figures", preset);
+    let quick = preset == Preset::Quick;
+
+    let p = if quick {
+        fig2::Fig2aParams::quick()
+    } else {
+        fig2::Fig2aParams::paper()
+    };
+    fig2::fig2a_table(&fig2::run_fig2a(&p)).print();
+    println!();
+
+    let p = fig2::Fig2bcParams::paper();
+    let uni = fig2::run_fig2bc(&p, false, 0x2BC);
+    let bi = fig2::run_fig2bc(&p, true, 0x2BC);
+    fig2::fig2bc_table(&uni, &bi).print();
+    println!();
+
+    let p = if quick {
+        fig3::Fig3abParams::quick()
+    } else {
+        fig3::Fig3abParams::paper()
+    };
+    fig3::fig3ab_table(
+        "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
+        &fig3::run_fig3a(&p),
+        "paper: monotonically increasing",
+    )
+    .print();
+    println!();
+    fig3::fig3ab_table(
+        "Figure 3(b): Aggregate download (KBps) vs upload limit — wireless",
+        &fig3::run_fig3b(&p),
+        "paper: rises, peaks early, falls",
+    )
+    .print();
+    println!();
+
+    let p = if quick {
+        fig3::Fig3cParams::quick()
+    } else {
+        fig3::Fig3cParams::paper()
+    };
+    fig3::fig3c_table(&fig3::run_fig3c(&p, 0x3C), 10).print();
+    println!();
+
+    let p = if quick {
+        fig4::Fig4aParams::quick()
+    } else {
+        fig4::Fig4aParams::paper()
+    };
+    fig4::fig4a_table(&fig4::run_fig4a(&p)).print();
+    println!();
+
+    let (small, large) = if quick {
+        (
+            playability::PlayabilityParams::quick_5mb(),
+            playability::PlayabilityParams::quick_large(),
+        )
+    } else {
+        (
+            playability::PlayabilityParams::paper_5mb(),
+            playability::PlayabilityParams::paper_large(),
+        )
+    };
+    playability::playability_table(
+        "Figure 4(b): Playable % vs downloaded % — 5 MB, rarest-first",
+        &playability::run_playability(&small, None, 0x4B),
+        None,
+    )
+    .print();
+    println!();
+    playability::playability_table(
+        "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
+        &playability::run_playability(&large, None, 0x4C),
+        None,
+    )
+    .print();
+    println!();
+
+    let p = if quick {
+        fig8::Fig8aParams::quick()
+    } else {
+        fig8::Fig8aParams::paper()
+    };
+    fig8::fig8a_table(&fig8::run_fig8a(&p)).print();
+    println!();
+
+    let p = if quick {
+        fig8::Fig8bParams::quick()
+    } else {
+        fig8::Fig8bParams::paper()
+    };
+    fig8::fig8b_table(&fig8::run_fig8b(&p, 0x8B), 10).print();
+    println!();
+
+    let p = if quick {
+        fig8::Fig8cParams::quick()
+    } else {
+        fig8::Fig8cParams::paper()
+    };
+    fig8::fig8c_table(&fig8::run_fig8c(&p)).print();
+    println!();
+
+    fig9::fig9ab_table(
+        "Figure 9(a): Playable % vs downloaded % — 5 MB",
+        &fig9::run_fig9ab(&small, 0x9A),
+    )
+    .print();
+    println!();
+    fig9::fig9ab_table(
+        "Figure 9(b): Playable % vs downloaded % — large file",
+        &fig9::run_fig9ab(&large, 0x9B),
+    )
+    .print();
+    println!();
+
+    let p = if quick {
+        fig9::Fig9cParams::quick()
+    } else {
+        fig9::Fig9cParams::paper()
+    };
+    fig9::fig9c_table(&fig9::run_fig9c(&p)).print();
+}

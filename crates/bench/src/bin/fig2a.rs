@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 2(a): downloading throughput vs BER for
+//! bi-directional vs uni-directional TCP over a wireless leg.
+
+use p2p_simulation::experiments::fig2::{fig2a_table, run_fig2a, Fig2aParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 2(a)", preset);
+    let params = match preset {
+        Preset::Quick => Fig2aParams::quick(),
+        Preset::Paper => Fig2aParams::paper(),
+    };
+    let points = run_fig2a(&params);
+    fig2a_table(&points).print();
+}

@@ -1,0 +1,28 @@
+//! Regenerates paper Figure 2(b, c): packets sent from the client on the
+//! wireless leg over time, with buffer-drop events, for uni- and
+//! bi-directional TCP.
+
+use p2p_simulation::experiments::fig2::{fig2bc_table, run_fig2bc, Fig2bcParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 2(b,c)", preset);
+    let params = match preset {
+        Preset::Quick => Fig2bcParams::quick(),
+        Preset::Paper => Fig2bcParams::paper(),
+    };
+    let uni = run_fig2bc(&params, false, 0x2BC);
+    let bi = run_fig2bc(&params, true, 0x2BC);
+    fig2bc_table(&uni, &bi).print();
+    println!(
+        "uni: mean packets/bucket before first drop {:.1}, after {:.1}",
+        uni.mean_before_first_drop(),
+        uni.mean_after_first_drop()
+    );
+    println!(
+        "bi:  mean packets/bucket before first drop {:.1}, after {:.1}",
+        bi.mean_before_first_drop(),
+        bi.mean_after_first_drop()
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates paper Figure 3(a): aggregate download rate vs upload limit
+//! on wired asymmetric access (monotone increasing).
+
+use p2p_simulation::experiments::fig3::{fig3ab_table, run_fig3a, Fig3abParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 3(a)", preset);
+    let params = match preset {
+        Preset::Quick => Fig3abParams::quick(),
+        Preset::Paper => Fig3abParams::paper(),
+    };
+    let points = run_fig3a(&params);
+    fig3ab_table(
+        "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
+        &points,
+        "paper: monotonically increasing (tit-for-tat rewards uploads)",
+    )
+    .print();
+}

@@ -1,0 +1,21 @@
+//! Regenerates paper Figure 3(b): aggregate download rate vs upload limit
+//! on a wireless shared channel (rises then falls).
+
+use p2p_simulation::experiments::fig3::{fig3ab_table, run_fig3b, Fig3abParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 3(b)", preset);
+    let params = match preset {
+        Preset::Quick => Fig3abParams::quick(),
+        Preset::Paper => Fig3abParams::paper(),
+    };
+    let points = run_fig3b(&params);
+    fig3ab_table(
+        "Figure 3(b): Aggregate download (KBps) vs upload limit — wireless",
+        &points,
+        "paper: rises, peaks well below the top, then falls (self-contention)",
+    )
+    .print();
+}

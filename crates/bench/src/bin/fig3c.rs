@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 3(c): downloaded size vs time for the four
+//! {mobility} x {uploading} arms.
+
+use p2p_simulation::experiments::fig3::{fig3c_table, run_fig3c, Fig3cParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 3(c)", preset);
+    let params = match preset {
+        Preset::Quick => Fig3cParams::quick(),
+        Preset::Paper => Fig3cParams::paper(),
+    };
+    let results = run_fig3c(&params, 0x3C);
+    fig3c_table(&results, 10).print();
+}

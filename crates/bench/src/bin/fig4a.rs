@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 4(a): fixed-peer throughput vs server
+//! mobility rate, one-mobile vs all-mobile.
+
+use p2p_simulation::experiments::fig4::{fig4a_table, run_fig4a, Fig4aParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 4(a)", preset);
+    let params = match preset {
+        Preset::Quick => Fig4aParams::quick(),
+        Preset::Paper => Fig4aParams::paper(),
+    };
+    let points = run_fig4a(&params);
+    fig4a_table(&points).print();
+}

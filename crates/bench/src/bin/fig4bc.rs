@@ -1,0 +1,36 @@
+//! Regenerates paper Figure 4(b, c): playable fraction vs downloaded
+//! fraction under rarest-first fetching, for a small and a large file.
+
+use p2p_simulation::experiments::playability::{
+    playability_table, run_playability, PlayabilityParams,
+};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 4(b,c)", preset);
+    let (small, large) = match preset {
+        Preset::Quick => (
+            PlayabilityParams::quick_5mb(),
+            PlayabilityParams::quick_large(),
+        ),
+        Preset::Paper => (
+            PlayabilityParams::paper_5mb(),
+            PlayabilityParams::paper_large(),
+        ),
+    };
+    let small_curve = run_playability(&small, None, 0x4B);
+    playability_table(
+        "Figure 4(b): Playable % vs downloaded % — 5 MB file, rarest-first",
+        &small_curve,
+        None,
+    )
+    .print();
+    let large_curve = run_playability(&large, None, 0x4C);
+    playability_table(
+        "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
+        &large_curve,
+        None,
+    )
+    .print();
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 8(a): throughput vs BER, default vs wP2P
+//! (age-based manipulation), leech-to-leech over wireless.
+
+use p2p_simulation::experiments::fig8::{fig8a_table, run_fig8a, Fig8aParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 8(a)", preset);
+    let params = match preset {
+        Preset::Quick => Fig8aParams::quick(),
+        Preset::Paper => Fig8aParams::paper(),
+    };
+    let points = run_fig8a(&params);
+    fig8a_table(&points).print();
+}

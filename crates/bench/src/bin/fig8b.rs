@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 8(b): downloaded size vs time under 1-minute
+//! hand-offs, default vs wP2P (identity retention).
+
+use p2p_simulation::experiments::fig8::{fig8b_table, run_fig8b, Fig8bParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 8(b)", preset);
+    let params = match preset {
+        Preset::Quick => Fig8bParams::quick(),
+        Preset::Paper => Fig8bParams::paper(),
+    };
+    let result = run_fig8b(&params, 0x8B);
+    fig8b_table(&result, 10).print();
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 8(c): download throughput vs wireless
+//! capacity, default vs wP2P (LIHD upload-rate control).
+
+use p2p_simulation::experiments::fig8::{fig8c_table, run_fig8c, Fig8cParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 8(c)", preset);
+    let params = match preset {
+        Preset::Quick => Fig8cParams::quick(),
+        Preset::Paper => Fig8cParams::paper(),
+    };
+    let points = run_fig8c(&params);
+    fig8c_table(&points).print();
+}

@@ -1,0 +1,33 @@
+//! Regenerates paper Figure 9(a, b): playable fraction vs downloaded
+//! fraction, default rarest-first vs wP2P mobility-aware fetching.
+
+use p2p_simulation::experiments::fig9::{fig9ab_table, run_fig9ab};
+use p2p_simulation::experiments::playability::PlayabilityParams;
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 9(a,b)", preset);
+    let (small, large) = match preset {
+        Preset::Quick => (
+            PlayabilityParams::quick_5mb(),
+            PlayabilityParams::quick_large(),
+        ),
+        Preset::Paper => (
+            PlayabilityParams::paper_5mb(),
+            PlayabilityParams::paper_large(),
+        ),
+    };
+    let r = run_fig9ab(&small, 0x9A);
+    fig9ab_table(
+        "Figure 9(a): Playable % vs downloaded % — 5 MB file",
+        &r,
+    )
+    .print();
+    let r = run_fig9ab(&large, 0x9B);
+    fig9ab_table(
+        "Figure 9(b): Playable % vs downloaded % — large file",
+        &r,
+    )
+    .print();
+}

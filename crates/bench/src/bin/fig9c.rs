@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 9(c): mobile-seed upload throughput vs
+//! mobility rate, default vs wP2P (role reversal).
+
+use p2p_simulation::experiments::fig9::{fig9c_table, run_fig9c, Fig9cParams};
+use wp2p_bench::{preamble, preset_from_args, Preset};
+
+fn main() {
+    let preset = preset_from_args();
+    preamble("Figure 9(c)", preset);
+    let params = match preset {
+        Preset::Quick => Fig9cParams::quick(),
+        Preset::Paper => Fig9cParams::paper(),
+    };
+    let points = run_fig9c(&params);
+    fig9c_table(&points).print();
+}

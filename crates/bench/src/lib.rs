@@ -1,0 +1,41 @@
+//! # wp2p-bench — figure regeneration and micro-benchmarks
+//!
+//! Each `fig*` binary regenerates one figure of the paper: it runs the
+//! matching experiment driver from `p2p-simulation::experiments` and
+//! prints the same rows/series the paper plots. By default the binaries
+//! run a CI-sized `quick` preset; pass `--paper` for the full-scale
+//! parameters (slow).
+//!
+//! The Criterion benches (in `benches/`) measure the hot substrate paths:
+//! bencode, SHA-1, the event queue, piece pickers, the choker, TCP
+//! reassembly, and max-min rate allocation.
+
+/// Which parameter preset a figure binary should run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Preset {
+    /// CI-sized: seconds of wall clock.
+    Quick,
+    /// The paper's scale: minutes of wall clock.
+    Paper,
+}
+
+/// Parses the preset from the process arguments (`--paper` selects
+/// [`Preset::Paper`]; anything else, or nothing, selects `Quick`).
+pub fn preset_from_args() -> Preset {
+    if std::env::args().any(|a| a == "--paper") {
+        Preset::Paper
+    } else {
+        Preset::Quick
+    }
+}
+
+/// Prints the standard preamble for a figure binary.
+pub fn preamble(figure: &str, preset: Preset) {
+    println!(
+        "# {figure} — preset: {} (pass --paper for full scale)",
+        match preset {
+            Preset::Quick => "quick",
+            Preset::Paper => "paper",
+        }
+    );
+}

@@ -1,0 +1,460 @@
+//! Bencode encoding and decoding (BEP 3).
+//!
+//! Bencode is the serialization used by `.torrent` metainfo files and
+//! tracker responses: byte strings (`4:spam`), integers (`i42e`), lists
+//! (`l...e`), and dictionaries (`d...e`, keys sorted).
+//!
+//! The decoder is strict: it rejects leading zeros, negative zero,
+//! unsorted or duplicate dictionary keys, and trailing garbage — the
+//! canonical-form property that makes info-hashes well defined.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bencoded value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// An integer (`i...e`).
+    Int(i64),
+    /// A byte string (`<len>:<bytes>`); not necessarily UTF-8.
+    Bytes(Vec<u8>),
+    /// A list (`l...e`).
+    List(Vec<Value>),
+    /// A dictionary (`d...e`) with byte-string keys in sorted order.
+    Dict(BTreeMap<Vec<u8>, Value>),
+}
+
+/// Error produced when decoding malformed bencode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A byte that cannot start or continue a value at this position.
+    UnexpectedByte {
+        /// Offset of the offending byte.
+        at: usize,
+        /// The byte found.
+        byte: u8,
+    },
+    /// Integer with a leading zero, lone `-`, or `-0`.
+    InvalidInt {
+        /// Offset where the integer starts.
+        at: usize,
+    },
+    /// Integer does not fit in `i64`.
+    IntOverflow {
+        /// Offset where the integer starts.
+        at: usize,
+    },
+    /// String length prefix is malformed or overflows.
+    InvalidLength {
+        /// Offset where the length starts.
+        at: usize,
+    },
+    /// Dictionary keys out of order or duplicated.
+    UnsortedKeys {
+        /// Offset of the offending key.
+        at: usize,
+    },
+    /// Value decoded, but input bytes remain.
+    TrailingData {
+        /// Offset of the first trailing byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::UnexpectedByte { at, byte } => {
+                write!(f, "unexpected byte {byte:#04x} at offset {at}")
+            }
+            DecodeError::InvalidInt { at } => write!(f, "invalid integer at offset {at}"),
+            DecodeError::IntOverflow { at } => write!(f, "integer overflow at offset {at}"),
+            DecodeError::InvalidLength { at } => {
+                write!(f, "invalid string length at offset {at}")
+            }
+            DecodeError::UnsortedKeys { at } => {
+                write!(f, "dictionary keys unsorted or duplicated at offset {at}")
+            }
+            DecodeError::TrailingData { at } => {
+                write!(f, "trailing data after value at offset {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Value {
+    /// Convenience constructor for a byte-string value.
+    pub fn bytes(b: impl Into<Vec<u8>>) -> Value {
+        Value::Bytes(b.into())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Bytes(s.as_bytes().to_vec())
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The bytes inside, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The bytes as UTF-8, if this is a `Bytes` holding valid UTF-8.
+    pub fn as_str(&self) -> Option<&str> {
+        self.as_bytes().and_then(|b| std::str::from_utf8(b).ok())
+    }
+
+    /// The list inside, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The dictionary inside, if this is a `Dict`.
+    pub fn as_dict(&self) -> Option<&BTreeMap<Vec<u8>, Value>> {
+        match self {
+            Value::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Looks up a dictionary entry by string key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_dict().and_then(|d| d.get(key.as_bytes()))
+    }
+
+    /// Encodes to bencode bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(b'i');
+                out.extend_from_slice(i.to_string().as_bytes());
+                out.push(b'e');
+            }
+            Value::Bytes(b) => {
+                out.extend_from_slice(b.len().to_string().as_bytes());
+                out.push(b':');
+                out.extend_from_slice(b);
+            }
+            Value::List(items) => {
+                out.push(b'l');
+                for item in items {
+                    item.encode_into(out);
+                }
+                out.push(b'e');
+            }
+            Value::Dict(map) => {
+                out.push(b'd');
+                for (k, v) in map {
+                    out.extend_from_slice(k.len().to_string().as_bytes());
+                    out.push(b':');
+                    out.extend_from_slice(k);
+                    v.encode_into(out);
+                }
+                out.push(b'e');
+            }
+        }
+    }
+
+    /// Decodes a complete bencoded value; rejects trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first malformation found.
+    pub fn decode(input: &[u8]) -> Result<Value, DecodeError> {
+        let mut parser = Parser { input, pos: 0 };
+        let v = parser.parse_value()?;
+        if parser.pos != input.len() {
+            return Err(DecodeError::TrailingData { at: parser.pos });
+        }
+        Ok(v)
+    }
+
+    /// Decodes a value from the front of `input`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first malformation found.
+    pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), DecodeError> {
+        let mut parser = Parser { input, pos: 0 };
+        let v = parser.parse_value()?;
+        Ok((v, parser.pos))
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Result<u8, DecodeError> {
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::UnexpectedEnd)
+    }
+
+    fn bump(&mut self) -> Result<u8, DecodeError> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, DecodeError> {
+        match self.peek()? {
+            b'i' => self.parse_int(),
+            b'l' => self.parse_list(),
+            b'd' => self.parse_dict(),
+            b'0'..=b'9' => Ok(Value::Bytes(self.parse_bytes()?)),
+            byte => Err(DecodeError::UnexpectedByte { at: self.pos, byte }),
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<Value, DecodeError> {
+        let start = self.pos;
+        self.bump()?; // 'i'
+        let negative = if self.peek()? == b'-' {
+            self.bump()?;
+            true
+        } else {
+            false
+        };
+        let digits_start = self.pos;
+        let mut value: i64 = 0;
+        loop {
+            match self.bump()? {
+                b'e' => break,
+                d @ b'0'..=b'9' => {
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add((d - b'0') as i64))
+                        .ok_or(DecodeError::IntOverflow { at: start })?;
+                }
+                _ => return Err(DecodeError::InvalidInt { at: start }),
+            }
+        }
+        let ndigits = self.pos - 1 - digits_start;
+        if ndigits == 0 {
+            return Err(DecodeError::InvalidInt { at: start });
+        }
+        // Canonical form: no leading zeros (except "0" itself), no "-0".
+        if self.input[digits_start] == b'0' && (ndigits > 1 || negative) {
+            return Err(DecodeError::InvalidInt { at: start });
+        }
+        Ok(Value::Int(if negative { -value } else { value }))
+    }
+
+    fn parse_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let start = self.pos;
+        let mut len: usize = 0;
+        let mut ndigits = 0;
+        loop {
+            match self.bump()? {
+                b':' => break,
+                d @ b'0'..=b'9' => {
+                    len = len
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add((d - b'0') as usize))
+                        .ok_or(DecodeError::InvalidLength { at: start })?;
+                    ndigits += 1;
+                }
+                _ => return Err(DecodeError::InvalidLength { at: start }),
+            }
+        }
+        if ndigits == 0 || (self.input[start] == b'0' && ndigits > 1) {
+            return Err(DecodeError::InvalidLength { at: start });
+        }
+        if self.pos + len > self.input.len() {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let bytes = self.input[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(bytes)
+    }
+
+    fn parse_list(&mut self) -> Result<Value, DecodeError> {
+        self.bump()?; // 'l'
+        let mut items = Vec::new();
+        while self.peek()? != b'e' {
+            items.push(self.parse_value()?);
+        }
+        self.bump()?; // 'e'
+        Ok(Value::List(items))
+    }
+
+    fn parse_dict(&mut self) -> Result<Value, DecodeError> {
+        self.bump()?; // 'd'
+        let mut map = BTreeMap::new();
+        let mut last_key: Option<Vec<u8>> = None;
+        while self.peek()? != b'e' {
+            let key_at = self.pos;
+            let key = self.parse_bytes()?;
+            if let Some(prev) = &last_key {
+                if *prev >= key {
+                    return Err(DecodeError::UnsortedKeys { at: key_at });
+                }
+            }
+            let value = self.parse_value()?;
+            last_key = Some(key.clone());
+            map.insert(key, value);
+        }
+        self.bump()?; // 'e'
+        Ok(Value::Dict(map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let enc = v.encode();
+        let dec = Value::decode(&enc).expect("decode what we encoded");
+        assert_eq!(&dec, v);
+    }
+
+    #[test]
+    fn encodes_primitives() {
+        assert_eq!(Value::Int(42).encode(), b"i42e");
+        assert_eq!(Value::Int(-7).encode(), b"i-7e");
+        assert_eq!(Value::Int(0).encode(), b"i0e");
+        assert_eq!(Value::str("spam").encode(), b"4:spam");
+        assert_eq!(Value::bytes(vec![]).encode(), b"0:");
+    }
+
+    #[test]
+    fn encodes_compounds() {
+        let list = Value::List(vec![Value::str("a"), Value::Int(1)]);
+        assert_eq!(list.encode(), b"l1:ai1ee");
+        let mut d = BTreeMap::new();
+        d.insert(b"cow".to_vec(), Value::str("moo"));
+        d.insert(b"spam".to_vec(), Value::str("eggs"));
+        assert_eq!(Value::Dict(d).encode(), b"d3:cow3:moo4:spam4:eggse");
+    }
+
+    #[test]
+    fn decodes_nested() {
+        let v = Value::decode(b"d4:listli0e1:xee").unwrap();
+        let list = v.get("list").unwrap().as_list().unwrap();
+        assert_eq!(list[0].as_int(), Some(0));
+        assert_eq!(list[1].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(&Value::Int(i64::MAX));
+        roundtrip(&Value::Int(i64::MIN + 1));
+        roundtrip(&Value::bytes(vec![0u8, 255, 128]));
+        let mut d = BTreeMap::new();
+        d.insert(b"a".to_vec(), Value::List(vec![Value::Int(1), Value::str("two")]));
+        d.insert(b"b".to_vec(), Value::Dict(BTreeMap::new()));
+        roundtrip(&Value::Dict(d));
+    }
+
+    #[test]
+    fn rejects_leading_zero_int() {
+        assert!(matches!(
+            Value::decode(b"i03e"),
+            Err(DecodeError::InvalidInt { .. })
+        ));
+        assert!(matches!(
+            Value::decode(b"i-0e"),
+            Err(DecodeError::InvalidInt { .. })
+        ));
+        assert!(Value::decode(b"i0e").is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_int() {
+        assert!(matches!(
+            Value::decode(b"ie"),
+            Err(DecodeError::InvalidInt { .. })
+        ));
+        assert!(matches!(
+            Value::decode(b"i-e"),
+            Err(DecodeError::InvalidInt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        assert!(matches!(
+            Value::decode(b"i99999999999999999999e"),
+            Err(DecodeError::IntOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_string() {
+        assert_eq!(Value::decode(b"5:spam"), Err(DecodeError::UnexpectedEnd));
+        assert!(matches!(
+            Value::decode(b"05:spamX"),
+            Err(DecodeError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_or_duplicate_keys() {
+        assert!(matches!(
+            Value::decode(b"d4:spam4:eggs3:cow3:mooe"),
+            Err(DecodeError::UnsortedKeys { .. })
+        ));
+        assert!(matches!(
+            Value::decode(b"d1:a1:x1:a1:ye"),
+            Err(DecodeError::UnsortedKeys { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(matches!(
+            Value::decode(b"i1eX"),
+            Err(DecodeError::TrailingData { .. })
+        ));
+        // decode_prefix tolerates it and reports the consumed length.
+        let (v, used) = Value::decode_prefix(b"i1eX").unwrap();
+        assert_eq!(v, Value::Int(1));
+        assert_eq!(used, 3);
+    }
+
+    #[test]
+    fn rejects_unexpected_start() {
+        assert!(matches!(
+            Value::decode(b"x"),
+            Err(DecodeError::UnexpectedByte { .. })
+        ));
+        assert_eq!(Value::decode(b""), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Value::decode(b"i03e").unwrap_err();
+        assert!(err.to_string().contains("invalid integer"));
+    }
+}

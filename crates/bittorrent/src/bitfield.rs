@@ -1,0 +1,218 @@
+//! Piece-possession bitfields (the `bitfield` wire message payload).
+
+use std::fmt;
+
+/// A fixed-length bitfield with one bit per piece, most significant bit
+/// first within each byte (wire order per BEP 3).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitfield {
+    bits: Vec<u8>,
+    len: u32,
+}
+
+impl Bitfield {
+    /// Creates an all-zero bitfield for `len` pieces.
+    pub fn new(len: u32) -> Self {
+        Bitfield {
+            bits: vec![0u8; len.div_ceil(8) as usize],
+            len,
+        }
+    }
+
+    /// Creates an all-one bitfield (a seed's bitfield).
+    pub fn full(len: u32) -> Self {
+        let mut bf = Bitfield::new(len);
+        for i in 0..len {
+            bf.set(i);
+        }
+        bf
+    }
+
+    /// Parses wire bytes; fails when the byte count is wrong or spare bits
+    /// are set.
+    pub fn from_bytes(bytes: &[u8], len: u32) -> Option<Bitfield> {
+        if bytes.len() != len.div_ceil(8) as usize {
+            return None;
+        }
+        let bf = Bitfield {
+            bits: bytes.to_vec(),
+            len,
+        };
+        // Spare (past-the-end) bits must be zero.
+        for i in len..(bf.bits.len() as u32 * 8) {
+            if bf.get_raw(i) {
+                return None;
+            }
+        }
+        Some(bf)
+    }
+
+    /// The wire representation.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of pieces this bitfield covers.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when it covers zero pieces.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn get_raw(&self, index: u32) -> bool {
+        let byte = (index / 8) as usize;
+        let bit = 7 - (index % 8);
+        (self.bits[byte] >> bit) & 1 == 1
+    }
+
+    /// Whether piece `index` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn get(&self, index: u32) -> bool {
+        assert!(index < self.len, "piece {index} out of range {}", self.len);
+        self.get_raw(index)
+    }
+
+    /// Marks piece `index` present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn set(&mut self, index: u32) {
+        assert!(index < self.len, "piece {index} out of range {}", self.len);
+        let byte = (index / 8) as usize;
+        let bit = 7 - (index % 8);
+        self.bits[byte] |= 1 << bit;
+    }
+
+    /// Clears piece `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn clear(&mut self, index: u32) {
+        assert!(index < self.len, "piece {index} out of range {}", self.len);
+        let byte = (index / 8) as usize;
+        let bit = 7 - (index % 8);
+        self.bits[byte] &= !(1 << bit);
+    }
+
+    /// Number of pieces present.
+    pub fn count(&self) -> u32 {
+        self.bits.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// True when every piece is present.
+    pub fn is_complete(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// Iterates over the indices of present pieces.
+    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&i| self.get_raw(i))
+    }
+
+    /// Iterates over the indices of missing pieces.
+    pub fn iter_unset(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&i| !self.get_raw(i))
+    }
+
+    /// Pieces present in `other` but missing here (what we could request).
+    pub fn missing_from(&self, other: &Bitfield) -> impl Iterator<Item = u32> + '_ {
+        let other = other.clone();
+        (0..self.len).filter(move |&i| !self.get_raw(i) && i < other.len && other.get_raw(i))
+    }
+
+    /// Length in bytes of the wire representation.
+    pub fn byte_len(&self) -> u32 {
+        self.bits.len() as u32
+    }
+}
+
+impl fmt::Debug for Bitfield {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitfield({}/{})", self.count(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bf = Bitfield::new(10);
+        assert!(!bf.get(3));
+        bf.set(3);
+        assert!(bf.get(3));
+        assert_eq!(bf.count(), 1);
+        bf.clear(3);
+        assert!(!bf.get(3));
+    }
+
+    #[test]
+    fn msb_first_wire_order() {
+        let mut bf = Bitfield::new(16);
+        bf.set(0);
+        bf.set(9);
+        assert_eq!(bf.as_bytes(), &[0b1000_0000, 0b0100_0000]);
+    }
+
+    #[test]
+    fn full_and_complete() {
+        let bf = Bitfield::full(9);
+        assert!(bf.is_complete());
+        assert_eq!(bf.count(), 9);
+        // Spare bits in the second byte stay clear.
+        assert_eq!(bf.as_bytes()[1], 0b1000_0000);
+    }
+
+    #[test]
+    fn from_bytes_validates() {
+        assert!(Bitfield::from_bytes(&[0xFF], 8).is_some());
+        assert!(Bitfield::from_bytes(&[0xFF], 7).is_none(), "spare bit set");
+        assert!(Bitfield::from_bytes(&[0xFE], 7).is_some());
+        assert!(Bitfield::from_bytes(&[0xFF, 0x00], 8).is_none(), "wrong length");
+    }
+
+    #[test]
+    fn iteration() {
+        let mut bf = Bitfield::new(5);
+        bf.set(1);
+        bf.set(4);
+        assert_eq!(bf.iter_set().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(bf.iter_unset().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn missing_from_intersects() {
+        let mut ours = Bitfield::new(6);
+        ours.set(0);
+        ours.set(1);
+        let mut theirs = Bitfield::new(6);
+        theirs.set(1);
+        theirs.set(3);
+        theirs.set(5);
+        assert_eq!(ours.missing_from(&theirs).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let bf = Bitfield::new(4);
+        let _ = bf.get(4);
+    }
+
+    #[test]
+    fn empty_bitfield() {
+        let bf = Bitfield::new(0);
+        assert!(bf.is_empty());
+        assert!(bf.is_complete());
+        assert_eq!(bf.byte_len(), 0);
+    }
+}

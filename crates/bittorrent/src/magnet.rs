@@ -1,0 +1,193 @@
+//! Magnet link parsing (BEP 9 subset).
+//!
+//! `magnet:?xt=urn:btih:<40-hex>&dn=<name>&tr=<tracker>` — the form that
+//! replaced `.torrent` files for swarm entry. Only the fields the
+//! simulator uses are parsed: the info-hash (`xt`), display name (`dn`),
+//! and tracker list (`tr`, repeatable).
+
+use crate::metainfo::InfoHash;
+use std::fmt;
+
+/// A parsed magnet link.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MagnetLink {
+    /// The swarm's info-hash.
+    pub info_hash: InfoHash,
+    /// Display name (`dn`), if present.
+    pub name: Option<String>,
+    /// Tracker identifiers (`tr`), in order of appearance.
+    pub trackers: Vec<String>,
+}
+
+/// Errors parsing a magnet link.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MagnetError {
+    /// Not a `magnet:?` URI.
+    NotMagnet,
+    /// No `xt=urn:btih:` parameter.
+    MissingInfoHash,
+    /// The info-hash was not valid 40-character hex.
+    BadInfoHash(String),
+}
+
+impl fmt::Display for MagnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagnetError::NotMagnet => write!(f, "not a magnet URI"),
+            MagnetError::MissingInfoHash => write!(f, "missing xt=urn:btih parameter"),
+            MagnetError::BadInfoHash(e) => write!(f, "bad info-hash: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MagnetError {}
+
+/// Minimal percent-decoding (enough for `dn` names).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+impl MagnetLink {
+    /// Parses a magnet URI.
+    ///
+    /// # Errors
+    ///
+    /// See [`MagnetError`].
+    pub fn parse(uri: &str) -> Result<MagnetLink, MagnetError> {
+        let rest = uri
+            .strip_prefix("magnet:?")
+            .ok_or(MagnetError::NotMagnet)?;
+        let mut info_hash = None;
+        let mut name = None;
+        let mut trackers = Vec::new();
+        for pair in rest.split('&') {
+            let Some((key, value)) = pair.split_once('=') else {
+                continue;
+            };
+            match key {
+                "xt" => {
+                    if let Some(hex) = value.strip_prefix("urn:btih:") {
+                        info_hash = Some(
+                            InfoHash::from_hex(hex).map_err(MagnetError::BadInfoHash)?,
+                        );
+                    }
+                }
+                "dn" => name = Some(percent_decode(value)),
+                "tr" => trackers.push(percent_decode(value)),
+                _ => {}
+            }
+        }
+        Ok(MagnetLink {
+            info_hash: info_hash.ok_or(MagnetError::MissingInfoHash)?,
+            name,
+            trackers,
+        })
+    }
+
+    /// Renders back to a magnet URI (hex info-hash form, names and
+    /// trackers unescaped where safe).
+    pub fn to_uri(&self) -> String {
+        let mut out = format!("magnet:?xt=urn:btih:{}", self.info_hash.to_hex());
+        if let Some(n) = &self.name {
+            out.push_str("&dn=");
+            out.push_str(&n.replace(' ', "+"));
+        }
+        for t in &self.trackers {
+            out.push_str("&tr=");
+            out.push_str(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex40(byte: u8) -> String {
+        format!("{byte:02x}").repeat(20)
+    }
+
+    #[test]
+    fn parses_full_link() {
+        let uri = format!(
+            "magnet:?xt=urn:btih:{}&dn=Fedora-7-KDE-Live-i686.iso&tr=http%3A%2F%2Ftracker",
+            hex40(0xAB)
+        );
+        let m = MagnetLink::parse(&uri).unwrap();
+        assert_eq!(m.info_hash, InfoHash([0xAB; 20]));
+        assert_eq!(m.name.as_deref(), Some("Fedora-7-KDE-Live-i686.iso"));
+        assert_eq!(m.trackers, vec!["http://tracker".to_string()]);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let m = MagnetLink {
+            info_hash: InfoHash([7; 20]),
+            name: Some("demo file".into()),
+            trackers: vec!["sim-tracker".into()],
+        };
+        let back = MagnetLink::parse(&m.to_uri()).unwrap();
+        assert_eq!(back.info_hash, m.info_hash);
+        assert_eq!(back.name.as_deref(), Some("demo file"));
+        assert_eq!(back.trackers, m.trackers);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            MagnetLink::parse("http://x"),
+            Err(MagnetError::NotMagnet)
+        );
+        assert_eq!(
+            MagnetLink::parse("magnet:?dn=x"),
+            Err(MagnetError::MissingInfoHash)
+        );
+        assert!(matches!(
+            MagnetLink::parse("magnet:?xt=urn:btih:zzzz"),
+            Err(MagnetError::BadInfoHash(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_trackers_in_order() {
+        let uri = format!("magnet:?xt=urn:btih:{}&tr=a&tr=b&tr=c", hex40(1));
+        let m = MagnetLink::parse(&uri).unwrap();
+        assert_eq!(m.trackers, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn percent_decoding_handles_plus_and_invalid() {
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,250 @@
+//! Piece selection policies.
+//!
+//! The picker chooses which *piece* to start next, given the candidate set
+//! (pieces the peer has, we lack, and are not already fully requested).
+//! BitTorrent's default is **rarest-first** (paper §2.2): preferring the
+//! piece held by the fewest swarm members propagates rare data fastest and
+//! maximises what the local peer can later serve — but it leaves the
+//! downloaded prefix full of holes, the failure mode the paper's Fig. 4
+//! quantifies and wP2P's mobility-aware fetching (implemented in the
+//! `wp2p` crate on top of this trait) repairs.
+
+use simnet::rng::SimRng;
+use simnet::time::SimDuration;
+
+/// Information available to a picker at decision time.
+#[derive(Debug)]
+pub struct PickContext<'a> {
+    /// How many connected peers have each piece (indexed by piece).
+    pub availability: &'a [u32],
+    /// Fraction of the torrent already downloaded, in `[0, 1]`.
+    pub downloaded_fraction: f64,
+    /// Time since the download started or the last network disconnection —
+    /// the "network stability" signal the paper's §4.3 uses.
+    pub stable_for: SimDuration,
+}
+
+/// A piece-selection policy.
+///
+/// `candidates` is non-empty, sorted ascending, and pre-filtered by the
+/// client (peer has the piece; we do not; not fully requested). The picker
+/// returns one of the candidates.
+pub trait PiecePicker: std::fmt::Debug + Send {
+    /// Chooses the next piece to begin downloading.
+    fn pick(&mut self, candidates: &[u32], ctx: &PickContext<'_>, rng: &mut SimRng)
+        -> Option<u32>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Rarest-first with uniformly random tie-breaking (the BitTorrent
+/// default).
+#[derive(Debug, Clone, Default)]
+pub struct RarestFirst;
+
+impl PiecePicker for RarestFirst {
+    fn pick(
+        &mut self,
+        candidates: &[u32],
+        ctx: &PickContext<'_>,
+        rng: &mut SimRng,
+    ) -> Option<u32> {
+        let min_avail = candidates
+            .iter()
+            .map(|&p| ctx.availability.get(p as usize).copied().unwrap_or(0))
+            .min()?;
+        let rarest: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| ctx.availability.get(p as usize).copied().unwrap_or(0) == min_avail)
+            .collect();
+        rng.choose(&rarest).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "rarest-first"
+    }
+}
+
+/// Strictly in-order selection (maximises the playable prefix, minimises
+/// usefulness to the swarm).
+#[derive(Debug, Clone, Default)]
+pub struct Sequential;
+
+impl PiecePicker for Sequential {
+    fn pick(
+        &mut self,
+        candidates: &[u32],
+        _ctx: &PickContext<'_>,
+        _rng: &mut SimRng,
+    ) -> Option<u32> {
+        candidates.first().copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// Uniformly random selection (first-generation clients; also a useful
+/// baseline).
+#[derive(Debug, Clone, Default)]
+pub struct RandomPick;
+
+impl PiecePicker for RandomPick {
+    fn pick(
+        &mut self,
+        candidates: &[u32],
+        _ctx: &PickContext<'_>,
+        rng: &mut SimRng,
+    ) -> Option<u32> {
+        rng.choose(candidates).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// A fixed probabilistic blend: rarest-first with probability `p_rarest`,
+/// sequential otherwise. The adaptive schedule of wP2P's mobility-aware
+/// fetching lives in the `wp2p` crate; this fixed version is the building
+/// block and a baseline.
+#[derive(Debug, Clone)]
+pub struct FixedMix {
+    /// Probability of choosing rarest-first on each decision.
+    pub p_rarest: f64,
+    rarest: RarestFirst,
+    sequential: Sequential,
+}
+
+impl FixedMix {
+    /// Creates a blend.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_rarest` is within `[0, 1]`.
+    pub fn new(p_rarest: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_rarest), "probability out of range");
+        FixedMix {
+            p_rarest,
+            rarest: RarestFirst,
+            sequential: Sequential,
+        }
+    }
+}
+
+impl PiecePicker for FixedMix {
+    fn pick(
+        &mut self,
+        candidates: &[u32],
+        ctx: &PickContext<'_>,
+        rng: &mut SimRng,
+    ) -> Option<u32> {
+        if rng.chance(self.p_rarest) {
+            self.rarest.pick(candidates, ctx, rng)
+        } else {
+            self.sequential.pick(candidates, ctx, rng)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-mix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(avail: &'a [u32]) -> PickContext<'a> {
+        PickContext {
+            availability: avail,
+            downloaded_fraction: 0.0,
+            stable_for: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn rarest_first_picks_minimum_availability() {
+        let avail = vec![5, 1, 3, 1, 9];
+        let mut rng = SimRng::new(0);
+        let mut picker = RarestFirst;
+        for _ in 0..50 {
+            let p = picker
+                .pick(&[0, 1, 2, 3, 4], &ctx(&avail), &mut rng)
+                .unwrap();
+            assert!(p == 1 || p == 3, "picked {p}");
+        }
+    }
+
+    #[test]
+    fn rarest_first_tie_break_is_uniformish() {
+        let avail = vec![1, 1, 1, 1];
+        let mut rng = SimRng::new(7);
+        let mut picker = RarestFirst;
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            let p = picker.pick(&[0, 1, 2, 3], &ctx(&avail), &mut rng).unwrap();
+            counts[p as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn rarest_first_respects_candidates() {
+        // Piece 0 is globally rarest but not a candidate.
+        let avail = vec![0, 5, 2];
+        let mut rng = SimRng::new(1);
+        let mut picker = RarestFirst;
+        assert_eq!(picker.pick(&[1, 2], &ctx(&avail), &mut rng), Some(2));
+    }
+
+    #[test]
+    fn sequential_is_in_order() {
+        let avail = vec![1; 10];
+        let mut rng = SimRng::new(0);
+        let mut picker = Sequential;
+        assert_eq!(picker.pick(&[3, 5, 9], &ctx(&avail), &mut rng), Some(3));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let avail = vec![1; 4];
+        let mut rng = SimRng::new(0);
+        assert_eq!(RarestFirst.pick(&[], &ctx(&avail), &mut rng), None);
+        assert_eq!(Sequential.pick(&[], &ctx(&avail), &mut rng), None);
+        assert_eq!(RandomPick.pick(&[], &ctx(&avail), &mut rng), None);
+    }
+
+    #[test]
+    fn fixed_mix_blends() {
+        // availability makes rarest pick piece 9; sequential picks 0.
+        let mut avail = vec![5; 10];
+        avail[9] = 1;
+        let cands: Vec<u32> = (0..10).collect();
+        let mut rng = SimRng::new(3);
+        let mut picker = FixedMix::new(0.3);
+        let mut rare = 0;
+        let mut seq = 0;
+        for _ in 0..2000 {
+            match picker.pick(&cands, &ctx(&avail), &mut rng) {
+                Some(9) => rare += 1,
+                Some(0) => seq += 1,
+                other => panic!("unexpected pick {other:?}"),
+            }
+        }
+        let frac = rare as f64 / 2000.0;
+        assert!((0.25..0.35).contains(&frac), "rarest fraction {frac}");
+        assert!(seq > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn fixed_mix_validates_probability() {
+        let _ = FixedMix::new(1.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! wP2P feature configuration.
+//!
+//! Every component is independently switchable so experiments can run the
+//! paper's ablations: the default client (all off), single components
+//! (Figs. 8(a), 8(b), 8(c), 9), or the full integrated stack (Fig. 7).
+
+use crate::am::AmConfig;
+use crate::ia::LihdConfig;
+use crate::ma::PrSchedule;
+
+/// Which wP2P components a mobile client runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WP2pConfig {
+    /// Age-based Manipulation of bi-directional TCP (packet filter).
+    pub am: Option<AmConfig>,
+    /// LIHD upload-rate control.
+    pub lihd: Option<LihdConfig>,
+    /// Reuse the stored peer-id after task re-initiation within a swarm.
+    pub identity_retention: bool,
+    /// Mobility-aware fetching schedule; `None` keeps rarest-first.
+    pub mobility_fetching: Option<PrSchedule>,
+    /// Immediately re-dial stored peers after a hand-off.
+    pub role_reversal: bool,
+}
+
+impl WP2pConfig {
+    /// The unmodified default client (every component off).
+    pub fn default_client() -> Self {
+        WP2pConfig::default()
+    }
+
+    /// The full wP2P client with the paper's parameters; `u_max` is the
+    /// wireless capacity in bytes/second (for LIHD).
+    pub fn full(u_max: f64) -> Self {
+        WP2pConfig {
+            am: Some(AmConfig::default()),
+            lihd: Some(LihdConfig::paper(u_max)),
+            identity_retention: true,
+            mobility_fetching: Some(PrSchedule::DownloadedFraction),
+            role_reversal: true,
+        }
+    }
+
+    /// Only AM (the Fig. 8(a) arm).
+    pub fn am_only() -> Self {
+        WP2pConfig {
+            am: Some(AmConfig::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Only identity retention (the Fig. 8(b) arm).
+    pub fn identity_only() -> Self {
+        WP2pConfig {
+            identity_retention: true,
+            ..Default::default()
+        }
+    }
+
+    /// Only LIHD (the Fig. 8(c) arm).
+    pub fn lihd_only(u_max: f64) -> Self {
+        WP2pConfig {
+            lihd: Some(LihdConfig::paper(u_max)),
+            ..Default::default()
+        }
+    }
+
+    /// Only mobility-aware fetching (the Fig. 9(a,b) arm).
+    pub fn fetching_only(schedule: PrSchedule) -> Self {
+        WP2pConfig {
+            mobility_fetching: Some(schedule),
+            ..Default::default()
+        }
+    }
+
+    /// Only role reversal (the Fig. 9(c) arm).
+    pub fn role_reversal_only() -> Self {
+        WP2pConfig {
+            role_reversal: true,
+            ..Default::default()
+        }
+    }
+
+    /// True when every component is disabled (a default client).
+    pub fn is_default_client(&self) -> bool {
+        self.am.is_none()
+            && self.lihd.is_none()
+            && !self.identity_retention
+            && self.mobility_fetching.is_none()
+            && !self.role_reversal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_client_has_everything_off() {
+        assert!(WP2pConfig::default_client().is_default_client());
+    }
+
+    #[test]
+    fn full_stack_has_everything_on() {
+        let cfg = WP2pConfig::full(200.0 * 1024.0);
+        assert!(cfg.am.is_some());
+        assert!(cfg.lihd.is_some());
+        assert!(cfg.identity_retention);
+        assert!(cfg.mobility_fetching.is_some());
+        assert!(cfg.role_reversal);
+        assert!(!cfg.is_default_client());
+    }
+
+    #[test]
+    fn single_component_arms() {
+        assert!(WP2pConfig::am_only().am.is_some());
+        assert!(WP2pConfig::am_only().lihd.is_none());
+        assert!(WP2pConfig::identity_only().identity_retention);
+        assert!(WP2pConfig::lihd_only(1000.0).lihd.is_some());
+        assert!(WP2pConfig::role_reversal_only().role_reversal);
+        let f = WP2pConfig::fetching_only(PrSchedule::DownloadedFraction);
+        assert_eq!(f.mobility_fetching, Some(PrSchedule::DownloadedFraction));
+    }
+}

@@ -1,0 +1,42 @@
+//! # wp2p — the wireless P2P client enhancements
+//!
+//! The primary contribution of "On the Impact of Mobile Hosts in
+//! Peer-to-Peer Data Networks" (ICDCS 2008): a suite of **mobile-host-only,
+//! backward-compatible** modifications to a BitTorrent client that repair
+//! the mismatches between P2P design and wireless/mobile environments.
+//!
+//! * [`am`] — **Age-based Manipulation**: decouple piggybacked ACKs while
+//!   the connection is young; thin DUPACK bursts while it is mature
+//!   (paper §4.1 / Fig. 5).
+//! * [`ia`] — **Incentive-Aware operations**: the LIHD upload-rate
+//!   controller that finds the download-maximising upload cap on a shared
+//!   wireless channel, and per-swarm identity retention so hand-offs keep
+//!   tit-for-tat credit (paper §4.2 / Fig. 6).
+//! * [`ma`] — **Mobility-Aware operations**: probabilistic
+//!   sequential/rarest-first fetching whose altruism grows with stability,
+//!   and role reversal for instant reconnection after an address change
+//!   (paper §4.3).
+//! * [`config`] — component toggles for running the paper's ablations.
+//!
+//! All components plug into the `bittorrent` crate's sans-IO client: the
+//! MF picker implements [`bittorrent::picker::PiecePicker`], LIHD drives
+//! [`bittorrent::client::Client::set_upload_limit`], identity retention
+//! supplies the peer-id at task (re)initiation, RR seeds
+//! [`bittorrent::client::Client::seed_known_addrs`], and the AM filter
+//! rewrites the TCP segment stream of the packet-level transport.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod am;
+pub mod config;
+pub mod ia;
+pub mod ma;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::am::{Age, AgeFilter, AmConfig, AmOutput, AmStats};
+    pub use crate::config::WP2pConfig;
+    pub use crate::ia::{IdentityStore, Lihd, LihdConfig};
+    pub use crate::ma::{MobilityAwarePicker, PrSchedule, RoleReversal};
+}

@@ -1,0 +1,217 @@
+//! # media-model — playability of partially downloaded media
+//!
+//! The paper's Fig. 4/9 metric: given the set of pieces downloaded so far,
+//! what fraction of the media file can actually be *played back*? Media
+//! formats allow partial playback only of **in-sequence** data from the
+//! head of the file (§3.6: "for an MPEG file of a 2 hour video, the
+//! download of the first 30 minutes … will still allow for a playback of
+//! that part"). Rarest-first fetching scatters pieces, so the playable
+//! prefix stays tiny until the download is nearly complete.
+//!
+//! Two models are provided:
+//!
+//! * [`playable_fraction`] — byte-accurate longest in-order prefix, the
+//!   paper's definition.
+//! * [`GopModel`] — a slightly richer MPEG-like model with a required
+//!   header and group-of-pictures granularity, used to check that the
+//!   headline result is not an artifact of the prefix simplification.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use bittorrent::bitfield::Bitfield;
+
+/// Length in bytes of the contiguous downloaded prefix.
+///
+/// `piece_length` is the torrent's piece size; `length` the file size (the
+/// last piece may be short).
+///
+/// ```
+/// use bittorrent::bitfield::Bitfield;
+/// use media_model::playable_prefix_bytes;
+///
+/// let mut have = Bitfield::new(4);
+/// have.set(0);
+/// have.set(2); // not contiguous with the head
+/// assert_eq!(playable_prefix_bytes(&have, 100, 400), 100);
+/// ```
+pub fn playable_prefix_bytes(have: &Bitfield, piece_length: u32, length: u64) -> u64 {
+    let mut bytes = 0u64;
+    for piece in 0..have.len() {
+        if !have.get(piece) {
+            break;
+        }
+        let start = piece as u64 * piece_length as u64;
+        let end = (start + piece_length as u64).min(length);
+        bytes += end - start;
+    }
+    bytes.min(length)
+}
+
+/// Playable fraction of the file in `[0, 1]`: the paper's y-axis for
+/// Figs. 4(b,c) and 9(a,b).
+pub fn playable_fraction(have: &Bitfield, piece_length: u32, length: u64) -> f64 {
+    if length == 0 {
+        return 1.0;
+    }
+    playable_prefix_bytes(have, piece_length, length) as f64 / length as f64
+}
+
+/// An MPEG-like playability model: a file header must be complete before
+/// anything plays, and playback advances in whole GOP (group of pictures)
+/// units, each of which must be fully present **in sequence**.
+#[derive(Debug, Clone, Copy)]
+pub struct GopModel {
+    /// Bytes of container header required before any playback.
+    pub header_bytes: u64,
+    /// Bytes per GOP (a playback unit).
+    pub gop_bytes: u64,
+}
+
+impl Default for GopModel {
+    fn default() -> Self {
+        // ~0.5 s of 8 Mbit/s video per GOP, 64 KB of header.
+        GopModel {
+            header_bytes: 64 * 1024,
+            gop_bytes: 512 * 1024,
+        }
+    }
+}
+
+impl GopModel {
+    /// Playable fraction under the header+GOP model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gop_bytes` is zero.
+    pub fn playable_fraction(&self, have: &Bitfield, piece_length: u32, length: u64) -> f64 {
+        assert!(self.gop_bytes > 0, "GOP size must be positive");
+        if length == 0 {
+            return 1.0;
+        }
+        let prefix = playable_prefix_bytes(have, piece_length, length);
+        if prefix < self.header_bytes.min(length) {
+            return 0.0;
+        }
+        if prefix == length {
+            return 1.0;
+        }
+        let usable = prefix - self.header_bytes.min(length);
+        let gops = usable / self.gop_bytes;
+        let playable = self.header_bytes.min(length) + gops * self.gop_bytes;
+        (playable as f64 / length as f64).min(1.0)
+    }
+}
+
+/// Convenience: playable fraction as a percentage for report tables.
+pub fn playable_percent(have: &Bitfield, piece_length: u32, length: u64) -> f64 {
+    playable_fraction(have, piece_length, length) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn have_with(pieces: &[u32], n: u32) -> Bitfield {
+        let mut bf = Bitfield::new(n);
+        for &p in pieces {
+            bf.set(p);
+        }
+        bf
+    }
+
+    #[test]
+    fn empty_file_plays_nothing() {
+        let have = Bitfield::new(10);
+        assert_eq!(playable_prefix_bytes(&have, 100, 1000), 0);
+        assert_eq!(playable_fraction(&have, 100, 1000), 0.0);
+    }
+
+    #[test]
+    fn full_file_plays_everything() {
+        let have = Bitfield::full(10);
+        assert_eq!(playable_fraction(&have, 100, 1000), 1.0);
+        // Short last piece accounted at byte granularity.
+        assert_eq!(playable_prefix_bytes(&have, 100, 950), 950);
+    }
+
+    #[test]
+    fn holes_stop_playback() {
+        // Pieces 0,1,3,4 of 5: playable stops at the hole in piece 2.
+        let have = have_with(&[0, 1, 3, 4], 5);
+        assert_eq!(playable_prefix_bytes(&have, 100, 500), 200);
+        assert_eq!(playable_fraction(&have, 100, 500), 0.4);
+    }
+
+    #[test]
+    fn scattered_pieces_play_almost_nothing() {
+        // The rarest-first pathology: 80% downloaded, nothing at the head.
+        let have = have_with(&[2, 3, 4, 5, 6, 7, 8, 9], 10);
+        assert_eq!(playable_fraction(&have, 100, 1000), 0.0);
+    }
+
+    #[test]
+    fn playable_is_monotone_in_pieces() {
+        let mut have = Bitfield::new(20);
+        let mut last = 0.0;
+        for p in 0..20 {
+            have.set(p);
+            let f = playable_fraction(&have, 50, 1000);
+            assert!(f >= last, "adding a piece reduced playability");
+            last = f;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn gop_model_requires_header() {
+        let model = GopModel {
+            header_bytes: 150,
+            gop_bytes: 100,
+        };
+        // One 100-byte piece: below the 150-byte header.
+        let have = have_with(&[0], 10);
+        assert_eq!(model.playable_fraction(&have, 100, 1000), 0.0);
+        // Two pieces: header done, (200-150)/100 = 0 full GOPs.
+        let have = have_with(&[0, 1], 10);
+        assert_eq!(model.playable_fraction(&have, 100, 1000), 0.15);
+        // Four pieces: header + 2 GOPs = 150+200 = 350.
+        let have = have_with(&[0, 1, 2, 3], 10);
+        assert_eq!(model.playable_fraction(&have, 100, 1000), 0.35);
+    }
+
+    #[test]
+    fn gop_model_full_file_is_one() {
+        let model = GopModel::default();
+        let have = Bitfield::full(4);
+        assert_eq!(model.playable_fraction(&have, 256 * 1024, 1_000_000), 1.0);
+    }
+
+    #[test]
+    fn gop_never_exceeds_prefix_model() {
+        let model = GopModel {
+            header_bytes: 50,
+            gop_bytes: 70,
+        };
+        for mask in 0u32..256 {
+            let mut have = Bitfield::new(8);
+            for b in 0..8 {
+                if mask & (1 << b) != 0 {
+                    have.set(b);
+                }
+            }
+            let gop = model.playable_fraction(&have, 100, 800);
+            let prefix = playable_fraction(&have, 100, 800);
+            assert!(
+                gop <= prefix + 1e-9,
+                "gop={gop} prefix={prefix} mask={mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn percent_helper() {
+        let have = have_with(&[0], 2);
+        assert_eq!(playable_percent(&have, 100, 200), 50.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Generic, cancellable event queue.
+//!
+//! The queue is a binary heap ordered by `(time, sequence)`. The sequence
+//! number is a monotone counter assigned at scheduling time, so two events
+//! scheduled for the same instant fire in scheduling order — the property
+//! that makes whole-simulation runs deterministic.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] records the token in a
+//! tombstone set, and the event is discarded when it reaches the top of the
+//! heap. This keeps both operations `O(log n)` amortised.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle identifying a scheduled event, used to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventToken(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    token: EventToken,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.token == other.token
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (breaking ties by scheduling order) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.token.cmp(&self.token))
+    }
+}
+
+/// A priority queue of timestamped events.
+///
+/// ```
+/// use simnet::event::EventQueue;
+/// use simnet::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_secs(2), "late");
+/// let tok = q.schedule_at(SimTime::from_secs(1), "early");
+/// q.cancel(tok);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<EventToken>,
+    next_token: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_token: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time` and returns a cancellation token.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventToken {
+        let token = EventToken(self.next_token);
+        self.next_token += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { time, token, event });
+        token
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an already-fired or already-cancelled event is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token);
+    }
+
+    /// Removes and returns the earliest live event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.token) {
+                continue;
+            }
+            return Some((s.time, s.event));
+        }
+        // All remaining tombstones (if any) referenced popped events.
+        self.cancelled.clear();
+        None
+    }
+
+    /// The timestamp of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop tombstoned heads so the reported time is a live event's.
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.token) {
+                let s = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&s.token);
+                continue;
+            }
+            return Some(s.time);
+        }
+        None
+    }
+
+    /// Number of entries currently in the heap (including tombstones).
+    #[allow(clippy::len_without_is_empty)] // is_empty exists but needs &mut
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// True when no live events remain.
+    ///
+    /// Takes `&mut self` (unlike the convention) because answering
+    /// requires pruning lazily-cancelled tombstones off the heap top.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Total number of events ever scheduled (for instrumentation).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("tombstones", &self.cancelled.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), 3);
+        q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        assert!(q.pop().is_some());
+        q.cancel(a);
+        q.schedule_at(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

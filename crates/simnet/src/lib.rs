@@ -1,0 +1,66 @@
+//! # simnet — deterministic discrete-event network simulation
+//!
+//! The substrate for the wP2P reproduction ("On the Impact of Mobile Hosts
+//! in Peer-to-Peer Data Networks", ICDCS 2008). It provides:
+//!
+//! * [`time`] — exact microsecond virtual time ([`time::SimTime`],
+//!   [`time::SimDuration`]).
+//! * [`event`] / [`sim`] — a cancellable event queue and the
+//!   [`sim::Simulator`] driver, generic over the embedder's event enum.
+//! * [`rng`] — a single-seed, forkable random stream ([`rng::SimRng`]) so
+//!   whole experiments are reproducible.
+//! * [`addr`] — node identity vs. network address, with hand-off
+//!   reassignment.
+//! * [`link`] — wired point-to-point links (bandwidth, delay, drop-tail
+//!   queue, BER).
+//! * [`wireless`] — a shared half-duplex channel where uplink and downlink
+//!   contend for the same capacity, the defining constraint of the paper.
+//! * [`mobility`] — hand-off schedules with outage windows.
+//! * [`stats`] — virtual-time rate meters, time series, run summaries.
+//! * [`trace`] — opt-in bounded event tracing for debugging worlds.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::prelude::*;
+//!
+//! // One mobile host behind a lossy wireless channel.
+//! let mut ch = WirelessChannel::new(WirelessConfig::wlan_80211g());
+//! ch.set_ber(1e-5);
+//! let mut rng = SimRng::new(1);
+//! let mut sim: Simulator<&str> = Simulator::new();
+//!
+//! match ch.send(sim.now(), Direction::Up, 1500, &mut rng) {
+//!     SendOutcome::Delivered { at } => { sim.schedule_at(at, "frame arrives"); }
+//!     SendOutcome::Dropped { .. } => { /* the sender's loss recovery reacts */ }
+//! }
+//! sim.run(|_, _, _| Step::Continue);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod event;
+pub mod link;
+pub mod mobility;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod wireless;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::addr::{AddressBook, NodeId, SimAddr};
+    pub use crate::event::{EventQueue, EventToken};
+    pub use crate::link::{DropReason, Link, LinkConfig, SendOutcome};
+    pub use crate::mobility::{Handoff, MobilityProcess};
+    pub use crate::rng::SimRng;
+    pub use crate::sim::{Simulator, Step};
+    pub use crate::stats::{Ewma, RateMeter, RunSummary, TimeSeries};
+    pub use crate::trace::{Trace, TraceEntry, TraceKind};
+    pub use crate::time::{transmission_delay, SimDuration, SimTime};
+    pub use crate::wireless::{Direction, DirectionStats, WirelessChannel, WirelessConfig};
+}

@@ -1,0 +1,235 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic decision in the simulator (bit-error draws, picker
+//! tie-breaks, peer behaviour jitter) flows from a single `u64` experiment
+//! seed through [`SimRng`]. Component streams are derived with
+//! [`SimRng::fork`], so adding a new consumer of randomness in one module
+//! does not perturb the draws seen by another — the property that keeps
+//! regression tests on full experiment outputs stable.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable random-number generator with simulation-oriented helpers.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+/// SplitMix64 finalizer; used to decorrelate forked stream seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent stream for a named component.
+    ///
+    /// Forks with the same `(seed, stream)` pair always produce the same
+    /// sequence, regardless of how much the parent has been used.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        SimRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(1))))
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform sample from a range, e.g. `rng.range(0..10)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Exponentially distributed sample with the given mean.
+    ///
+    /// Used for memoryless inter-arrival processes (peer churn, jittered
+    /// timers). Returns zero for non-positive means.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF; 1-u avoids ln(0).
+        let u: f64 = self.inner.gen::<f64>();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Picks a uniformly random element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.range(0..items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Multiplicative jitter: a uniform sample from
+    /// `[base·(1−spread), base·(1+spread)]`.
+    pub fn jitter(&mut self, base: f64, spread: f64) -> f64 {
+        let spread = spread.clamp(0.0, 1.0);
+        if spread == 0.0 {
+            return base;
+        }
+        base * (1.0 + self.range(-spread..=spread))
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_usage() {
+        let parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        // Burn some draws on parent2 before forking.
+        for _ in 0..50 {
+            parent2.next_u64();
+        }
+        let mut f1 = parent1.fork(3);
+        let mut f2 = parent2.fork(3);
+        for _ in 0..20 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let root = SimRng::new(9);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut rng = SimRng::new(123);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn exp_mean_is_plausible() {
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((1.9..2.1).contains(&mean), "mean={mean}");
+        assert_eq!(rng.exp(0.0), 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(77);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.jitter(100.0, 0.1);
+            assert!((90.0..=110.0).contains(&x));
+        }
+        assert_eq!(rng.jitter(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::new(1);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert!(rng.choose(&[42]).is_some());
+    }
+}

@@ -1,0 +1,15 @@
+//! Per-figure experiment drivers.
+//!
+//! Each module reproduces one figure (or panel group) of the paper's
+//! evaluation: it builds the matching testbed, sweeps the paper's
+//! parameter, and returns the series the paper plots. Every driver has a
+//! `quick` preset (CI-sized) and a `paper` preset (full scale).
+
+pub mod common;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8;
+pub mod ablations;
+pub mod fig9;
+pub mod playability;

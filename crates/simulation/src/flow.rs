@@ -1,0 +1,1232 @@
+//! The flow-level (fluid) simulation world.
+//!
+//! Runs any number of BitTorrent client sessions over a max-min fair
+//! bandwidth-sharing model instead of packet-level TCP. Used for the
+//! swarm-scale experiments (paper Figs. 3, 4, 8(b), 8(c), 9) where the
+//! interesting dynamics are incentives, wireless self-contention, and
+//! reconnection latency — not per-segment behaviour.
+//!
+//! ## Model
+//!
+//! * Each **node** has an access network: wired (independent up/down
+//!   pipes) or wireless (one shared channel both directions contend for).
+//! * Each node hosts **tasks** (client sessions). Wire messages queue
+//!   FIFO per connection direction and drain at the direction's current
+//!   max-min fair rate, recomputed every tick.
+//! * **Mobility**: a node with a [`MobilityProcess`] periodically loses
+//!   connectivity, returns with a fresh address, and has its tasks
+//!   re-initiated — with a fresh peer-id (default) or the retained one
+//!   (wP2P). Established connections are *not* torn down cleanly: the
+//!   remote side sees a silent black hole until a timeout, exactly the
+//!   paper's "fixed peers continue to try to reach the mobile peer".
+//! * **wP2P components** plug in per task: identity retention, LIHD
+//!   (driving the client's upload cap), mobility-aware fetching (a picker
+//!   override), and role reversal (re-dialling stored peers immediately
+//!   after a hand-off). Age-based Manipulation is packet-level and lives
+//!   in the packet world instead.
+
+use crate::rates::{max_min_rates, FlowDemand};
+use bittorrent::client::{Action, Client, ClientConfig, ClientStats};
+use bittorrent::metainfo::{InfoHash, Metainfo};
+use bittorrent::peer_id::{PeerId, PeerIdStyle};
+use bittorrent::progress::TorrentProgress;
+use bittorrent::rate::RateEstimator;
+use bittorrent::tracker::{AnnounceEvent, Tracker, TrackerConfig};
+use bittorrent::wire::Message;
+use simnet::addr::{AddressBook, SimAddr};
+use simnet::mobility::MobilityProcess;
+use simnet::rng::SimRng;
+use simnet::sim::Simulator;
+use simnet::stats::TimeSeries;
+use simnet::trace::{Trace, TraceKind};
+use simnet::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use wp2p::config::WP2pConfig;
+use wp2p::ia::Lihd;
+use wp2p::ma::{MobilityAwarePicker, RoleReversal};
+
+/// Node index.
+pub type NodeKey = usize;
+/// Task index.
+pub type TaskKey = usize;
+
+/// A node's access network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Access {
+    /// Independent uplink/downlink pipes (bytes/second).
+    Wired {
+        /// Uplink capacity, bytes/second.
+        up: f64,
+        /// Downlink capacity, bytes/second.
+        down: f64,
+    },
+    /// One shared channel: uploads and downloads contend (bytes/second).
+    Wireless {
+        /// Channel capacity, bytes/second.
+        capacity: f64,
+    },
+}
+
+impl Access {
+    /// The paper's residential reference: 4 Mbit/s down, 384 kbit/s up.
+    pub fn residential() -> Self {
+        Access::Wired {
+            up: 384_000.0 / 8.0,
+            down: 4_000_000.0 / 8.0,
+        }
+    }
+
+    /// A well-connected fixed peer.
+    pub fn campus() -> Self {
+        Access::Wired {
+            up: 1_250_000.0,
+            down: 1_250_000.0,
+        }
+    }
+}
+
+/// What the torrent looks like to the flow world.
+#[derive(Clone, Copy, Debug)]
+pub struct TorrentSpec {
+    /// Swarm identifier.
+    pub info_hash: InfoHash,
+    /// Piece length in bytes.
+    pub piece_length: u32,
+    /// File length in bytes.
+    pub length: u64,
+    /// Transfer granularity (block size) in bytes. Swarm-scale runs use
+    /// piece-sized blocks to bound event counts.
+    pub block_size: u32,
+}
+
+impl TorrentSpec {
+    /// Derives a spec from metainfo with the given transfer granularity.
+    pub fn from_metainfo(meta: &Metainfo, block_size: u32) -> Self {
+        TorrentSpec {
+            info_hash: meta.info.info_hash(),
+            piece_length: meta.info.piece_length,
+            length: meta.info.length,
+            block_size: block_size.min(meta.info.piece_length),
+        }
+    }
+
+    fn fresh_progress(&self) -> TorrentProgress {
+        TorrentProgress::with_block_size(self.piece_length, self.length, self.block_size)
+    }
+
+    fn complete_progress(&self) -> TorrentProgress {
+        let mut p = TorrentProgress::complete(self.piece_length, self.length);
+        let _ = &mut p;
+        p
+    }
+}
+
+/// Global timing parameters of the flow world.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowConfig {
+    /// Transfer/rate-update granularity.
+    pub tick: SimDuration,
+    /// Client housekeeping cadence.
+    pub client_tick: SimDuration,
+    /// Metrics sampling cadence.
+    pub metrics_interval: SimDuration,
+    /// Latency of a successful dial (TCP + BT handshake).
+    pub dial_latency: SimDuration,
+    /// Timeout of a dial to an unreachable address (SYN retries).
+    pub dial_timeout: SimDuration,
+    /// How long a silently dead connection lingers before the surviving
+    /// side notices (TCP retransmission give-up at the application).
+    pub dead_conn_timeout: SimDuration,
+    /// Tracker request round-trip latency.
+    pub announce_latency: SimDuration,
+    /// Tracker behaviour.
+    pub tracker: TrackerConfig,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            tick: SimDuration::from_millis(250),
+            client_tick: SimDuration::from_secs(1),
+            metrics_interval: SimDuration::from_secs(5),
+            dial_latency: SimDuration::from_millis(300),
+            dial_timeout: SimDuration::from_secs(21),
+            dead_conn_timeout: SimDuration::from_secs(90),
+            announce_latency: SimDuration::from_secs(1),
+            tracker: TrackerConfig::default(),
+        }
+    }
+}
+
+struct Node {
+    access: Access,
+    addr: SimAddr,
+    alive: bool,
+    mobility: Option<MobilityProcess>,
+}
+
+/// Everything needed to (re)build a task's client.
+pub struct TaskSpec {
+    /// Hosting node.
+    pub node: NodeKey,
+    /// The torrent.
+    pub torrent: TorrentSpec,
+    /// Start as a seed (full progress).
+    pub start_complete: bool,
+    /// Start with this fraction of pieces already present (uniformly
+    /// random pieces, seeded deterministically). Models a swarm member
+    /// that joined earlier — real swarms are a spectrum of completion
+    /// levels, which is what makes mutual interest (and therefore
+    /// tit-for-tat) bind. Ignored when `start_complete` is set.
+    pub start_fraction: Option<f64>,
+    /// Builds the client configuration (re-invoked at each re-initiation).
+    pub make_config: Box<dyn Fn() -> ClientConfig>,
+    /// wP2P components enabled for this task.
+    pub wp2p: WP2pConfig,
+}
+
+impl TaskSpec {
+    /// A plain default-client task.
+    pub fn default_client(node: NodeKey, torrent: TorrentSpec, start_complete: bool) -> Self {
+        TaskSpec {
+            node,
+            torrent,
+            start_complete,
+            start_fraction: None,
+            make_config: Box::new(ClientConfig::default),
+            wp2p: WP2pConfig::default_client(),
+        }
+    }
+}
+
+struct TaskState {
+    spec: TaskSpec,
+    client: Option<Client>,
+    saved_progress: Option<TorrentProgress>,
+    /// Retained identity (when identity retention is on).
+    identity: Option<PeerId>,
+    rr: RoleReversal,
+    lihd: Option<Lihd>,
+    dl_meter: RateEstimator,
+    last_down_total: u64,
+    acc: ClientStats,
+    /// Piece payload bytes actually delivered to/from this task by the
+    /// transport (world-side truth, survives client re-initiation).
+    delivered_down: u64,
+    delivered_up: u64,
+    series_down: TimeSeries,
+    series_up: TimeSeries,
+    next_client_tick: SimTime,
+    generation: u32,
+    started: bool,
+    completed_at: Option<SimTime>,
+    rng: SimRng,
+}
+
+#[derive(Debug)]
+struct FlowQ {
+    queue: VecDeque<Message>,
+    head_remaining: f64,
+    rate: f64,
+}
+
+impl FlowQ {
+    fn new() -> Self {
+        FlowQ {
+            queue: VecDeque::new(),
+            head_remaining: 0.0,
+            rate: 0.0,
+        }
+    }
+
+    fn push(&mut self, msg: Message) {
+        if self.queue.is_empty() {
+            self.head_remaining = msg.wire_len() as f64;
+        }
+        self.queue.push_back(msg);
+    }
+
+    fn advance(&mut self, mut budget: f64, out: &mut Vec<Message>) {
+        while budget > 0.0 {
+            let Some(_head) = self.queue.front() else {
+                return;
+            };
+            if self.head_remaining <= budget {
+                budget -= self.head_remaining;
+                let msg = self.queue.pop_front().expect("front exists");
+                out.push(msg);
+                if let Some(next) = self.queue.front() {
+                    self.head_remaining = next.wire_len() as f64;
+                } else {
+                    self.head_remaining = 0.0;
+                }
+            } else {
+                self.head_remaining -= budget;
+                return;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ConnEnd {
+    task: TaskKey,
+    key: u64,
+    generation: u32,
+}
+
+struct Conn {
+    a: ConnEnd,
+    b: ConnEnd,
+    ab: FlowQ,
+    ba: FlowQ,
+    /// Set when one side silently vanished.
+    dead_since: Option<SimTime>,
+}
+
+/// Events driving the flow world.
+enum Ev {
+    Tick,
+    Dial {
+        task: TaskKey,
+        generation: u32,
+        key: u64,
+        addr: SimAddr,
+        target: Option<TaskKey>,
+    },
+    TrackerReply {
+        task: TaskKey,
+        generation: u32,
+        event: AnnounceEvent,
+    },
+    HandoffStart {
+        node: NodeKey,
+        ends: SimTime,
+    },
+    HandoffEnd {
+        node: NodeKey,
+    },
+}
+
+/// The flow-level world. See the module docs.
+///
+/// ```
+/// use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskSpec, TorrentSpec};
+/// use bittorrent::metainfo::Metainfo;
+/// use simnet::time::SimTime;
+///
+/// let meta = Metainfo::synthetic("demo.bin", "tr", 64 * 1024, 1024 * 1024, 1);
+/// let torrent = TorrentSpec::from_metainfo(&meta, 64 * 1024);
+/// let mut world = FlowWorld::new(FlowConfig::default(), 42);
+/// let seed_node = world.add_node(Access::campus());
+/// let leech_node = world.add_node(Access::residential());
+/// world.add_task(TaskSpec::default_client(seed_node, torrent, true));
+/// let leech = world.add_task(TaskSpec::default_client(leech_node, torrent, false));
+/// world.start();
+/// world.run_until(SimTime::from_secs(120), |_| {});
+/// assert_eq!(world.progress_fraction(leech), 1.0);
+/// ```
+pub struct FlowWorld {
+    cfg: FlowConfig,
+    sim: Simulator<Ev>,
+    tracker: Tracker,
+    book: AddressBook,
+    nodes: Vec<Node>,
+    tasks: Vec<TaskState>,
+    conns: BTreeMap<u64, Conn>,
+    /// `(task, client conn key)` → `(conn id, is_a_side)`.
+    index: BTreeMap<(TaskKey, u64), (u64, bool)>,
+    next_conn_id: u64,
+    rng: SimRng,
+    started: bool,
+    last_advance: SimTime,
+    next_metrics: SimTime,
+    trace: Trace,
+}
+
+impl FlowWorld {
+    /// Creates an empty world.
+    pub fn new(cfg: FlowConfig, seed: u64) -> Self {
+        let rng = SimRng::new(seed);
+        FlowWorld {
+            tracker: Tracker::new(cfg.tracker),
+            cfg,
+            sim: Simulator::new(),
+            book: AddressBook::new(),
+            nodes: Vec::new(),
+            tasks: Vec::new(),
+            conns: BTreeMap::new(),
+            index: BTreeMap::new(),
+            next_conn_id: 1,
+            rng,
+            started: false,
+            last_advance: SimTime::ZERO,
+            next_metrics: SimTime::ZERO,
+            trace: Trace::new(4096),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Turns on event tracing (connection lifecycle, mobility, tracker).
+    pub fn enable_trace(&mut self) {
+        self.trace.set_enabled(true);
+    }
+
+    /// The recorded trace (empty unless [`FlowWorld::enable_trace`] ran).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Adds a node with the given access network; returns its key.
+    pub fn add_node(&mut self, access: Access) -> NodeKey {
+        let key = self.nodes.len();
+        let addr = self.book.assign(simnet::addr::NodeId(key as u32));
+        self.nodes.push(Node {
+            access,
+            addr,
+            alive: true,
+            mobility: None,
+        });
+        key
+    }
+
+    /// Gives a node a mobility schedule (hand-offs with outages).
+    pub fn set_mobility(&mut self, node: NodeKey, process: MobilityProcess) {
+        self.nodes[node].mobility = Some(process);
+    }
+
+    /// Current address of a node.
+    pub fn node_addr(&self, node: NodeKey) -> SimAddr {
+        self.nodes[node].addr
+    }
+
+    /// Adds a task; returns its key. Call before [`FlowWorld::start`].
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskKey {
+        let key = self.tasks.len();
+        let rng = self.rng.fork(1000 + key as u64);
+        let lihd = spec.wp2p.lihd.map(Lihd::new);
+        self.tasks.push(TaskState {
+            spec,
+            client: None,
+            saved_progress: None,
+            identity: None,
+            rr: RoleReversal::new(),
+            lihd,
+            dl_meter: RateEstimator::with_window(SimDuration::from_secs(10)),
+            last_down_total: 0,
+            acc: ClientStats::default(),
+            delivered_down: 0,
+            delivered_up: 0,
+            series_down: TimeSeries::new(),
+            series_up: TimeSeries::new(),
+            next_client_tick: SimTime::ZERO,
+            generation: 0,
+            started: false,
+            completed_at: None,
+            rng,
+        });
+        key
+    }
+
+    /// Starts every task and schedules the world's clock work.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        let now = self.sim.now();
+        self.last_advance = now;
+        self.next_metrics = now;
+        for t in 0..self.tasks.len() {
+            self.spawn_client(t, now);
+        }
+        self.pump_actions(now);
+        self.sim.schedule_in(self.cfg.tick, Ev::Tick);
+        // Mobility schedules.
+        for n in 0..self.nodes.len() {
+            self.schedule_next_handoff(n);
+        }
+    }
+
+    fn schedule_next_handoff(&mut self, node: NodeKey) {
+        let mut rng = self.rng.fork(5000 + node as u64 + self.sim.now().as_micros());
+        if let Some(m) = self.nodes[node].mobility.as_mut() {
+            if let Some(h) = m.next_handoff(&mut rng) {
+                self.sim
+                    .schedule_at(h.starts.max(self.sim.now()), Ev::HandoffStart {
+                        node,
+                        ends: h.ends,
+                    });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client lifecycle
+    // ------------------------------------------------------------------
+
+    fn spawn_client(&mut self, t: TaskKey, now: SimTime) {
+        let node = self.tasks[t].spec.node;
+        let addr = self.nodes[node].addr;
+        let task = &mut self.tasks[t];
+        let mut config = (task.spec.make_config)();
+        if let Some(schedule) = task.spec.wp2p.mobility_fetching {
+            config.picker = Box::new(MobilityAwarePicker::new(schedule));
+        }
+        if task.spec.wp2p.role_reversal {
+            config.dial_while_seeding = true;
+        }
+        let fresh = PeerId::generate(PeerIdStyle::Random, addr, &mut task.rng);
+        let peer_id = if task.spec.wp2p.identity_retention {
+            *task.identity.get_or_insert(fresh)
+        } else {
+            task.identity = Some(fresh);
+            fresh
+        };
+        let progress = task.saved_progress.take().unwrap_or_else(|| {
+            if task.spec.start_complete {
+                task.spec.torrent.complete_progress()
+            } else {
+                let mut p = task.spec.torrent.fresh_progress();
+                if let Some(f) = task.spec.start_fraction {
+                    let n = p.num_pieces();
+                    let want = (f.clamp(0.0, 1.0) * n as f64).round() as u32;
+                    let mut pieces: Vec<u32> = (0..n).collect();
+                    task.rng.shuffle(&mut pieces);
+                    for &piece in pieces.iter().take(want as usize) {
+                        p.mark_piece_complete(piece);
+                    }
+                }
+                p
+            }
+        });
+        let mut client = Client::with_progress(
+            config,
+            task.spec.torrent.info_hash,
+            peer_id,
+            progress,
+            addr,
+            task.rng.fork(task.generation as u64),
+        );
+        client.mark_stable(now);
+        if let Some(l) = &task.lihd {
+            client.set_upload_limit(Some(l.upload_limit()));
+        }
+        client.start(now);
+        if task.spec.wp2p.role_reversal {
+            let stored: Vec<SimAddr> = task.rr.stored_peers().to_vec();
+            client.seed_known_addrs(&stored, now);
+        }
+        task.client = Some(client);
+        task.started = true;
+        task.next_client_tick = now;
+    }
+
+    fn kill_client(&mut self, t: TaskKey, now: SimTime) {
+        if let Some(client) = self.tasks[t].client.take() {
+            let stats = client.stats();
+            let acc = &mut self.tasks[t].acc;
+            acc.downloaded_payload += stats.downloaded_payload;
+            acc.uploaded_payload += stats.uploaded_payload;
+            acc.connections_opened += stats.connections_opened;
+            acc.dial_failures += stats.dial_failures;
+            acc.duplicate_blocks += stats.duplicate_blocks;
+            let mut progress = client.into_progress();
+            progress.clear_in_flight();
+            self.tasks[t].saved_progress = Some(progress);
+        }
+        self.tasks[t].generation += 1;
+        self.tasks[t].last_down_total = 0;
+        self.tasks[t].dl_meter = RateEstimator::with_window(SimDuration::from_secs(10));
+        // This side's index entries vanish; the connection lingers as a
+        // black hole for the remote side.
+        let keys: Vec<(TaskKey, u64)> = self
+            .index
+            .range((t, 0)..=(t, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            let (cid, _is_a) = self.index.remove(&k).expect("key listed");
+            let remove_now = if let Some(conn) = self.conns.get_mut(&cid) {
+                if conn.dead_since.is_none() {
+                    conn.dead_since = Some(now);
+                }
+                // If neither side is indexed anymore, drop entirely.
+                !self.index.contains_key(&(conn.a.task, conn.a.key))
+                    && !self.index.contains_key(&(conn.b.task, conn.b.key))
+            } else {
+                false
+            };
+            if remove_now {
+                self.conns.remove(&cid);
+            }
+        }
+    }
+
+    /// Stops a task for good (announces `Stopped`).
+    pub fn stop_task(&mut self, t: TaskKey, announce: bool) {
+        let now = self.sim.now();
+        if announce {
+            if let Some(client) = &self.tasks[t].client {
+                let node = self.tasks[t].spec.node;
+                let mut rng = self.rng.fork(7777 + t as u64);
+                let _ = self.tracker.announce(
+                    client.info_hash(),
+                    client.peer_id(),
+                    self.nodes[node].addr,
+                    AnnounceEvent::Stopped,
+                    client.is_seed(),
+                    now,
+                    &mut rng,
+                );
+            }
+        }
+        self.kill_client(t, now);
+        self.tasks[t].started = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Piece payload bytes this task has received (across re-initiations),
+    /// from the client's progress accounting.
+    pub fn downloaded_bytes(&self, t: TaskKey) -> u64 {
+        let task = &self.tasks[t];
+        let live = task
+            .client
+            .as_ref()
+            .map(|c| c.stats().downloaded_payload)
+            .unwrap_or(0);
+        task.acc.downloaded_payload + live
+    }
+
+    /// Piece payload bytes delivered *to* this task by the transport.
+    pub fn delivered_down_bytes(&self, t: TaskKey) -> u64 {
+        self.tasks[t].delivered_down
+    }
+
+    /// Piece payload bytes delivered *from* this task to its peers.
+    pub fn delivered_up_bytes(&self, t: TaskKey) -> u64 {
+        self.tasks[t].delivered_up
+    }
+
+    /// Downloaded fraction of the torrent.
+    pub fn progress_fraction(&self, t: TaskKey) -> f64 {
+        self.with_progress(t, |p| p.downloaded_fraction())
+    }
+
+    /// Applies a closure to the task's current progress (live or saved).
+    pub fn with_progress<R>(&self, t: TaskKey, f: impl FnOnce(&TorrentProgress) -> R) -> R {
+        let task = &self.tasks[t];
+        if let Some(c) = &task.client {
+            f(c.progress())
+        } else if let Some(p) = &task.saved_progress {
+            f(p)
+        } else if task.spec.start_complete {
+            f(&task.spec.torrent.complete_progress())
+        } else {
+            f(&task.spec.torrent.fresh_progress())
+        }
+    }
+
+    /// The sampled downloaded-bytes time series of a task.
+    pub fn download_series(&self, t: TaskKey) -> &TimeSeries {
+        &self.tasks[t].series_down
+    }
+
+    /// The sampled uploaded-bytes time series of a task.
+    pub fn upload_series(&self, t: TaskKey) -> &TimeSeries {
+        &self.tasks[t].series_up
+    }
+
+    /// When the task completed its download, if it has.
+    pub fn completed_at(&self, t: TaskKey) -> Option<SimTime> {
+        self.tasks[t].completed_at
+    }
+
+    /// Read-only view of a task's live client.
+    pub fn client(&self, t: TaskKey) -> Option<&Client> {
+        self.tasks[t].client.as_ref()
+    }
+
+    /// Sets (or clears) a task's upload cap from outside — the hook used
+    /// by experiment-level controllers such as the seed-mode LIHD of the
+    /// paper's §4.2 future work.
+    pub fn set_task_upload_limit(&mut self, t: TaskKey, limit: Option<f64>) {
+        if let Some(c) = self.tasks[t].client.as_mut() {
+            c.set_upload_limit(limit);
+        }
+    }
+
+    /// Number of live connections of a task.
+    pub fn connection_count(&self, t: TaskKey) -> usize {
+        self.tasks[t]
+            .client
+            .as_ref()
+            .map_or(0, |c| c.connection_count())
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs until `deadline`, invoking `on_tick` after each world tick.
+    pub fn run_until(&mut self, deadline: SimTime, mut on_tick: impl FnMut(&mut FlowWorld)) {
+        assert!(self.started, "call start() first");
+        while let Some(t) = self.sim.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.sim.next_event().expect("peeked event");
+            match ev {
+                Ev::Tick => {
+                    self.do_tick(now);
+                    self.sim.schedule_in(self.cfg.tick, Ev::Tick);
+                    on_tick(self);
+                }
+                Ev::Dial {
+                    task,
+                    generation,
+                    key,
+                    addr,
+                    target,
+                } => self.resolve_dial(task, generation, key, addr, target, now),
+                Ev::TrackerReply {
+                    task,
+                    generation,
+                    event,
+                } => self.tracker_reply(task, generation, event, now),
+                Ev::HandoffStart { node, ends } => {
+                    self.handoff_start(node, now);
+                    self.sim.schedule_at(ends.max(now), Ev::HandoffEnd { node });
+                }
+                Ev::HandoffEnd { node } => {
+                    self.handoff_end(node, now);
+                    self.schedule_next_handoff(node);
+                }
+            }
+        }
+    }
+
+    /// Runs for a further `duration`.
+    pub fn run_for(&mut self, duration: SimDuration, on_tick: impl FnMut(&mut FlowWorld)) {
+        let deadline = self.sim.now() + duration;
+        self.run_until(deadline, on_tick);
+    }
+
+    /// Runs until `deadline` or until `stop` returns `true` (checked after
+    /// every tick). Returns `true` when the condition fired.
+    pub fn run_until_condition(
+        &mut self,
+        deadline: SimTime,
+        mut stop: impl FnMut(&FlowWorld) -> bool,
+    ) -> bool {
+        let mut fired = false;
+        // Step tick-by-tick so the condition is evaluated promptly without
+        // the callback needing interior mutability.
+        while !fired && self.sim.peek_time().is_some_and(|t| t <= deadline) {
+            let next = self.now() + self.cfg.tick;
+            self.run_until(next.min(deadline), |_| {});
+            fired = stop(self);
+        }
+        fired
+    }
+
+    fn do_tick(&mut self, now: SimTime) {
+        // 1. Advance transfers and deliver completed messages.
+        let elapsed = now.saturating_since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if elapsed > 0.0 {
+            self.advance_flows(now, elapsed);
+        }
+        // 2. Dead-connection sweep.
+        self.sweep_dead(now);
+        // 3. Client housekeeping.
+        for t in 0..self.tasks.len() {
+            if self.tasks[t].client.is_some() && now >= self.tasks[t].next_client_tick {
+                self.client_tick(t, now);
+            }
+        }
+        // 4. Execute client actions.
+        self.pump_actions(now);
+        // 5. Recompute fair-share rates for the next interval.
+        self.recompute_rates();
+        // 6. Metrics.
+        if now >= self.next_metrics {
+            self.next_metrics = now + self.cfg.metrics_interval;
+            for t in 0..self.tasks.len() {
+                // Useful (non-duplicate) download progress; transport-level
+                // bytes served.
+                let down = self.downloaded_bytes(t) as f64;
+                let up = self.tasks[t].delivered_up as f64;
+                self.tasks[t].series_down.push(now, down);
+                self.tasks[t].series_up.push(now, up);
+            }
+        }
+    }
+
+    fn advance_flows(&mut self, now: SimTime, elapsed: f64) {
+        // Deliveries: (dst task, dst key, dst generation, src task, msg).
+        let mut deliveries: Vec<(TaskKey, u64, u32, TaskKey, Message)> = Vec::new();
+        let mut scratch: Vec<Message> = Vec::new();
+        for conn in self.conns.values_mut() {
+            if conn.dead_since.is_some() {
+                continue;
+            }
+            for (q, dst, src) in [
+                (&mut conn.ab, conn.b, conn.a),
+                (&mut conn.ba, conn.a, conn.b),
+            ] {
+                if q.rate <= 0.0 || q.queue.is_empty() {
+                    continue;
+                }
+                scratch.clear();
+                q.advance(q.rate * elapsed, &mut scratch);
+                for msg in scratch.drain(..) {
+                    deliveries.push((dst.task, dst.key, dst.generation, src.task, msg));
+                }
+            }
+        }
+        for (dst_task, dst_key, dst_gen, src_task, msg) in deliveries {
+            if self.tasks[dst_task].generation != dst_gen {
+                continue; // stale: the client was re-initiated
+            }
+            if let Message::Piece(b) = &msg {
+                self.tasks[dst_task].delivered_down += b.len as u64;
+                self.tasks[src_task].delivered_up += b.len as u64;
+            }
+            if let Some(client) = self.tasks[dst_task].client.as_mut() {
+                client.on_message(dst_key, msg, now);
+            }
+        }
+    }
+
+    fn sweep_dead(&mut self, now: SimTime) {
+        let timeout = self.cfg.dead_conn_timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.dead_since
+                    .is_some_and(|t0| now.saturating_since(t0) > timeout)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for cid in expired {
+            self.remove_conn(cid, now, true);
+        }
+    }
+
+    /// Removes a connection; optionally notifies surviving sides.
+    fn remove_conn(&mut self, cid: u64, now: SimTime, notify: bool) {
+        let Some(conn) = self.conns.remove(&cid) else {
+            return;
+        };
+        for end in [conn.a, conn.b] {
+            // Client connection keys restart at 1 after task re-initiation,
+            // so `(task, key)` may have been re-bound to a *newer*
+            // connection: only unindex when the entry still points at us.
+            let still_ours = self
+                .index
+                .get(&(end.task, end.key))
+                .is_some_and(|&(indexed_cid, _)| indexed_cid == cid);
+            if !still_ours {
+                continue;
+            }
+            self.index.remove(&(end.task, end.key));
+            if notify && self.tasks[end.task].generation == end.generation {
+                if let Some(client) = self.tasks[end.task].client.as_mut() {
+                    client.on_conn_closed(end.key, now);
+                }
+            }
+        }
+    }
+
+    fn client_tick(&mut self, t: TaskKey, now: SimTime) {
+        // Feed the LIHD download meter from transport-delivered bytes.
+        let delivered = self.tasks[t].delivered_down;
+        let task = &mut self.tasks[t];
+        let delta = delivered.saturating_sub(task.last_down_total);
+        task.last_down_total = delivered;
+        task.dl_meter.record(now, delta);
+        let d_cur = task.dl_meter.rate(now);
+
+        let Some(client) = task.client.as_mut() else {
+            return;
+        };
+        client.on_tick(now);
+        // Role reversal: keep the stored peer list fresh.
+        if task.spec.wp2p.role_reversal {
+            let addrs = client.connected_addrs();
+            task.rr.note_peers(&addrs);
+        }
+        // LIHD control step.
+        if let Some(l) = task.lihd.as_mut() {
+            if l.due(now) {
+                let u = l.update(now, d_cur);
+                client.set_upload_limit(Some(u));
+            }
+        }
+        task.next_client_tick = now + self.cfg.client_tick;
+    }
+
+    fn pump_actions(&mut self, now: SimTime) {
+        loop {
+            let mut progressed = false;
+            for t in 0..self.tasks.len() {
+                while let Some(action) =
+                    self.tasks[t].client.as_mut().and_then(|c| c.poll_action())
+                {
+                    progressed = true;
+                    self.handle_action(t, action, now);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn handle_action(&mut self, t: TaskKey, action: Action, now: SimTime) {
+        match action {
+            Action::Connect { conn, addr } => {
+                let generation = self.tasks[t].generation;
+                let info_hash = self.tasks[t].spec.torrent.info_hash;
+                // Resolve the target now; reachability is re-checked when
+                // the dial lands.
+                let target = self.book.node_at(addr).and_then(|nid| {
+                    let node = nid.0 as usize;
+                    if !self.nodes.get(node).is_some_and(|n| n.alive) {
+                        return None;
+                    }
+                    self.tasks.iter().position(|task| {
+                        task.spec.node == node
+                            && task.client.is_some()
+                            && task.spec.torrent.info_hash == info_hash
+                    })
+                });
+                let delay = if target.is_some() {
+                    self.cfg.dial_latency
+                } else {
+                    self.cfg.dial_timeout
+                };
+                self.sim.schedule_in(
+                    delay,
+                    Ev::Dial {
+                        task: t,
+                        generation,
+                        key: conn,
+                        addr,
+                        target,
+                    },
+                );
+            }
+            Action::Send { conn, msg } => {
+                if let Some(&(cid, is_a)) = self.index.get(&(t, conn)) {
+                    if let Some(c) = self.conns.get_mut(&cid) {
+                        let q = if is_a { &mut c.ab } else { &mut c.ba };
+                        q.push(msg);
+                    }
+                }
+            }
+            Action::Close { conn } => {
+                if let Some(&(cid, _)) = self.index.get(&(t, conn)) {
+                    self.remove_conn(cid, now, true);
+                }
+            }
+            Action::Announce { event } => {
+                let generation = self.tasks[t].generation;
+                self.sim.schedule_in(
+                    self.cfg.announce_latency,
+                    Ev::TrackerReply {
+                        task: t,
+                        generation,
+                        event,
+                    },
+                );
+            }
+            Action::PieceCompleted { .. } => {}
+            Action::Completed => {
+                if self.tasks[t].completed_at.is_none() {
+                    self.tasks[t].completed_at = Some(now);
+                }
+            }
+        }
+    }
+
+    fn resolve_dial(
+        &mut self,
+        t: TaskKey,
+        generation: u32,
+        key: u64,
+        addr: SimAddr,
+        target: Option<TaskKey>,
+        now: SimTime,
+    ) {
+        if self.tasks[t].generation != generation || self.tasks[t].client.is_none() {
+            return; // caller re-initiated meanwhile
+        }
+        // Re-check the target's liveness and address at landing time.
+        let live_target = target.filter(|&tt| {
+            let node = self.tasks[tt].spec.node;
+            self.nodes[node].alive
+                && self.nodes[node].addr == addr
+                && self.tasks[tt].client.is_some()
+        });
+        let Some(tt) = live_target else {
+            if let Some(client) = self.tasks[t].client.as_mut() {
+                client.on_conn_failed(addr, now);
+            }
+            return;
+        };
+        let caller_node = self.tasks[t].spec.node;
+        let caller_addr = self.nodes[caller_node].addr;
+        // Register both ends.
+        let a_gen = self.tasks[t].generation;
+        self.tasks[t]
+            .client
+            .as_mut()
+            .expect("caller live")
+            .on_connected(key, addr, now);
+        let b_key = self.tasks[tt]
+            .client
+            .as_mut()
+            .expect("target live")
+            .on_incoming(caller_addr, now);
+        let b_gen = self.tasks[tt].generation;
+        let cid = self.next_conn_id;
+        self.next_conn_id += 1;
+        self.conns.insert(
+            cid,
+            Conn {
+                a: ConnEnd {
+                    task: t,
+                    key,
+                    generation: a_gen,
+                },
+                b: ConnEnd {
+                    task: tt,
+                    key: b_key,
+                    generation: b_gen,
+                },
+                ab: FlowQ::new(),
+                ba: FlowQ::new(),
+                dead_since: None,
+            },
+        );
+        self.index.insert((t, key), (cid, true));
+        self.index.insert((tt, b_key), (cid, false));
+        self.trace.record(
+            now,
+            TraceKind::Connection,
+            format!("task {t} connected to task {tt} (conn {cid})"),
+        );
+        self.pump_actions(now);
+    }
+
+    fn tracker_reply(&mut self, t: TaskKey, generation: u32, event: AnnounceEvent, now: SimTime) {
+        if self.tasks[t].generation != generation {
+            return;
+        }
+        let node = self.tasks[t].spec.node;
+        if !self.nodes[node].alive {
+            return;
+        }
+        let addr = self.nodes[node].addr;
+        let Some(client) = self.tasks[t].client.as_ref() else {
+            return;
+        };
+        let ih = client.info_hash();
+        let pid = client.peer_id();
+        let seed = client.is_seed();
+        let mut rng = self.rng.fork(9000 + t as u64 + now.as_micros());
+        let resp = self
+            .tracker
+            .announce(ih, pid, addr, event, seed, now, &mut rng);
+        self.trace.record(
+            now,
+            TraceKind::Tracker,
+            format!(
+                "task {t} announce {event:?}: {} peers, {} seeds",
+                resp.peers.len(),
+                resp.complete
+            ),
+        );
+        if event != AnnounceEvent::Stopped {
+            if let Some(client) = self.tasks[t].client.as_mut() {
+                client.on_tracker_response(&resp, now);
+            }
+            self.pump_actions(now);
+        }
+    }
+
+    fn handoff_start(&mut self, node: NodeKey, now: SimTime) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        self.trace
+            .record(now, TraceKind::Mobility, format!("node {node} hand-off: down"));
+        self.nodes[node].alive = false;
+        let tasks: Vec<TaskKey> = (0..self.tasks.len())
+            .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
+            .collect();
+        for t in tasks {
+            self.kill_client(t, now);
+        }
+    }
+
+    fn handoff_end(&mut self, node: NodeKey, now: SimTime) {
+        let addr = self.book.reassign(simnet::addr::NodeId(node as u32));
+        self.trace.record(
+            now,
+            TraceKind::Mobility,
+            format!("node {node} back at {addr}"),
+        );
+        self.nodes[node].addr = addr;
+        self.nodes[node].alive = true;
+        let tasks: Vec<TaskKey> = (0..self.tasks.len())
+            .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
+            .collect();
+        for t in tasks {
+            self.spawn_client(t, now);
+        }
+        self.pump_actions(now);
+    }
+
+    fn node_resources(&self, node: NodeKey) -> (usize, usize) {
+        match self.nodes[node].access {
+            Access::Wired { .. } => (2 * node, 2 * node + 1),
+            Access::Wireless { .. } => (2 * node, 2 * node),
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        let mut caps = vec![0.0f64; self.nodes.len() * 2];
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.access {
+                Access::Wired { up, down } => {
+                    caps[2 * i] = up;
+                    caps[2 * i + 1] = down;
+                }
+                Access::Wireless { capacity } => {
+                    caps[2 * i] = capacity;
+                }
+            }
+        }
+        // A task with an application-level upload cap gets a pseudo-
+        // resource of that capacity: all its outgoing flows share it, so
+        // capping uploads genuinely releases channel capacity to other
+        // flows (how LIHD buys downloads back on a shared channel).
+        let mut task_cap_res: Vec<Option<usize>> = vec![None; self.tasks.len()];
+        for (t, task) in self.tasks.iter().enumerate() {
+            if let Some(limit) = task.client.as_ref().and_then(|c| c.upload_limit()) {
+                task_cap_res[t] = Some(caps.len());
+                caps.push(limit.max(1.0));
+            }
+        }
+        // Collect active flows in deterministic order.
+        let mut demands: Vec<FlowDemand> = Vec::new();
+        let mut refs: Vec<(u64, bool)> = Vec::new(); // (conn id, is ab)
+        for (&cid, conn) in &self.conns {
+            if conn.dead_since.is_some() {
+                continue;
+            }
+            let node_a = self.tasks[conn.a.task].spec.node;
+            let node_b = self.tasks[conn.b.task].spec.node;
+            if !self.nodes[node_a].alive || !self.nodes[node_b].alive {
+                continue;
+            }
+            if !conn.ab.queue.is_empty() {
+                let mut d = FlowDemand::new(
+                    self.node_resources(node_a).0,
+                    self.node_resources(node_b).1,
+                );
+                if let Some(r) = task_cap_res[conn.a.task] {
+                    d = d.with_cap(r);
+                }
+                demands.push(d);
+                refs.push((cid, true));
+            }
+            if !conn.ba.queue.is_empty() {
+                let mut d = FlowDemand::new(
+                    self.node_resources(node_b).0,
+                    self.node_resources(node_a).1,
+                );
+                if let Some(r) = task_cap_res[conn.b.task] {
+                    d = d.with_cap(r);
+                }
+                demands.push(d);
+                refs.push((cid, false));
+            }
+        }
+        let rates = max_min_rates(&demands, &caps);
+        // Zero everything, then set the active ones.
+        for conn in self.conns.values_mut() {
+            conn.ab.rate = 0.0;
+            conn.ba.rate = 0.0;
+        }
+        for ((cid, is_ab), rate) in refs.into_iter().zip(rates) {
+            let conn = self.conns.get_mut(&cid).expect("listed above");
+            if is_ab {
+                conn.ab.rate = rate;
+            } else {
+                conn.ba.rate = rate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittorrent::wire::{BlockRef, Message};
+
+    fn piece_msg(len: u32) -> Message {
+        Message::Piece(BlockRef {
+            piece: 0,
+            offset: 0,
+            len,
+        })
+    }
+
+    #[test]
+    fn flowq_advances_across_message_boundaries() {
+        let mut q = FlowQ::new();
+        q.push(piece_msg(100)); // wire 113
+        q.push(piece_msg(50)); // wire 63
+        let mut out = Vec::new();
+        // Not enough for the first message.
+        q.advance(100.0, &mut out);
+        assert!(out.is_empty());
+        // Finishes the first and eats into the second.
+        q.advance(50.0, &mut out);
+        assert_eq!(out.len(), 1);
+        // Finishes the second.
+        q.advance(63.0, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(q.queue.is_empty());
+    }
+
+    #[test]
+    fn flowq_budget_does_not_bank_when_idle() {
+        let mut q = FlowQ::new();
+        let mut out = Vec::new();
+        q.advance(1e9, &mut out); // nothing queued: budget evaporates
+        q.push(piece_msg(1000));
+        q.advance(1.0, &mut out);
+        assert!(out.is_empty(), "idle budget must not carry over");
+    }
+
+    #[test]
+    fn flowq_head_remaining_tracks_first_message() {
+        let mut q = FlowQ::new();
+        q.push(piece_msg(100));
+        assert_eq!(q.head_remaining, 113.0);
+        let mut out = Vec::new();
+        q.advance(13.0, &mut out);
+        assert_eq!(q.head_remaining, 100.0);
+    }
+}

@@ -1,0 +1,789 @@
+//! The packet-level simulation world.
+//!
+//! Small-scale testbeds where every TCP segment is individually modelled:
+//! segments from/to a wireless node cross its shared [`WirelessChannel`]
+//! (suffering serialization, queueing, and BER loss proportional to frame
+//! length), then a fixed wired backbone delay. This is the fidelity the
+//! paper's §3.2 and §5.2.1 need — ACK piggybacking, DUPACK purity, and the
+//! wP2P AM filter all live at this layer.
+//!
+//! Two usage modes share the machinery:
+//!
+//! * **Raw TCP** ([`PacketWorld::open_tcp`] + [`PacketWorld::tcp_write`]):
+//!   drive byte streams directly (paper Fig. 2).
+//! * **BitTorrent overlay** ([`PacketWorld::add_client`]): full client
+//!   sessions whose wire messages are framed onto the TCP byte streams
+//!   (paper Fig. 8(a)).
+
+use bittorrent::client::{Action, Client, ClientConfig};
+use bittorrent::metainfo::InfoHash;
+use bittorrent::peer_id::{PeerId, PeerIdStyle};
+use bittorrent::progress::TorrentProgress;
+use bittorrent::tracker::{AnnounceEvent, Tracker, TrackerConfig};
+use bittorrent::wire::Message;
+use sim_tcp::endpoint::{Endpoint, TcpConfig};
+use sim_tcp::segment::Segment;
+use sim_tcp::seq::SeqNum;
+use simnet::addr::{AddressBook, NodeId};
+use simnet::event::EventToken;
+use simnet::rng::SimRng;
+use simnet::sim::Simulator;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wireless::{Direction, DirectionStats, WirelessChannel, WirelessConfig};
+use std::collections::{BTreeMap, VecDeque};
+use wp2p::am::{AgeFilter, AmConfig, AmOutput, AmStats};
+
+/// Node index in the packet world.
+pub type PNodeKey = usize;
+/// Connection index in the packet world.
+pub type PConnKey = usize;
+
+/// Global parameters of the packet world.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketConfig {
+    /// One-way wired backbone delay between any two nodes.
+    pub backbone_delay: SimDuration,
+    /// TCP endpoint parameters.
+    pub tcp: TcpConfig,
+    /// Client housekeeping cadence (BitTorrent overlay).
+    pub client_tick: SimDuration,
+}
+
+impl Default for PacketConfig {
+    fn default() -> Self {
+        PacketConfig {
+            backbone_delay: SimDuration::from_millis(20),
+            tcp: TcpConfig::default(),
+            client_tick: SimDuration::from_millis(500),
+        }
+    }
+}
+
+struct PNode {
+    channel: Option<WirelessChannel>,
+    am: Option<AmConfig>,
+    addr: simnet::addr::SimAddr,
+    client: Option<Client>,
+    delivered_down: u64,
+    delivered_up: u64,
+}
+
+/// One TCP connection between two nodes (with optional BT framing).
+struct PConn {
+    a_node: PNodeKey,
+    b_node: PNodeKey,
+    a: Endpoint,
+    b: Endpoint,
+    a_filter: Option<AgeFilter>,
+    b_filter: Option<AgeFilter>,
+    a_timer: Option<(SimTime, EventToken)>,
+    b_timer: Option<(SimTime, EventToken)>,
+    /// Client connection keys once attached/established.
+    a_key: Option<u64>,
+    b_key: Option<u64>,
+    /// Framed messages in flight: `(message, stream end offset)`.
+    a2b: VecDeque<(Message, u64)>,
+    b2a: VecDeque<(Message, u64)>,
+    a_written: u64,
+    b_written: u64,
+    /// Establishment not yet reported to the overlay.
+    a_up: bool,
+    b_up: bool,
+    closed: bool,
+}
+
+impl PConn {
+    fn side(&mut self, a: bool) -> &mut Endpoint {
+        if a {
+            &mut self.a
+        } else {
+            &mut self.b
+        }
+    }
+}
+
+enum PEv {
+    /// Segment finished the sender-side hop; entering the receiver side.
+    Hop {
+        conn: PConnKey,
+        to_a: bool,
+        seg: Segment,
+    },
+    /// Segment arrives at the destination endpoint.
+    Deliver {
+        conn: PConnKey,
+        to_a: bool,
+        seg: Segment,
+    },
+    /// Retransmission timer for one endpoint.
+    Timer {
+        conn: PConnKey,
+        a_side: bool,
+    },
+    /// BitTorrent overlay housekeeping.
+    ClientTick,
+}
+
+/// The packet-level world. See the module docs.
+pub struct PacketWorld {
+    cfg: PacketConfig,
+    sim: Simulator<PEv>,
+    nodes: Vec<PNode>,
+    conns: Vec<Option<PConn>>,
+    /// `(node, client conn key)` → world connection.
+    ckeys: BTreeMap<(PNodeKey, u64), PConnKey>,
+    tracker: Tracker,
+    book: AddressBook,
+    rng: SimRng,
+    next_iss: u32,
+    clients_started: bool,
+}
+
+impl PacketWorld {
+    /// Creates an empty world.
+    pub fn new(cfg: PacketConfig, seed: u64) -> Self {
+        PacketWorld {
+            cfg,
+            sim: Simulator::new(),
+            nodes: Vec::new(),
+            conns: Vec::new(),
+            ckeys: BTreeMap::new(),
+            tracker: Tracker::new(TrackerConfig::default()),
+            book: AddressBook::new(),
+            rng: SimRng::new(seed),
+            next_iss: 1,
+            clients_started: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Adds a node; `channel` gives it a wireless access hop.
+    pub fn add_node(&mut self, channel: Option<WirelessConfig>) -> PNodeKey {
+        let key = self.nodes.len();
+        let addr = self.book.assign(NodeId(key as u32));
+        self.nodes.push(PNode {
+            channel: channel.map(WirelessChannel::new),
+            am: None,
+            addr,
+            client: None,
+            delivered_down: 0,
+            delivered_up: 0,
+        });
+        key
+    }
+
+    /// Enables the wP2P AM filter on all of a node's connections.
+    pub fn set_am(&mut self, node: PNodeKey, am: AmConfig) {
+        self.nodes[node].am = Some(am);
+    }
+
+    /// Adjusts a wireless node's bit-error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no wireless channel.
+    pub fn set_ber(&mut self, node: PNodeKey, ber: f64) {
+        self.nodes[node]
+            .channel
+            .as_mut()
+            .expect("node has no wireless channel")
+            .set_ber(ber);
+    }
+
+    /// Per-direction stats of a node's channel.
+    pub fn channel_stats(&self, node: PNodeKey, dir: Direction) -> DirectionStats {
+        self.nodes[node]
+            .channel
+            .as_ref()
+            .map(|c| c.stats(dir))
+            .unwrap_or_default()
+    }
+
+    /// Times of buffer drops on a node's channel.
+    pub fn channel_drops(&self, node: PNodeKey) -> Vec<SimTime> {
+        self.nodes[node]
+            .channel
+            .as_ref()
+            .map(|c| c.drop_log().to_vec())
+            .unwrap_or_default()
+    }
+
+    fn iss(&mut self) -> SeqNum {
+        self.next_iss = self.next_iss.wrapping_add(100_003);
+        SeqNum(self.next_iss)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw TCP mode
+    // ------------------------------------------------------------------
+
+    /// Opens a TCP connection from `a` to `b` (the three-way handshake
+    /// flows through the channel models). Returns the connection key.
+    pub fn open_tcp(&mut self, a: PNodeKey, b: PNodeKey) -> PConnKey {
+        let now = self.sim.now();
+        let mut ea = Endpoint::new(self.cfg.tcp, self.iss());
+        let mut eb = Endpoint::new(self.cfg.tcp, self.iss());
+        eb.listen();
+        ea.connect(now);
+        let conn = self.conns.len();
+        let a_filter = self.nodes[a].am.map(AgeFilter::new);
+        let b_filter = self.nodes[b].am.map(AgeFilter::new);
+        self.conns.push(Some(PConn {
+            a_node: a,
+            b_node: b,
+            a: ea,
+            b: eb,
+            a_filter,
+            b_filter,
+            a_timer: None,
+            b_timer: None,
+            a_key: None,
+            b_key: None,
+            a2b: VecDeque::new(),
+            b2a: VecDeque::new(),
+            a_written: 0,
+            b_written: 0,
+            a_up: true,
+            b_up: true,
+            closed: false,
+        }));
+        self.flush(conn, true);
+        self.flush(conn, false);
+        conn
+    }
+
+    /// Queues raw bytes on one side of a TCP connection (`a_side` true for
+    /// the initiator).
+    pub fn tcp_write(&mut self, conn: PConnKey, a_side: bool, bytes: u64) {
+        if let Some(c) = self.conns[conn].as_mut() {
+            c.side(a_side).write(bytes);
+        }
+        self.flush(conn, a_side);
+    }
+
+    /// Total in-order bytes delivered to one side.
+    pub fn tcp_delivered(&self, conn: PConnKey, a_side: bool) -> u64 {
+        self.conns[conn]
+            .as_ref()
+            .map(|c| {
+                if a_side {
+                    c.a.delivered_total()
+                } else {
+                    c.b.delivered_total()
+                }
+            })
+            .unwrap_or(0)
+    }
+
+    /// Read-only access to an endpoint (stats, cwnd, …).
+    pub fn endpoint(&self, conn: PConnKey, a_side: bool) -> Option<&Endpoint> {
+        self.conns[conn]
+            .as_ref()
+            .map(|c| if a_side { &c.a } else { &c.b })
+    }
+
+    /// AM filter diagnostic: (age estimate bytes, srtt seconds) per side.
+    pub fn am_diag(&self, conn: PConnKey, a_side: bool) -> Option<(u32, f64)> {
+        self.conns[conn].as_ref().and_then(|c| {
+            let (f, ep) = if a_side { (c.a_filter.as_ref(), &c.a) } else { (c.b_filter.as_ref(), &c.b) };
+            f.map(|f| (f.cwnd_estimate(), ep.srtt().map(|d| d.as_secs_f64()).unwrap_or(0.0)))
+        })
+    }
+
+    /// AM filter stats for one side, if AM is enabled there.
+    pub fn am_stats(&self, conn: PConnKey, a_side: bool) -> Option<AmStats> {
+        self.conns[conn].as_ref().and_then(|c| {
+            if a_side {
+                c.a_filter.as_ref().map(|f| f.stats())
+            } else {
+                c.b_filter.as_ref().map(|f| f.stats())
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // BitTorrent overlay
+    // ------------------------------------------------------------------
+
+    /// Attaches a client session to a node.
+    #[allow(clippy::too_many_arguments)] // the torrent geometry is explicit
+    pub fn add_client(
+        &mut self,
+        node: PNodeKey,
+        config: ClientConfig,
+        info_hash: InfoHash,
+        piece_length: u32,
+        length: u64,
+        block_size: u32,
+        complete: bool,
+    ) {
+        let addr = self.nodes[node].addr;
+        let mut rng = self.rng.fork(300 + node as u64);
+        let peer_id = PeerId::generate(PeerIdStyle::Random, addr, &mut rng);
+        let progress = if complete {
+            TorrentProgress::complete(piece_length, length)
+        } else {
+            TorrentProgress::with_block_size(piece_length, length, block_size)
+        };
+        let client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
+        self.nodes[node].client = Some(client);
+    }
+
+    /// Attaches a client with explicitly constructed progress (e.g.
+    /// complementary halves for the Fig. 8(a) leech-to-leech scenario).
+    pub fn add_client_with_progress(
+        &mut self,
+        node: PNodeKey,
+        config: ClientConfig,
+        info_hash: InfoHash,
+        progress: TorrentProgress,
+    ) {
+        let addr = self.nodes[node].addr;
+        let mut rng = self.rng.fork(300 + node as u64);
+        let peer_id = PeerId::generate(PeerIdStyle::Random, addr, &mut rng);
+        let client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
+        self.nodes[node].client = Some(client);
+    }
+
+    /// Starts every attached client (tracker announce + dials).
+    pub fn start_clients(&mut self) {
+        assert!(!self.clients_started, "clients already started");
+        self.clients_started = true;
+        let now = self.sim.now();
+        for n in 0..self.nodes.len() {
+            if let Some(c) = self.nodes[n].client.as_mut() {
+                c.start(now);
+            }
+        }
+        self.pump_actions(now);
+        self.sim.schedule_in(self.cfg.client_tick, PEv::ClientTick);
+    }
+
+    /// Read-only view of a node's client.
+    pub fn client(&self, node: PNodeKey) -> Option<&Client> {
+        self.nodes[node].client.as_ref()
+    }
+
+    /// Payload bytes delivered to a node's client over all connections.
+    pub fn delivered_down(&self, node: PNodeKey) -> u64 {
+        self.nodes[node].delivered_down
+    }
+
+    /// Payload bytes served by a node's client over all connections.
+    pub fn delivered_up(&self, node: PNodeKey) -> u64 {
+        self.nodes[node].delivered_up
+    }
+
+    /// Removes a node's client (e.g. the seed leaving), aborting its
+    /// connections.
+    pub fn stop_client(&mut self, node: PNodeKey) {
+        let now = self.sim.now();
+        self.nodes[node].client = None;
+        for conn in 0..self.conns.len() {
+            let touches = self.conns[conn]
+                .as_ref()
+                .map(|c| c.a_node == node || c.b_node == node)
+                .unwrap_or(false);
+            if touches {
+                self.teardown_conn(conn, now);
+            }
+        }
+    }
+
+    fn teardown_conn(&mut self, conn: PConnKey, now: SimTime) {
+        let Some(c) = self.conns[conn].take() else {
+            return;
+        };
+        if let Some((_, tok)) = c.a_timer {
+            self.sim.cancel(tok);
+        }
+        if let Some((_, tok)) = c.b_timer {
+            self.sim.cancel(tok);
+        }
+        for (node, key) in [(c.a_node, c.a_key), (c.b_node, c.b_key)] {
+            if let Some(k) = key {
+                self.ckeys.remove(&(node, k));
+                if let Some(client) = self.nodes[node].client.as_mut() {
+                    client.on_conn_closed(k, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Datapath
+    // ------------------------------------------------------------------
+
+    /// Drains one endpoint's segments onto the network.
+    fn flush(&mut self, conn: PConnKey, a_side: bool) {
+        let now = self.sim.now();
+        loop {
+            let Some(c) = self.conns[conn].as_mut() else {
+                return;
+            };
+            let Some(seg) = c.side(a_side).poll_segment(now) else {
+                break;
+            };
+            // AM filter on the sender side, if enabled.
+            let filter = if a_side {
+                c.a_filter.as_mut()
+            } else {
+                c.b_filter.as_mut()
+            };
+            let filtered: Vec<Segment> = match filter {
+                None => vec![seg],
+                Some(f) => match f.on_outgoing(seg, now) {
+                    AmOutput::Pass(s) => vec![s],
+                    AmOutput::Decoupled { pure_ack, data } => vec![pure_ack, data],
+                    AmOutput::Drop => vec![],
+                },
+            };
+            let from_node = if a_side { c.a_node } else { c.b_node };
+            for s in filtered {
+                self.transmit(conn, from_node, !a_side, s, now);
+            }
+        }
+        self.sync_timer(conn, a_side);
+    }
+
+    /// Puts a segment on the wire from `from_node`, destined for the
+    /// `to_a` side of `conn`.
+    fn transmit(
+        &mut self,
+        conn: PConnKey,
+        from_node: PNodeKey,
+        to_a: bool,
+        seg: Segment,
+        now: SimTime,
+    ) {
+        let hop_at = match self.nodes[from_node].channel.as_mut() {
+            Some(ch) => match ch
+                .send(now, Direction::Up, seg.wire_bytes(), &mut self.rng)
+                .delivered_at()
+            {
+                Some(t) => t,
+                None => return, // lost on the sender's wireless hop
+            },
+            None => now,
+        };
+        self.sim
+            .schedule_at(hop_at + self.cfg.backbone_delay, PEv::Hop { conn, to_a, seg });
+    }
+
+    fn on_hop(&mut self, conn: PConnKey, to_a: bool, seg: Segment, now: SimTime) {
+        let Some(c) = self.conns[conn].as_ref() else {
+            return;
+        };
+        let to_node = if to_a { c.a_node } else { c.b_node };
+        let deliver_at = match self.nodes[to_node].channel.as_mut() {
+            Some(ch) => match ch
+                .send(now, Direction::Down, seg.wire_bytes(), &mut self.rng)
+                .delivered_at()
+            {
+                Some(t) => t,
+                None => return, // lost on the receiver's wireless hop
+            },
+            None => now,
+        };
+        self.sim
+            .schedule_at(deliver_at, PEv::Deliver { conn, to_a, seg });
+    }
+
+    fn on_deliver(&mut self, conn: PConnKey, to_a: bool, seg: Segment, now: SimTime) {
+        {
+            let Some(c) = self.conns[conn].as_mut() else {
+                return;
+            };
+            // AM observes incoming traffic at the receiving side.
+            let filter = if to_a {
+                c.a_filter.as_mut()
+            } else {
+                c.b_filter.as_mut()
+            };
+            if let Some(f) = filter {
+                f.on_incoming(&seg, now);
+            }
+            c.side(to_a).on_segment(seg, now);
+        }
+        self.after_endpoint_event(conn, to_a, now);
+    }
+
+    fn on_timer(&mut self, conn: PConnKey, a_side: bool, now: SimTime) {
+        {
+            let Some(c) = self.conns[conn].as_mut() else {
+                return;
+            };
+            if a_side {
+                c.a_timer = None;
+            } else {
+                c.b_timer = None;
+            }
+            c.side(a_side).on_timer(now);
+        }
+        self.after_endpoint_event(conn, a_side, now);
+    }
+
+    /// Post-processing after an endpoint absorbed an event: detect
+    /// establishment, deliver framed messages, detect closure, flush both
+    /// sides, pump client actions.
+    fn after_endpoint_event(&mut self, conn: PConnKey, side: bool, now: SimTime) {
+        // Keep the AM filters' measurement windows tracking the live RTT.
+        if let Some(c) = self.conns[conn].as_mut() {
+            if let (Some(f), Some(rtt)) = (c.a_filter.as_mut(), c.a.srtt()) {
+                f.set_window(rtt);
+            }
+            if let (Some(f), Some(rtt)) = (c.b_filter.as_mut(), c.b.srtt()) {
+                f.set_window(rtt);
+            }
+        }
+        self.check_established(conn, now);
+        self.deliver_frames(conn, side, now);
+        self.check_closed(conn, now);
+        self.flush(conn, true);
+        self.flush(conn, false);
+        self.pump_actions(now);
+    }
+
+    fn check_established(&mut self, conn: PConnKey, now: SimTime) {
+        let report_a = self.conns[conn]
+            .as_ref()
+            .map(|c| c.a_up && c.a.is_established() && c.a_key.is_some())
+            .unwrap_or(false);
+        if report_a {
+            let (a_node, key, b_addr) = {
+                let c = self.conns[conn].as_mut().expect("checked");
+                c.a_up = false;
+                (c.a_node, c.a_key.expect("checked"), self.nodes[c.b_node].addr)
+            };
+            self.ckeys.insert((a_node, key), conn);
+            if let Some(client) = self.nodes[a_node].client.as_mut() {
+                client.on_connected(key, b_addr, now);
+            }
+        }
+        let report_b = self.conns[conn]
+            .as_ref()
+            .map(|c| c.b_up && c.b.is_established())
+            .unwrap_or(false);
+        if report_b {
+            let (b_node, a_addr) = {
+                let c = self.conns[conn].as_mut().expect("checked");
+                c.b_up = false;
+                (c.b_node, self.nodes[c.a_node].addr)
+            };
+            if self.nodes[b_node].client.is_some() {
+                let key = self.nodes[b_node]
+                    .client
+                    .as_mut()
+                    .expect("checked")
+                    .on_incoming(a_addr, now);
+                if let Some(c) = self.conns[conn].as_mut() {
+                    c.b_key = Some(key);
+                }
+                self.ckeys.insert((b_node, key), conn);
+            }
+        }
+    }
+
+    /// Pops framed messages whose bytes have fully arrived.
+    fn deliver_frames(&mut self, conn: PConnKey, _side: bool, now: SimTime) {
+        for to_a in [true, false] {
+            loop {
+                let popped = {
+                    let Some(c) = self.conns[conn].as_mut() else {
+                        return;
+                    };
+                    let (ep_delivered, queue) = if to_a {
+                        (c.a.delivered_total(), &mut c.b2a)
+                    } else {
+                        (c.b.delivered_total(), &mut c.a2b)
+                    };
+                    match queue.front() {
+                        Some((_, end)) if *end <= ep_delivered => {
+                            let (msg, _) = queue.pop_front().expect("front exists");
+                            let (node, key) = if to_a {
+                                (c.a_node, c.a_key)
+                            } else {
+                                (c.b_node, c.b_key)
+                            };
+                            let src = if to_a { c.b_node } else { c.a_node };
+                            Some((node, key, src, msg))
+                        }
+                        _ => None,
+                    }
+                };
+                let Some((node, key, src, msg)) = popped else {
+                    break;
+                };
+                if let Message::Piece(b) = &msg {
+                    self.nodes[node].delivered_down += b.len as u64;
+                    self.nodes[src].delivered_up += b.len as u64;
+                }
+                if let (Some(k), Some(client)) = (key, self.nodes[node].client.as_mut()) {
+                    client.on_message(k, msg, now);
+                }
+            }
+        }
+    }
+
+    fn check_closed(&mut self, conn: PConnKey, now: SimTime) {
+        let closed = self.conns[conn]
+            .as_ref()
+            .map(|c| !c.closed && (c.a.is_closed() || c.b.is_closed()))
+            .unwrap_or(false);
+        if closed {
+            self.teardown_conn(conn, now);
+        }
+    }
+
+    fn sync_timer(&mut self, conn: PConnKey, a_side: bool) {
+        let Some(c) = self.conns[conn].as_mut() else {
+            return;
+        };
+        let want = c.side(a_side).next_timer_at();
+        let slot = if a_side {
+            &mut c.a_timer
+        } else {
+            &mut c.b_timer
+        };
+        match (*slot, want) {
+            (Some((t, _)), Some(w)) if t == w => {}
+            (prev, want) => {
+                let tok_ev = want.map(|w| (w, PEv::Timer { conn, a_side }));
+                if let Some((_, tok)) = prev {
+                    self.sim.cancel(tok);
+                }
+                *slot = tok_ev.map(|(w, ev)| (w, self.sim.schedule_at(w, ev)));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client action pump
+    // ------------------------------------------------------------------
+
+    fn pump_actions(&mut self, now: SimTime) {
+        if !self.clients_started {
+            return;
+        }
+        loop {
+            let mut progressed = false;
+            for n in 0..self.nodes.len() {
+                while let Some(action) =
+                    self.nodes[n].client.as_mut().and_then(|c| c.poll_action())
+                {
+                    progressed = true;
+                    self.handle_action(n, action, now);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn handle_action(&mut self, node: PNodeKey, action: Action, now: SimTime) {
+        match action {
+            Action::Connect { conn: key, addr } => {
+                let target = self
+                    .book
+                    .node_at(addr)
+                    .map(|n| n.0 as usize)
+                    .filter(|&t| self.nodes[t].client.is_some());
+                let Some(target) = target else {
+                    if let Some(client) = self.nodes[node].client.as_mut() {
+                        client.on_conn_failed(addr, now);
+                    }
+                    return;
+                };
+                let cid = self.open_tcp(node, target);
+                if let Some(c) = self.conns[cid].as_mut() {
+                    c.a_key = Some(key);
+                }
+                // Establishment is reported when the handshake completes.
+            }
+            Action::Send { conn: key, msg } => {
+                let Some(&cid) = self.ckeys.get(&(node, key)) else {
+                    return;
+                };
+                let a_side = {
+                    let Some(c) = self.conns[cid].as_mut() else {
+                        return;
+                    };
+                    let a_side = c.a_node == node && c.a_key == Some(key);
+                    let len = msg.wire_len() as u64;
+                    if a_side {
+                        c.a_written += len;
+                        let end = c.a_written;
+                        c.a2b.push_back((msg, end));
+                        c.a.write(len);
+                    } else {
+                        c.b_written += len;
+                        let end = c.b_written;
+                        c.b2a.push_back((msg, end));
+                        c.b.write(len);
+                    }
+                    a_side
+                };
+                self.flush(cid, a_side);
+            }
+            Action::Close { conn: key } => {
+                if let Some(&cid) = self.ckeys.get(&(node, key)) {
+                    self.teardown_conn(cid, now);
+                }
+            }
+            Action::Announce { event } => {
+                let Some(client) = self.nodes[node].client.as_ref() else {
+                    return;
+                };
+                let ih = client.info_hash();
+                let pid = client.peer_id();
+                let seed = client.is_seed();
+                let addr = self.nodes[node].addr;
+                let mut rng = self.rng.fork(800 + node as u64 + now.as_micros());
+                let resp = self
+                    .tracker
+                    .announce(ih, pid, addr, event, seed, now, &mut rng);
+                if event != AnnounceEvent::Stopped {
+                    if let Some(client) = self.nodes[node].client.as_mut() {
+                        client.on_tracker_response(&resp, now);
+                    }
+                }
+            }
+            Action::PieceCompleted { .. } | Action::Completed => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs until `deadline`; `on_event` is invoked after every processed
+    /// event (for experiment sampling).
+    pub fn run_until(&mut self, deadline: SimTime, mut on_event: impl FnMut(&mut PacketWorld)) {
+        while let Some(t) = self.sim.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.sim.next_event().expect("peeked");
+            match ev {
+                PEv::Hop { conn, to_a, seg } => self.on_hop(conn, to_a, seg, now),
+                PEv::Deliver { conn, to_a, seg } => self.on_deliver(conn, to_a, seg, now),
+                PEv::Timer { conn, a_side } => self.on_timer(conn, a_side, now),
+                PEv::ClientTick => {
+                    for n in 0..self.nodes.len() {
+                        if let Some(c) = self.nodes[n].client.as_mut() {
+                            c.on_tick(now);
+                        }
+                    }
+                    self.pump_actions(now);
+                    self.sim.schedule_in(self.cfg.client_tick, PEv::ClientTick);
+                }
+            }
+            on_event(self);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Max-min fair rate allocation for the fluid (flow-level) transport.
+//!
+//! Every active transfer consumes capacity at one or two *resources*: the
+//! sender's uplink and the receiver's downlink for wired hosts, or the one
+//! shared channel of a wireless host — the same resource for its uploads
+//! **and** downloads, which is how upload/download self-contention (paper
+//! §3.3) enters the model.
+//!
+//! Rates are assigned by progressive filling (water-filling): all flows
+//! rise together; when a resource saturates, its flows freeze at the
+//! current level and the rest keep rising. This is the classic max-min
+//! idealization of many long-lived TCP flows sharing bottlenecks.
+
+/// Index of a capacity resource (a link direction or a wireless channel).
+pub type ResourceId = usize;
+
+/// One active flow's resource usage (up to three distinct resources:
+/// sender-side capacity, receiver-side capacity, and an optional sender
+/// rate-cap pseudo-resource).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowDemand {
+    /// First resource (always present).
+    pub r1: ResourceId,
+    /// Optional second resource (`None` when both endpoints share one
+    /// resource, e.g. a wireless-to-same-channel transfer).
+    pub r2: Option<ResourceId>,
+    /// Optional third resource — typically a per-sender upload-cap
+    /// pseudo-resource, which is how an application-level rate limit
+    /// releases real channel capacity to other flows.
+    pub r3: Option<ResourceId>,
+}
+
+impl FlowDemand {
+    /// A flow crossing two distinct resources (deduplicated).
+    pub fn new(a: ResourceId, b: ResourceId) -> Self {
+        if a == b {
+            FlowDemand { r1: a, r2: None, r3: None }
+        } else {
+            FlowDemand { r1: a, r2: Some(b), r3: None }
+        }
+    }
+
+    /// A flow using a single resource.
+    pub fn single(r: ResourceId) -> Self {
+        FlowDemand { r1: r, r2: None, r3: None }
+    }
+
+    /// Adds a third (cap) resource, deduplicated against the others.
+    pub fn with_cap(mut self, cap: ResourceId) -> Self {
+        if cap != self.r1 && Some(cap) != self.r2 {
+            self.r3 = Some(cap);
+        }
+        self
+    }
+
+    fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        std::iter::once(self.r1).chain(self.r2).chain(self.r3)
+    }
+}
+
+/// Computes max-min fair rates (bytes/second) for `flows` over resources
+/// with the given `capacities` (bytes/second).
+///
+/// Resources with non-positive capacity admit no traffic.
+///
+/// # Panics
+///
+/// Panics when a flow references an out-of-range resource.
+pub fn max_min_rates(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut remaining: Vec<f64> = capacities.iter().map(|&c| c.max(0.0)).collect();
+    let mut active: Vec<bool> = vec![true; n];
+    // Flows on zero-capacity resources never start.
+    for (i, f) in flows.iter().enumerate() {
+        for r in f.resources() {
+            assert!(r < capacities.len(), "resource {r} out of range");
+            if remaining[r] <= 0.0 {
+                active[i] = false;
+            }
+        }
+    }
+    let mut users = vec![0usize; capacities.len()];
+
+    loop {
+        // Count active users per resource.
+        users.iter_mut().for_each(|u| *u = 0);
+        let mut any_active = false;
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] {
+                any_active = true;
+                for r in f.resources() {
+                    users[r] += 1;
+                }
+            }
+        }
+        if !any_active {
+            break;
+        }
+        // The smallest per-flow headroom across used resources.
+        let mut delta = f64::INFINITY;
+        for (r, &u) in users.iter().enumerate() {
+            if u > 0 {
+                delta = delta.min(remaining[r] / u as f64);
+            }
+        }
+        if !delta.is_finite() || delta <= 0.0 {
+            break;
+        }
+        // Raise all active flows by delta; drain resources.
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] {
+                rates[i] += delta;
+                for r in f.resources() {
+                    remaining[r] -= delta;
+                }
+            }
+        }
+        // Freeze flows using any (numerically) saturated resource.
+        let eps = 1e-9;
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] && f.resources().any(|r| remaining[r] <= eps * capacities[r].max(1.0)) {
+                active[i] = false;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        // Flow crosses a 100 and a 40 resource: gets 40.
+        let rates = max_min_rates(&[FlowDemand::new(0, 1)], &[100.0, 40.0]);
+        assert!(close(rates[0], 40.0));
+    }
+
+    #[test]
+    fn equal_sharing_of_one_resource() {
+        let flows = vec![FlowDemand::single(0); 4];
+        let rates = max_min_rates(&flows, &[100.0]);
+        for r in rates {
+            assert!(close(r, 25.0));
+        }
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Resource 0 cap 10 shared by flows A,B; resource 1 cap 100 used
+        // by B and C. A=5, B=5, C=95.
+        let flows = vec![
+            FlowDemand::single(0),
+            FlowDemand::new(0, 1),
+            FlowDemand::single(1),
+        ];
+        let rates = max_min_rates(&flows, &[10.0, 100.0]);
+        assert!(close(rates[0], 5.0), "A={}", rates[0]);
+        assert!(close(rates[1], 5.0), "B={}", rates[1]);
+        assert!(close(rates[2], 95.0), "C={}", rates[2]);
+    }
+
+    #[test]
+    fn wireless_self_contention() {
+        // One wireless channel (resource 0): an upload and a download both
+        // use it and split the capacity — the paper's §3.3 effect.
+        let flows = vec![FlowDemand::single(0), FlowDemand::single(0)];
+        let rates = max_min_rates(&flows, &[200.0]);
+        assert!(close(rates[0], 100.0));
+        assert!(close(rates[1], 100.0));
+    }
+
+    #[test]
+    fn zero_capacity_blocks_flow() {
+        let flows = vec![FlowDemand::new(0, 1), FlowDemand::single(1)];
+        let rates = max_min_rates(&flows, &[0.0, 50.0]);
+        assert_eq!(rates[0], 0.0);
+        assert!(close(rates[1], 50.0));
+    }
+
+    #[test]
+    fn conservation_per_resource() {
+        // Random-ish mix: total through each resource never exceeds cap.
+        let flows = vec![
+            FlowDemand::new(0, 1),
+            FlowDemand::new(0, 2),
+            FlowDemand::new(1, 2),
+            FlowDemand::single(2),
+            FlowDemand::new(0, 1),
+        ];
+        let caps = [30.0, 20.0, 25.0];
+        let rates = max_min_rates(&flows, &caps);
+        let mut used = [0.0f64; 3];
+        for (f, r) in flows.iter().zip(&rates) {
+            for res in [Some(f.r1), f.r2, f.r3].into_iter().flatten() {
+                used[res] += r;
+            }
+        }
+        for (u, c) in used.iter().zip(&caps) {
+            assert!(*u <= c + 1e-6, "used {u} of {c}");
+        }
+        // Work conservation: at least one resource is (nearly) full.
+        assert!(used
+            .iter()
+            .zip(&caps)
+            .any(|(u, c)| (c - u).abs() < 1e-6 * c));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_rates(&[], &[10.0]).is_empty());
+    }
+
+    #[test]
+    fn same_resource_twice_counts_once() {
+        // FlowDemand::new dedupes; a self-loop on a wireless channel
+        // consumes its share once per direction entry, not twice.
+        let d = FlowDemand::new(3, 3);
+        assert_eq!(d.r2, None);
+    }
+}

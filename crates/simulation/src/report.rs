@@ -1,0 +1,149 @@
+//! Plain-text tables for the figure-regeneration binaries.
+//!
+//! Each experiment prints the same rows/series the paper plots, in a form
+//! that is easy to diff and to paste into EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A printable table: a title, column headers, and rows of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title (e.g. `"Figure 8(a) ..."`).
+    pub fn new(title: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<S: Into<String>>(&mut self, headers: impl IntoIterator<Item = S>) -> &mut Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row of cells.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a footnote line.
+    pub fn note(&mut self, note: &str) -> &mut Self {
+        self.notes.push(note.to_string());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+            let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+            let _ = writeln!(out, "{}", "-".repeat(rule));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a bytes/second rate as the paper's "KBps" (kilobytes/second).
+pub fn kbps(bytes_per_sec: f64) -> String {
+    format!("{:.1}", bytes_per_sec / 1024.0)
+}
+
+/// Formats a byte count in MB.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo");
+        t.headers(["x", "value"]);
+        t.row(["1", "10.0"]);
+        t.row(["100", "2.5"]);
+        t.note("a footnote");
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("a footnote"));
+        // Columns right-aligned to the same width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1], "  x  value");
+        assert_eq!(lines[3], "  1   10.0");
+        assert_eq!(lines[4], "100    2.5");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(kbps(2048.0), "2.0");
+        assert_eq!(mb(3 * 1024 * 1024), "3.0");
+        assert_eq!(pct(0.256), "25.6");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("E");
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains("## E"));
+    }
+}

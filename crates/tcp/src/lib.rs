@@ -1,0 +1,63 @@
+//! # sim-tcp — sans-IO bidirectional TCP for discrete-event simulation
+//!
+//! A Reno-era TCP implementation whose behaviour matches what the wP2P
+//! paper ("On the Impact of Mobile Hosts in Peer-to-Peer Data Networks",
+//! ICDCS 2008) measured on Linux circa 2007: slow start, congestion
+//! avoidance, fast retransmit/fast recovery, RFC 6298 RTO with backoff,
+//! cumulative ACKs with piggybacking on reverse-path data, and the spec
+//! rule that duplicate ACKs are always sent as pure (payload-less)
+//! segments.
+//!
+//! The endpoint is **sans-IO**: it owns no sockets, no clocks, and no event
+//! loop. The embedder feeds in segments and timer expirations, and drains
+//! out segments and delivered byte counts. Payload bytes themselves are
+//! *not* carried — segments carry lengths, and the layer above reconstructs
+//! message boundaries from in-order delivered counts. Everything relevant
+//! to the paper (on-wire segment sizes, loss coupling between data and
+//! piggybacked ACKs, DUPACK purity) is preserved exactly.
+//!
+//! ```
+//! use sim_tcp::prelude::*;
+//! use simnet::time::SimTime;
+//!
+//! let now = SimTime::ZERO;
+//! let mut client = Endpoint::new(TcpConfig::default(), SeqNum(100));
+//! let mut server = Endpoint::new(TcpConfig::default(), SeqNum(900));
+//! server.listen();
+//! client.connect(now);
+//!
+//! // Zero-latency wire: exchange until quiet.
+//! loop {
+//!     let mut moved = false;
+//!     while let Some(seg) = client.poll_segment(now) {
+//!         server.on_segment(seg, now);
+//!         moved = true;
+//!     }
+//!     while let Some(seg) = server.poll_segment(now) {
+//!         client.on_segment(seg, now);
+//!         moved = true;
+//!     }
+//!     if !moved { break; }
+//! }
+//! assert!(client.is_established() && server.is_established());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cc;
+pub mod endpoint;
+pub mod reasm;
+pub mod rtt;
+pub mod segment;
+pub mod seq;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::cc::{AckProgress, Congestion, DupAckAction};
+    pub use crate::endpoint::{Endpoint, TcpConfig, TcpState, TcpStats};
+    pub use crate::reasm::{DataOutcome, Reassembly};
+    pub use crate::rtt::RttEstimator;
+    pub use crate::segment::{SegFlags, Segment, HEADER_BYTES};
+    pub use crate::seq::SeqNum;
+}

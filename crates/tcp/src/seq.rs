@@ -1,0 +1,118 @@
+//! 32-bit wrapping TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Comparisons are defined modulo 2³², valid as long as the live window is
+//! smaller than 2³¹ bytes — true by construction for our simulated
+//! connections.
+
+use std::fmt;
+
+/// A TCP sequence number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// Zero, used as the conventional initial sequence number in tests.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// `self + n` modulo 2³². Deliberately named like (but distinct from)
+    /// `std::ops::Add`: the right-hand side is a byte count, not a
+    /// sequence number, so the operator trait would be misleading.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(n))
+    }
+
+    /// Bytes from `self` to `later`, assuming `later` is not before `self`.
+    ///
+    /// The result is exact modulo 2³²; callers must know the true distance
+    /// is below 2³¹ (guaranteed by window sizing).
+    pub fn distance_to(self, later: SeqNum) -> u32 {
+        later.0.wrapping_sub(self.0)
+    }
+
+    /// True when `self` is strictly before `other` in window order.
+    pub fn before(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// True when `self` is before or equal to `other`.
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) >= 0
+    }
+
+    /// True when `self` is strictly after `other`.
+    pub fn after(self, other: SeqNum) -> bool {
+        other.before(self)
+    }
+
+    /// True when `self` is after or equal to `other`.
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        other.before_eq(self)
+    }
+
+    /// The later of two sequence numbers in window order.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two sequence numbers in window order.
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Seq({})", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert!(a.before_eq(a));
+        assert!(!a.before(a));
+    }
+
+    #[test]
+    fn ordering_across_wraparound() {
+        let a = SeqNum(u32::MAX - 10);
+        let b = a.add(100); // wraps
+        assert!(a.before(b));
+        assert_eq!(a.distance_to(b), 100);
+    }
+
+    #[test]
+    fn min_max_across_wraparound() {
+        let a = SeqNum(u32::MAX - 1);
+        let b = SeqNum(5);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(SeqNum(u32::MAX).add(1), SeqNum(0));
+    }
+}

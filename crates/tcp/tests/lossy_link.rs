@@ -1,0 +1,265 @@
+//! End-to-end tests: two TCP endpoints across simulated links with real
+//! bandwidth, propagation delay, queueing, and random bit errors.
+
+use sim_tcp::prelude::*;
+use simnet::event::EventToken;
+use simnet::link::{Link, LinkConfig};
+use simnet::prelude::{SimRng, Simulator};
+use simnet::time::{SimDuration, SimTime};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Side {
+    A,
+    B,
+}
+
+impl Side {
+    fn other(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Deliver(Side, Segment),
+    Timer(Side),
+}
+
+struct Net {
+    a: Endpoint,
+    b: Endpoint,
+    /// Link carrying A's transmissions to B.
+    ab: Link,
+    /// Link carrying B's transmissions to A.
+    ba: Link,
+    rng: SimRng,
+    timer_a: Option<(SimTime, EventToken)>,
+    timer_b: Option<(SimTime, EventToken)>,
+}
+
+impl Net {
+    fn new(link_cfg: LinkConfig, seed: u64) -> Self {
+        let mut a = Endpoint::new(TcpConfig::default(), SeqNum(1));
+        let mut b = Endpoint::new(TcpConfig::default(), SeqNum(1_000_000));
+        b.listen();
+        a.connect(SimTime::ZERO);
+        Net {
+            a,
+            b,
+            ab: Link::new(link_cfg),
+            ba: Link::new(link_cfg),
+            rng: SimRng::new(seed),
+            timer_a: None,
+            timer_b: None,
+        }
+    }
+
+    fn ep(&mut self, side: Side) -> &mut Endpoint {
+        match side {
+            Side::A => &mut self.a,
+            Side::B => &mut self.b,
+        }
+    }
+
+    /// Drains a side's segments onto its link and refreshes its timer.
+    fn flush(&mut self, sim: &mut Simulator<Ev>, side: Side) {
+        let now = sim.now();
+        loop {
+            let seg = match side {
+                Side::A => self.a.poll_segment(now),
+                Side::B => self.b.poll_segment(now),
+            };
+            let Some(seg) = seg else { break };
+            let link = match side {
+                Side::A => &mut self.ab,
+                Side::B => &mut self.ba,
+            };
+            if let Some(at) = link.send(now, seg.wire_bytes(), &mut self.rng).delivered_at() {
+                sim.schedule_at(at, Ev::Deliver(side.other(), seg));
+            }
+        }
+        self.sync_timer(sim, side);
+    }
+
+    fn sync_timer(&mut self, sim: &mut Simulator<Ev>, side: Side) {
+        let want = self.ep(side).next_timer_at();
+        let slot = match side {
+            Side::A => &mut self.timer_a,
+            Side::B => &mut self.timer_b,
+        };
+        match (*slot, want) {
+            (Some((t, _)), Some(w)) if t == w => {}
+            (prev, want) => {
+                if let Some((_, tok)) = prev {
+                    sim.cancel(tok);
+                }
+                *slot = want.map(|w| (w, sim.schedule_at(w, Ev::Timer(side))));
+            }
+        }
+    }
+}
+
+/// Runs the connection until `deadline` and returns the driver state.
+fn run(mut net: Net, deadline: SimTime) -> Net {
+    let mut sim: Simulator<Ev> = Simulator::new();
+    net.flush(&mut sim, Side::A);
+    net.flush(&mut sim, Side::B);
+    // The simulator is moved into a closure-free loop: we need &mut to both
+    // sim and net, so drive events manually.
+    while let Some(t) = sim.peek_time() {
+        if t > deadline {
+            break;
+        }
+        let (now, ev) = sim.next_event().expect("peeked");
+        match ev {
+            Ev::Deliver(side, seg) => {
+                net.ep(side).on_segment(seg, now);
+            }
+            Ev::Timer(side) => {
+                match side {
+                    Side::A => net.timer_a = None,
+                    Side::B => net.timer_b = None,
+                }
+                net.ep(side).on_timer(now);
+            }
+        }
+        net.flush(&mut sim, Side::A);
+        net.flush(&mut sim, Side::B);
+    }
+    net
+}
+
+fn fast_link() -> LinkConfig {
+    LinkConfig {
+        bandwidth_bps: 10_000_000,
+        prop_delay: SimDuration::from_millis(10),
+        queue_packets: 64,
+        ber: 0.0,
+    }
+}
+
+#[test]
+fn transfer_completes_over_clean_link() {
+    let mut net = Net::new(fast_link(), 1);
+    net.a.write(2_000_000);
+    let net = run(net, SimTime::from_secs(30));
+    assert!(net.b.is_established());
+    assert_eq!(net.b.delivered_total(), 2_000_000);
+}
+
+#[test]
+fn throughput_approaches_link_rate() {
+    let mut net = Net::new(fast_link(), 2);
+    // 10 Mbit/s for ~8 s ≈ 10 MB; send 5 MB and measure completion time.
+    net.a.write(5_000_000);
+    let mut sim: Simulator<Ev> = Simulator::new();
+    net.flush(&mut sim, Side::A);
+    net.flush(&mut sim, Side::B);
+    let mut done_at = None;
+    while let Some((now, ev)) = sim.next_event() {
+        match ev {
+            Ev::Deliver(side, seg) => net.ep(side).on_segment(seg, now),
+            Ev::Timer(side) => {
+                match side {
+                    Side::A => net.timer_a = None,
+                    Side::B => net.timer_b = None,
+                }
+                net.ep(side).on_timer(now)
+            }
+        }
+        net.flush(&mut sim, Side::A);
+        net.flush(&mut sim, Side::B);
+        if net.b.delivered_total() >= 5_000_000 {
+            done_at = Some(now);
+            break;
+        }
+    }
+    let done_at = done_at.expect("transfer finished");
+    let rate = 5_000_000.0 / done_at.as_secs_f64(); // bytes/s
+    let line_rate = 10_000_000.0 / 8.0;
+    assert!(
+        rate > 0.7 * line_rate,
+        "achieved {:.0} B/s of {:.0} B/s line rate",
+        rate,
+        line_rate
+    );
+}
+
+#[test]
+fn transfer_survives_bit_errors() {
+    let cfg = LinkConfig {
+        ber: 5e-6,
+        ..fast_link()
+    };
+    let mut net = Net::new(cfg, 3);
+    net.a.write(1_000_000);
+    let net = run(net, SimTime::from_secs(120));
+    assert_eq!(
+        net.b.delivered_total(),
+        1_000_000,
+        "reliable delivery despite {} retransmissions",
+        net.a.stats().retransmissions
+    );
+    assert!(
+        net.a.stats().retransmissions > 0,
+        "a 1 MB transfer at BER 5e-6 should see losses"
+    );
+}
+
+#[test]
+fn bottleneck_queue_causes_fast_retransmits_not_collapse() {
+    // Narrow link + small queue: slow start overshoots, drops, recovers.
+    let cfg = LinkConfig {
+        bandwidth_bps: 2_000_000,
+        prop_delay: SimDuration::from_millis(30),
+        queue_packets: 10,
+        ber: 0.0,
+    };
+    let mut net = Net::new(cfg, 4);
+    net.a.write(3_000_000);
+    let net = run(net, SimTime::from_secs(60));
+    assert_eq!(net.b.delivered_total(), 3_000_000);
+    assert!(
+        net.a.congestion().fast_retransmits() > 0,
+        "queue overflow should trigger dupack-based recovery"
+    );
+}
+
+#[test]
+fn bidirectional_transfer_completes_both_ways() {
+    let mut net = Net::new(fast_link(), 5);
+    net.a.write(1_000_000);
+    net.b.write(1_000_000);
+    let net = run(net, SimTime::from_secs(60));
+    assert_eq!(net.a.delivered_total(), 1_000_000);
+    assert_eq!(net.b.delivered_total(), 1_000_000);
+    // Almost all of A's ACKs piggybacked on its reverse-path data.
+    let s = net.a.stats();
+    assert!(
+        s.piggybacked_acks_sent > s.pure_acks_sent,
+        "bi-directional TCP should piggyback: {s:?}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run_once = |seed: u64| {
+        let cfg = LinkConfig {
+            ber: 1e-5,
+            ..fast_link()
+        };
+        let mut net = Net::new(cfg, seed);
+        net.a.write(500_000);
+        let net = run(net, SimTime::from_secs(60));
+        (
+            net.b.delivered_total(),
+            net.a.stats().retransmissions,
+            net.a.stats().data_segments_sent,
+        )
+    };
+    assert_eq!(run_once(42), run_once(42));
+    assert_ne!(run_once(42), run_once(43));
+}

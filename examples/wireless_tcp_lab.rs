@@ -1,0 +1,71 @@
+//! Wireless TCP lab: watch bi-directional TCP behave over a lossy shared
+//! channel, with and without wP2P's age-based manipulation filter.
+//!
+//! This is a packet-level view — every segment, piggybacked ACK, DUPACK
+//! and retransmission crosses a wireless channel with configurable BER.
+//!
+//! ```sh
+//! cargo run --release --example wireless_tcp_lab
+//! ```
+
+use p2p_simulation::packet::{PacketConfig, PacketWorld};
+use simnet::time::{SimDuration, SimTime};
+use simnet::wireless::{Direction, WirelessConfig};
+use wp2p::am::AmConfig;
+
+fn channel(ber: f64) -> WirelessConfig {
+    WirelessConfig {
+        bandwidth_bps: 50_000 * 8,
+        prop_delay: SimDuration::from_millis(2),
+        queue_frames: 50,
+        ber,
+        per_frame_overhead: SimDuration::ZERO,
+    }
+}
+
+fn experiment(ber: f64, bidirectional: bool, am: bool) -> (f64, u64, u64) {
+    let mut cfg = PacketConfig::default();
+    cfg.tcp.recv_window = 32 * 1024;
+    let mut w = PacketWorld::new(cfg, 7);
+    let mobile = w.add_node(Some(channel(ber)));
+    let fixed = w.add_node(None);
+    if am {
+        w.set_am(mobile, AmConfig::default());
+    }
+    let conn = w.open_tcp(mobile, fixed);
+    let duration = SimDuration::from_secs(60);
+    w.tcp_write(conn, false, 10_000_000); // download direction
+    if bidirectional {
+        w.tcp_write(conn, true, 10_000_000);
+    }
+    w.run_until(SimTime::ZERO + duration, |_| {});
+    let downloaded = w.tcp_delivered(conn, true);
+    let remote = w.endpoint(conn, false).expect("endpoint");
+    (
+        downloaded as f64 / duration.as_secs_f64() / 1024.0,
+        remote.stats().retransmissions,
+        w.channel_stats(mobile, Direction::Up).accepted,
+    )
+}
+
+fn main() {
+    println!("60 s transfers over a 50 KB/s wireless leg\n");
+    println!("{:>8}  {:>14}  {:>10}  {:>7}  {:>9}", "BER", "mode", "down KB/s", "rtx", "up frames");
+    for &ber in &[0.0, 5e-6, 1.5e-5] {
+        for (label, bi, am) in [
+            ("uni", false, false),
+            ("bi", true, false),
+            ("bi + wP2P AM", true, true),
+        ] {
+            let (kbps, rtx, up) = experiment(ber, bi, am);
+            println!("{ber:>8.0e}  {label:>14}  {kbps:>10.1}  {rtx:>7}  {up:>9}");
+        }
+        println!();
+    }
+    println!("Things to notice:");
+    println!(" * bi-TCP always trails uni-TCP: its ACKs ride on 1500-byte frames");
+    println!("   that contend for (and die on) the same channel;");
+    println!(" * retransmissions climb with BER for every variant;");
+    println!(" * the AM filter protects young windows by decoupling fresh ACK");
+    println!("   information onto 40-byte frames (see the up-frame counts).");
+}

@@ -1,0 +1,24 @@
+//! # wp2p-suite — the workspace umbrella
+//!
+//! Re-exports every crate of the wP2P reproduction under one roof so the
+//! examples and integration tests (and downstream experimentation) can
+//! depend on a single package:
+//!
+//! * [`simnet`] — the discrete-event substrate.
+//! * [`sim_tcp`] — sans-IO bidirectional TCP.
+//! * [`bittorrent`] — the protocol implementation.
+//! * [`media_model`] — playability models.
+//! * [`wp2p`] — the paper's contribution (AM, IA, MA).
+//! * [`simulation`] — the packet- and flow-level worlds plus per-figure
+//!   experiment drivers.
+//!
+//! See the repository README for the quickstart, DESIGN.md for the
+//! architecture and modeling decisions, and EXPERIMENTS.md for the
+//! paper-vs-reproduction record.
+
+pub use bittorrent;
+pub use media_model;
+pub use p2p_simulation as simulation;
+pub use sim_tcp;
+pub use simnet;
+pub use wp2p;

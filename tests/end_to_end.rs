@@ -1,0 +1,181 @@
+//! Cross-crate end-to-end scenarios: whole wP2P-vs-default stories run
+//! through the public APIs of every crate at once.
+
+use bittorrent::client::ClientConfig;
+use bittorrent::metainfo::Metainfo;
+use media_model::playable_fraction;
+use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskSpec, TorrentSpec};
+use simnet::mobility::MobilityProcess;
+use simnet::time::{SimDuration, SimTime};
+use wp2p::config::WP2pConfig;
+
+const MB: u64 = 1024 * 1024;
+
+fn spec(len: u64, seed: u64) -> TorrentSpec {
+    let meta = Metainfo::synthetic("e2e.bin", "tr", 256 * 1024, len, seed);
+    TorrentSpec::from_metainfo(&meta, 256 * 1024)
+}
+
+/// The full wP2P client is at least as good as the default under roaming,
+/// and leaves a dramatically more playable prefix.
+#[test]
+fn full_wp2p_stack_beats_default_under_roaming() {
+    let run = |wp2p: bool| -> (u64, f64) {
+        let capacity = 250_000.0;
+        let torrent = spec(128 * MB, 3);
+        let mut cfg = FlowConfig::default();
+        cfg.tracker.announce_interval = SimDuration::from_secs(300);
+        let mut w = FlowWorld::new(cfg, 17);
+        let seed_node = w.add_node(Access::Wired {
+            up: 150_000.0,
+            down: 500_000.0,
+        });
+        w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+        for _ in 0..5 {
+            let n = w.add_node(Access::residential());
+            w.add_task(TaskSpec::default_client(n, torrent, false));
+        }
+        let laptop = w.add_node(Access::Wireless { capacity });
+        let t = w.add_task(TaskSpec {
+            node: laptop,
+            torrent,
+            start_complete: false,
+            start_fraction: None,
+            make_config: Box::new(ClientConfig::default),
+            wp2p: if wp2p {
+                WP2pConfig::full(capacity)
+            } else {
+                WP2pConfig::default_client()
+            },
+        });
+        w.set_mobility(
+            laptop,
+            MobilityProcess::with_jitter(
+                SimDuration::from_secs(90),
+                SimDuration::from_secs(8),
+                0.1,
+            ),
+        );
+        w.start();
+        w.run_until(SimTime::from_secs(600), |_| {});
+        let playable = w.with_progress(t, |p| {
+            playable_fraction(p.have(), torrent.piece_length, torrent.length)
+        });
+        (w.downloaded_bytes(t), playable)
+    };
+    let (default_bytes, default_playable) = run(false);
+    let (wp2p_bytes, wp2p_playable) = run(true);
+    assert!(
+        wp2p_bytes as f64 >= 0.85 * default_bytes as f64,
+        "wP2P should not lose data volume: {wp2p_bytes} vs {default_bytes}"
+    );
+    assert!(
+        wp2p_playable > default_playable,
+        "wP2P must leave a more playable prefix: {wp2p_playable} vs {default_playable}"
+    );
+}
+
+/// A seed running the wP2P client serves a swarm just as well as the
+/// default client when nothing moves — backward compatibility in the
+/// sense the paper claims (fixed peers unaffected).
+#[test]
+fn wp2p_is_backward_compatible_when_stationary() {
+    let run = |wp2p: bool| -> u64 {
+        let torrent = spec(8 * MB, 4);
+        let mut w = FlowWorld::new(FlowConfig::default(), 9);
+        let sn = w.add_node(Access::campus());
+        w.add_task(TaskSpec {
+            node: sn,
+            torrent,
+            start_complete: true,
+            start_fraction: None,
+            make_config: Box::new(ClientConfig::default),
+            wp2p: if wp2p {
+                WP2pConfig::full(1_250_000.0)
+            } else {
+                WP2pConfig::default_client()
+            },
+        });
+        let ln = w.add_node(Access::residential());
+        let t = w.add_task(TaskSpec::default_client(ln, torrent, false));
+        w.start();
+        w.run_until(SimTime::from_secs(180), |_| {});
+        w.downloaded_bytes(t)
+    };
+    let with_default_seed = run(false);
+    let with_wp2p_seed = run(true);
+    assert_eq!(with_default_seed, 8 * MB, "default-seeded download completes");
+    // LIHD caps the seed's upload but the channel is wired and fast; the
+    // leech still completes.
+    assert_eq!(with_wp2p_seed, 8 * MB, "wP2P-seeded download completes");
+}
+
+/// Two flow worlds with the same seed agree bit-for-bit on every metric
+/// we expose — across mobility, wP2P components, and swarm dynamics.
+#[test]
+fn whole_world_determinism_with_all_features() {
+    let run = || -> Vec<u64> {
+        let capacity = 200_000.0;
+        let torrent = spec(32 * MB, 5);
+        let mut w = FlowWorld::new(FlowConfig::default(), 31);
+        let sn = w.add_node(Access::campus());
+        w.add_task(TaskSpec::default_client(sn, torrent, true));
+        for _ in 0..3 {
+            let n = w.add_node(Access::residential());
+            w.add_task(TaskSpec::default_client(n, torrent, false));
+        }
+        let m = w.add_node(Access::Wireless { capacity });
+        let t = w.add_task(TaskSpec {
+            node: m,
+            torrent,
+            start_complete: false,
+            start_fraction: None,
+            make_config: Box::new(ClientConfig::default),
+            wp2p: WP2pConfig::full(capacity),
+        });
+        w.set_mobility(
+            m,
+            MobilityProcess::with_jitter(
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(5),
+                0.2,
+            ),
+        );
+        w.start();
+        w.run_until(SimTime::from_secs(300), |_| {});
+        let mut out = vec![
+            w.downloaded_bytes(t),
+            w.delivered_up_bytes(t),
+            w.connection_count(t) as u64,
+        ];
+        out.extend(
+            w.download_series(t)
+                .points()
+                .iter()
+                .map(|&(ts, v)| ts.as_micros() ^ (v as u64)),
+        );
+        out
+    };
+    assert_eq!(run(), run());
+}
+
+/// The paper's headline qualitative claim, end to end: on a shared
+/// wireless channel that actually binds (capacity below the swarm's
+/// supply), capping uploads (LIHD) downloads more than serving flat out.
+/// Uses the calibrated Fig. 8(c) driver across crate boundaries.
+#[test]
+fn lihd_outperforms_uncapped_on_contended_channel() {
+    use p2p_simulation::experiments::fig8::{run_fig8c, Fig8cParams};
+    let params = Fig8cParams {
+        capacities: vec![40.0 * 1024.0],
+        ..Fig8cParams::quick()
+    };
+    let pts = run_fig8c(&params);
+    let p = &pts[0];
+    assert!(
+        p.wp2p.mean > 1.1 * p.default.mean,
+        "LIHD should win on a binding channel: capped={} uncapped={}",
+        p.wp2p.mean,
+        p.default.mean
+    );
+}

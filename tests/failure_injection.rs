@@ -1,0 +1,156 @@
+//! Failure-injection tests: the system keeps its invariants under churn,
+//! loss bursts, dead addresses, and mid-run parameter changes.
+
+use bittorrent::client::ClientConfig;
+use bittorrent::metainfo::Metainfo;
+use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskSpec, TorrentSpec};
+use p2p_simulation::packet::{PacketConfig, PacketWorld};
+use simnet::mobility::MobilityProcess;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wireless::WirelessConfig;
+
+const MB: u64 = 1024 * 1024;
+
+fn spec(len: u64, seed: u64) -> TorrentSpec {
+    let meta = Metainfo::synthetic("fi.bin", "tr", 128 * 1024, len, seed);
+    TorrentSpec::from_metainfo(&meta, 128 * 1024)
+}
+
+/// Seed churn: the only seed flaps on/off; the leech still finishes
+/// because progress survives the gaps.
+#[test]
+fn download_survives_seed_churn() {
+    let torrent = spec(8 * MB, 1);
+    let mut w = FlowWorld::new(FlowConfig::default(), 1);
+    let sn = w.add_node(Access::campus());
+    let seed_task = w.add_task(TaskSpec::default_client(sn, torrent, true));
+    // The seed itself "moves" every 45 s: its connections black-hole and
+    // it reappears at a fresh address.
+    w.set_mobility(
+        sn,
+        MobilityProcess::periodic(SimDuration::from_secs(45), SimDuration::from_secs(5)),
+    );
+    let ln = w.add_node(Access::residential());
+    let t = w.add_task(TaskSpec::default_client(ln, torrent, false));
+    w.start();
+    w.run_until(SimTime::from_secs(900), |_| {});
+    let _ = seed_task;
+    assert!(
+        w.progress_fraction(t) > 0.5,
+        "churn should slow, not stop, the download: {:.2}",
+        w.progress_fraction(t)
+    );
+    // No piece is ever double-counted across re-initiations.
+    assert!(w.downloaded_bytes(t) <= 8 * MB);
+}
+
+/// A loss burst mid-transfer: BER spikes 100×, then recovers; TCP rides
+/// it out and delivers everything exactly once.
+#[test]
+fn tcp_survives_mid_run_ber_spike() {
+    let mut cfg = PacketConfig::default();
+    cfg.tcp.recv_window = 64 * 1024;
+    let mut w = PacketWorld::new(cfg, 2);
+    let mobile = w.add_node(Some(WirelessConfig {
+        bandwidth_bps: 400_000 * 8,
+        prop_delay: SimDuration::from_millis(2),
+        queue_frames: 64,
+        ber: 1e-6,
+        per_frame_overhead: SimDuration::ZERO,
+    }));
+    let fixed = w.add_node(None);
+    let conn = w.open_tcp(mobile, fixed);
+    w.tcp_write(conn, false, 3_000_000);
+    let mut spiked = false;
+    let mut recovered = false;
+    w.run_until(SimTime::from_secs(120), |w| {
+        let t = w.now().as_secs_f64();
+        if t > 5.0 && !spiked {
+            spiked = true;
+            w.set_ber(mobile, 5e-5); // brutal burst
+        }
+        if t > 12.0 && !recovered {
+            recovered = true;
+            w.set_ber(mobile, 1e-6);
+        }
+    });
+    assert!(spiked && recovered);
+    assert_eq!(w.tcp_delivered(conn, true), 3_000_000, "exactly-once delivery");
+    let ep = w.endpoint(conn, false).unwrap();
+    assert!(ep.stats().retransmissions > 0);
+}
+
+/// Dead addresses: a client fed only unroutable peers keeps running,
+/// records failures, and picks up real peers from its next announce.
+#[test]
+fn dials_to_dead_addresses_fail_cleanly() {
+    let torrent = spec(2 * MB, 3);
+    let mut w = FlowWorld::new(FlowConfig::default(), 3);
+    // The seed joins late (after the leech's first announce returns an
+    // empty swarm), so the leech must recover via re-announce.
+    let ln = w.add_node(Access::residential());
+    let t = w.add_task(TaskSpec::default_client(ln, torrent, false));
+    let sn = w.add_node(Access::campus());
+    let _seed = w.add_task(TaskSpec::default_client(sn, torrent, true));
+    w.start();
+    w.run_until(SimTime::from_secs(300), |_| {});
+    assert!(
+        w.progress_fraction(t) > 0.9,
+        "leech should find the late seed via re-announce: {:.2}",
+        w.progress_fraction(t)
+    );
+}
+
+/// Extreme mobility (shorter period than the recovery path) never panics
+/// and never corrupts progress accounting.
+#[test]
+fn pathological_mobility_is_stable() {
+    let torrent = spec(16 * MB, 4);
+    let mut w = FlowWorld::new(FlowConfig::default(), 4);
+    let sn = w.add_node(Access::campus());
+    w.add_task(TaskSpec::default_client(sn, torrent, true));
+    let m = w.add_node(Access::Wireless {
+        capacity: 300_000.0,
+    });
+    let t = w.add_task(TaskSpec {
+        node: m,
+        torrent,
+        start_complete: false,
+        start_fraction: None,
+        make_config: Box::new(ClientConfig::default),
+        wp2p: wp2p::config::WP2pConfig::full(300_000.0),
+    });
+    // Hand-off every 10 s with 4 s outages: barely any connected time.
+    w.set_mobility(
+        m,
+        MobilityProcess::periodic(SimDuration::from_secs(10), SimDuration::from_secs(4)),
+    );
+    w.start();
+    w.run_until(SimTime::from_secs(300), |_| {});
+    let frac = w.progress_fraction(t);
+    assert!((0.0..=1.0).contains(&frac));
+    assert!(w.downloaded_bytes(t) <= 16 * MB);
+    // The world survived ~20 re-initiations; the series is monotone.
+    let pts = w.download_series(t).points();
+    assert!(pts.windows(2).all(|p| p[1].1 >= p[0].1), "series not monotone");
+}
+
+/// Stopping a task mid-run releases its swarm slot and the rest of the
+/// swarm keeps functioning.
+#[test]
+fn stopping_tasks_mid_run_is_clean() {
+    let torrent = spec(8 * MB, 5);
+    let mut w = FlowWorld::new(FlowConfig::default(), 5);
+    let sn = w.add_node(Access::campus());
+    w.add_task(TaskSpec::default_client(sn, torrent, true));
+    let l1 = w.add_node(Access::residential());
+    let t1 = w.add_task(TaskSpec::default_client(l1, torrent, false));
+    let l2 = w.add_node(Access::residential());
+    let t2 = w.add_task(TaskSpec::default_client(l2, torrent, false));
+    w.start();
+    w.run_until(SimTime::from_secs(40), |_| {});
+    w.stop_task(t1, true);
+    w.run_until(SimTime::from_secs(240), |_| {});
+    assert_eq!(w.progress_fraction(t2), 1.0, "survivor completes");
+    assert_eq!(w.connection_count(t1), 0, "stopped task has no connections");
+}
