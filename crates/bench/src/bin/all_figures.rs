@@ -4,65 +4,93 @@
 //! ```sh
 //! cargo run --release -p wp2p-bench --bin all_figures            # quick
 //! cargo run --release -p wp2p-bench --bin all_figures -- --paper # full
+//! cargo run --release -p wp2p-bench --bin all_figures -- --only fig8
 //! ```
+//!
+//! `--only <name>` runs just the figures whose name contains `<name>`.
+//! Sweeps fan out across worker threads (`WP2P_THREADS` overrides the
+//! count; `WP2P_THREADS=1` is byte-identical to the parallel output).
+//! Per-figure cell counts and timings land in `BENCH_sweeps.json`.
+//! A figure driver that panics is reported and the process exits
+//! nonzero after the remaining figures have run.
 
 use p2p_simulation::experiments::{fig2, fig3, fig4, fig8, fig9, playability};
+use p2p_simulation::harness::{self, SweepStats};
+use std::time::Instant;
 use wp2p_bench::{preamble, preset_from_args, Preset};
+
+struct FigureReport {
+    name: &'static str,
+    wall_secs: f64,
+    sweeps: Vec<SweepStats>,
+    panicked: bool,
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn sweeps_json(reports: &[FigureReport], total_wall: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"total_wall_secs\": {},\n  \"figures\": [\n",
+        harness::worker_threads(),
+        json_f(total_wall)
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        let cells: usize = r.sweeps.iter().map(|s| s.cells).sum();
+        let cell_wall: f64 = r.sweeps.iter().map(|s| s.cell_wall.as_secs_f64()).sum();
+        let virtual_secs: f64 = r.sweeps.iter().map(|s| s.virtual_secs).sum();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"panicked\": {}, \"wall_secs\": {}, \
+\"cells\": {}, \"cell_wall_secs\": {}, \"speedup\": {}, \"virtual_secs\": {}, \"sweeps\": [",
+            r.name,
+            r.panicked,
+            json_f(r.wall_secs),
+            cells,
+            json_f(cell_wall),
+            json_f(cell_wall / r.wall_secs.max(1e-9)),
+            json_f(virtual_secs),
+        ));
+        for (j, s) in r.sweeps.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"name\": \"{}\", \"points\": {}, \"runs\": {}, \"cells\": {}, \
+\"threads\": {}, \"wall_secs\": {}, \"cell_wall_secs\": {}, \"virtual_secs\": {}}}",
+                if j == 0 { "" } else { ", " },
+                s.name,
+                s.points,
+                s.runs,
+                s.cells,
+                s.threads,
+                json_f(s.wall.as_secs_f64()),
+                json_f(s.cell_wall.as_secs_f64()),
+                json_f(s.virtual_secs),
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
     let preset = preset_from_args();
     preamble("All figures", preset);
     let quick = preset == Preset::Quick;
 
-    let p = if quick {
-        fig2::Fig2aParams::quick()
-    } else {
-        fig2::Fig2aParams::paper()
-    };
-    fig2::fig2a_table(&fig2::run_fig2a(&p)).print();
-    println!();
-
-    let p = fig2::Fig2bcParams::paper();
-    let uni = fig2::run_fig2bc(&p, false, 0x2BC);
-    let bi = fig2::run_fig2bc(&p, true, 0x2BC);
-    fig2::fig2bc_table(&uni, &bi).print();
-    println!();
-
-    let p = if quick {
-        fig3::Fig3abParams::quick()
-    } else {
-        fig3::Fig3abParams::paper()
-    };
-    fig3::fig3ab_table(
-        "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
-        &fig3::run_fig3a(&p),
-        "paper: monotonically increasing",
-    )
-    .print();
-    println!();
-    fig3::fig3ab_table(
-        "Figure 3(b): Aggregate download (KBps) vs upload limit — wireless",
-        &fig3::run_fig3b(&p),
-        "paper: rises, peaks early, falls",
-    )
-    .print();
-    println!();
-
-    let p = if quick {
-        fig3::Fig3cParams::quick()
-    } else {
-        fig3::Fig3cParams::paper()
-    };
-    fig3::fig3c_table(&fig3::run_fig3c(&p, 0x3C), 10).print();
-    println!();
-
-    let p = if quick {
-        fig4::Fig4aParams::quick()
-    } else {
-        fig4::Fig4aParams::paper()
-    };
-    fig4::fig4a_table(&fig4::run_fig4a(&p)).print();
-    println!();
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let (small, large) = if quick {
         (
@@ -75,62 +103,205 @@ fn main() {
             playability::PlayabilityParams::paper_large(),
         )
     };
-    playability::playability_table(
-        "Figure 4(b): Playable % vs downloaded % — 5 MB, rarest-first",
-        &playability::run_playability(&small, None, 0x4B),
-        None,
-    )
-    .print();
-    println!();
-    playability::playability_table(
-        "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
-        &playability::run_playability(&large, None, 0x4C),
-        None,
-    )
-    .print();
-    println!();
+    let small2 = small.clone();
+    let large2 = large.clone();
 
-    let p = if quick {
-        fig8::Fig8aParams::quick()
-    } else {
-        fig8::Fig8aParams::paper()
-    };
-    fig8::fig8a_table(&fig8::run_fig8a(&p)).print();
-    println!();
+    // Each figure is a named, independently runnable (and independently
+    // failable) section.
+    let figures: Vec<(&'static str, Box<dyn FnOnce()>)> = vec![
+        (
+            "fig2a",
+            Box::new(move || {
+                let p = if quick {
+                    fig2::Fig2aParams::quick()
+                } else {
+                    fig2::Fig2aParams::paper()
+                };
+                fig2::fig2a_table(&fig2::run_fig2a(&p)).print();
+            }),
+        ),
+        (
+            "fig2bc",
+            Box::new(|| {
+                let p = fig2::Fig2bcParams::paper();
+                let (uni, bi) = fig2::run_fig2bc_pair(&p, 0x2BC);
+                fig2::fig2bc_table(&uni, &bi).print();
+            }),
+        ),
+        (
+            "fig3ab",
+            Box::new(move || {
+                let p = if quick {
+                    fig3::Fig3abParams::quick()
+                } else {
+                    fig3::Fig3abParams::paper()
+                };
+                fig3::fig3ab_table(
+                    "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
+                    &fig3::run_fig3a(&p),
+                    "paper: monotonically increasing",
+                )
+                .print();
+                println!();
+                fig3::fig3ab_table(
+                    "Figure 3(b): Aggregate download (KBps) vs upload limit — wireless",
+                    &fig3::run_fig3b(&p),
+                    "paper: rises, peaks early, falls",
+                )
+                .print();
+            }),
+        ),
+        (
+            "fig3c",
+            Box::new(move || {
+                let p = if quick {
+                    fig3::Fig3cParams::quick()
+                } else {
+                    fig3::Fig3cParams::paper()
+                };
+                fig3::fig3c_table(&fig3::run_fig3c(&p, 0x3C), 10).print();
+            }),
+        ),
+        (
+            "fig4a",
+            Box::new(move || {
+                let p = if quick {
+                    fig4::Fig4aParams::quick()
+                } else {
+                    fig4::Fig4aParams::paper()
+                };
+                fig4::fig4a_table(&fig4::run_fig4a(&p)).print();
+            }),
+        ),
+        (
+            "fig4bc",
+            Box::new(move || {
+                playability::playability_table(
+                    "Figure 4(b): Playable % vs downloaded % — 5 MB, rarest-first",
+                    &playability::run_playability(&small, None, 0x4B),
+                    None,
+                )
+                .print();
+                println!();
+                playability::playability_table(
+                    "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
+                    &playability::run_playability(&large, None, 0x4C),
+                    None,
+                )
+                .print();
+            }),
+        ),
+        (
+            "fig8a",
+            Box::new(move || {
+                let p = if quick {
+                    fig8::Fig8aParams::quick()
+                } else {
+                    fig8::Fig8aParams::paper()
+                };
+                fig8::fig8a_table(&fig8::run_fig8a(&p)).print();
+            }),
+        ),
+        (
+            "fig8b",
+            Box::new(move || {
+                let p = if quick {
+                    fig8::Fig8bParams::quick()
+                } else {
+                    fig8::Fig8bParams::paper()
+                };
+                fig8::fig8b_table(&fig8::run_fig8b(&p, 0x8B), 10).print();
+            }),
+        ),
+        (
+            "fig8c",
+            Box::new(move || {
+                let p = if quick {
+                    fig8::Fig8cParams::quick()
+                } else {
+                    fig8::Fig8cParams::paper()
+                };
+                fig8::fig8c_table(&fig8::run_fig8c(&p)).print();
+            }),
+        ),
+        (
+            "fig9ab",
+            Box::new(move || {
+                fig9::fig9ab_table(
+                    "Figure 9(a): Playable % vs downloaded % — 5 MB",
+                    &fig9::run_fig9ab(&small2, 0x9A),
+                )
+                .print();
+                println!();
+                fig9::fig9ab_table(
+                    "Figure 9(b): Playable % vs downloaded % — large file",
+                    &fig9::run_fig9ab(&large2, 0x9B),
+                )
+                .print();
+            }),
+        ),
+        (
+            "fig9c",
+            Box::new(move || {
+                let p = if quick {
+                    fig9::Fig9cParams::quick()
+                } else {
+                    fig9::Fig9cParams::paper()
+                };
+                fig9::fig9c_table(&fig9::run_fig9c(&p)).print();
+            }),
+        ),
+    ];
 
-    let p = if quick {
-        fig8::Fig8bParams::quick()
-    } else {
-        fig8::Fig8bParams::paper()
-    };
-    fig8::fig8b_table(&fig8::run_fig8b(&p, 0x8B), 10).print();
-    println!();
+    let total_start = Instant::now();
+    let mut reports = Vec::new();
+    let mut failed = Vec::new();
+    harness::take_stats(); // drop anything recorded before the run
+    for (name, f) in figures {
+        if let Some(pat) = &only {
+            if !name.contains(pat.as_str()) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let panicked = outcome.is_err();
+        if panicked {
+            eprintln!("FIGURE FAILED: {name} panicked");
+            failed.push(name);
+        }
+        println!();
+        reports.push(FigureReport {
+            name,
+            wall_secs,
+            sweeps: harness::take_stats(),
+            panicked,
+        });
+    }
+    let total_wall = total_start.elapsed().as_secs_f64();
 
-    let p = if quick {
-        fig8::Fig8cParams::quick()
-    } else {
-        fig8::Fig8cParams::paper()
-    };
-    fig8::fig8c_table(&fig8::run_fig8c(&p)).print();
-    println!();
-
-    fig9::fig9ab_table(
-        "Figure 9(a): Playable % vs downloaded % — 5 MB",
-        &fig9::run_fig9ab(&small, 0x9A),
-    )
-    .print();
-    println!();
-    fig9::fig9ab_table(
-        "Figure 9(b): Playable % vs downloaded % — large file",
-        &fig9::run_fig9ab(&large, 0x9B),
-    )
-    .print();
-    println!();
-
-    let p = if quick {
-        fig9::Fig9cParams::quick()
-    } else {
-        fig9::Fig9cParams::paper()
-    };
-    fig9::fig9c_table(&fig9::run_fig9c(&p)).print();
+    let json = sweeps_json(&reports, total_wall);
+    match std::fs::write("BENCH_sweeps.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_sweeps.json ({} figures)", reports.len()),
+        Err(e) => eprintln!("could not write BENCH_sweeps.json: {e}"),
+    }
+    let cells: usize = reports.iter().flat_map(|r| &r.sweeps).map(|s| s.cells).sum();
+    let cell_wall: f64 = reports
+        .iter()
+        .flat_map(|r| &r.sweeps)
+        .map(|s| s.cell_wall.as_secs_f64())
+        .sum();
+    eprintln!(
+        "ran {} sweep cells on {} threads: {:.1}s wall, {:.1}s serial-equivalent ({:.2}x)",
+        cells,
+        harness::worker_threads(),
+        total_wall,
+        cell_wall,
+        cell_wall / total_wall.max(1e-9),
+    );
+    if !failed.is_empty() {
+        eprintln!("{} figure(s) failed: {}", failed.len(), failed.join(", "));
+        std::process::exit(1);
+    }
 }

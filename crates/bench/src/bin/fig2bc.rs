@@ -2,7 +2,7 @@
 //! wireless leg over time, with buffer-drop events, for uni- and
 //! bi-directional TCP.
 
-use p2p_simulation::experiments::fig2::{fig2bc_table, run_fig2bc, Fig2bcParams};
+use p2p_simulation::experiments::fig2::{fig2bc_table, run_fig2bc_pair, Fig2bcParams};
 use wp2p_bench::{preamble, preset_from_args, Preset};
 
 fn main() {
@@ -12,8 +12,7 @@ fn main() {
         Preset::Quick => Fig2bcParams::quick(),
         Preset::Paper => Fig2bcParams::paper(),
     };
-    let uni = run_fig2bc(&params, false, 0x2BC);
-    let bi = run_fig2bc(&params, true, 0x2BC);
+    let (uni, bi) = run_fig2bc_pair(&params, 0x2BC);
     fig2bc_table(&uni, &bi).print();
     println!(
         "uni: mean packets/bucket before first drop {:.1}, after {:.1}",

@@ -6,19 +6,22 @@
 //! [`SimRng::fork`], so adding a new consumer of randomness in one module
 //! does not perturb the draws seen by another — the property that keeps
 //! regression tests on full experiment outputs stable.
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! state-seeded through SplitMix64. No external crates: the workspace
+//! builds in a fully offline environment, and a ~30-line PRNG whose
+//! sequence we control end-to-end is also what makes the parallel sweep
+//! harness byte-reproducible across machines and toolchain updates.
 
 /// A seedable random-number generator with simulation-oriented helpers.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
-/// SplitMix64 finalizer; used to decorrelate forked stream seeds.
+/// SplitMix64 finalizer; used to expand seeds and decorrelate forked
+/// stream seeds.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -29,10 +32,16 @@ fn splitmix64(mut x: u64) -> u64 {
 impl SimRng {
     /// Creates a generator from an experiment seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
-            seed,
+        // Expand the 64-bit seed into 256 bits of state with SplitMix64,
+        // as the xoshiro authors recommend. A SplitMix64 stream never
+        // yields four consecutive zeros, so the state is always valid.
+        let mut s = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            s = splitmix64(s);
+            *w = s;
         }
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -48,6 +57,43 @@ impl SimRng {
         SimRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(1))))
     }
 
+    /// Next 64 uniformly random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly random bits (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` via the widening-multiply method
+    /// (bias ≤ 2⁻⁶⁴·bound, far below anything an experiment can observe).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
@@ -55,7 +101,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -66,15 +112,16 @@ impl SimRng {
     /// Panics when the range is empty.
     pub fn range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
+        T: Sample,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially distributed sample with the given mean.
@@ -86,7 +133,7 @@ impl SimRng {
             return 0.0;
         }
         // Inverse-CDF; 1-u avoids ln(0).
-        let u: f64 = self.inner.gen::<f64>();
+        let u: f64 = self.unit();
         -mean * (1.0 - u).ln()
     }
 
@@ -119,18 +166,68 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Types [`SimRng::range`] can sample uniformly.
+pub trait Sample: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). Callers guarantee a non-empty range.
+    fn sample_between(rng: &mut SimRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample_between(rng: &mut SimRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                // Span arithmetic in u64 handles negative bounds too
+                // (two's-complement subtraction gives the distance).
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                let span = if inclusive {
+                    if span == u64::MAX {
+                        // Full domain: a raw draw is already uniform.
+                        return rng.next_u64() as $t;
+                    }
+                    span + 1
+                } else {
+                    span
+                };
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for f64 {
+    fn sample_between(rng: &mut SimRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        // The closed/half-open distinction is measure-zero for floats.
+        lo + rng.unit() * (hi - lo)
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+}
+
+impl Sample for f32 {
+    fn sample_between(rng: &mut SimRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + rng.unit() as f32 * (hi - lo)
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+}
+
+/// Range shapes [`SimRng::range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: Sample> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
     }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+}
+
+impl<T: Sample> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
     }
 }
 
@@ -231,5 +328,45 @@ mod tests {
         let empty: [u8; 0] = [];
         assert!(rng.choose(&empty).is_none());
         assert!(rng.choose(&[42]).is_some());
+    }
+
+    #[test]
+    fn range_signed_and_unsigned_bounds() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let x: i64 = rng.range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y: u8 = rng.range(0..=u8::MAX);
+            let _ = y; // full domain must not panic
+            let z: usize = rng.range(3..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_both_endpoints_inclusive() {
+        let mut rng = SimRng::new(21);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen={seen:?}");
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = SimRng::new(33);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = SimRng::new(8);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

@@ -16,6 +16,7 @@ use super::common::{populate_swarm, rate, synthetic_torrent, SwarmSetup};
 use super::fig8::Fig8aParams;
 use super::playability::{run_playability, PlayabilityParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
+use crate::harness::SweepRunner;
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
 use simnet::time::{SimDuration, SimTime};
@@ -128,18 +129,25 @@ pub fn ablate_am(params: &Fig8aParams) -> Vec<AmArm> {
         ),
         ("full AM".into(), Some(AmConfig::default())),
     ];
+    // Reuse the Fig. 8(a) machinery over a flattened (arm × BER) point
+    // list so every cell of the decomposition runs in parallel. The base
+    // seed matches fig8a's and the seed is point-invariant, so each
+    // (arm, BER, run) cell sees exactly the random stream the figure and
+    // [`super::fig8::run_fig8a_point`] would give it.
+    let point_list: Vec<(usize, f64)> = (0..arms.len())
+        .flat_map(|a| params.bers.iter().map(move |&ber| (a, ber)))
+        .collect();
+    let cells = SweepRunner::new("ablate_am", 0xF8A).run(
+        &point_list,
+        params.runs as usize,
+        |&(a, ber), cell| super::fig8::run_8a_once(params, arms[a].1, ber, cell.run_seed),
+    );
+    let means: Vec<f64> = cells.iter().map(|xs| simnet::stats::mean(xs)).collect();
     arms.into_iter()
-        .map(|(label, am)| {
-            // Reuse the Fig. 8(a) machinery: run the default arm when
-            // `am` is None, otherwise a custom AM config via a modified
-            // sweep (the fig8a driver's arms are default/full AM; for the
-            // decomposition run each point manually).
-            let throughput = params
-                .bers
-                .iter()
-                .map(|&ber| super::fig8::run_fig8a_point(params, am, ber))
-                .collect();
-            AmArm { label, throughput }
+        .enumerate()
+        .map(|(a, (label, _))| AmArm {
+            label,
+            throughput: means[a * params.bers.len()..(a + 1) * params.bers.len()].to_vec(),
         })
         .collect()
 }
@@ -230,9 +238,15 @@ pub struct LihdArm {
 /// Sweeps LIHD's α/β on a binding wireless channel.
 pub fn ablate_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<LihdArm> {
     let steps = [2.0 * 1024.0, 10.0 * 1024.0, 40.0 * 1024.0];
-    let mut out = Vec::new();
-    for &alpha in &steps {
-        for &beta in &steps {
+    let grid: Vec<(f64, f64)> = steps
+        .iter()
+        .flat_map(|&alpha| steps.iter().map(move |&beta| (alpha, beta)))
+        .collect();
+    // Every (α, β) cell runs the same world (same seed), so the grid
+    // differs only in the controller's knobs.
+    SweepRunner::new("ablate_lihd", seed)
+        .run(&grid, 1, |&(alpha, beta), cell| {
+            cell.add_virtual_secs(duration.as_secs_f64());
             let mut w = FlowWorld::new(FlowConfig::default(), seed);
             let torrent = synthetic_torrent("lihd.bin", 256 * 1024, 96 * 1024 * 1024, seed);
             populate_swarm(
@@ -267,14 +281,15 @@ pub fn ablate_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<LihdA
             });
             w.start();
             w.run_for(duration, |_| {});
-            out.push(LihdArm {
+            LihdArm {
                 alpha,
                 beta,
                 download: rate(w.downloaded_bytes(task), duration),
-            });
-        }
-    }
-    out
+            }
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Renders the LIHD sensitivity grid.
@@ -313,9 +328,9 @@ pub struct SeedLihdArm {
 /// LIHD fed by the *foreground's* rate, the controller pulls uploads back
 /// until the foreground recovers.
 pub fn ablate_seed_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<SeedLihdArm> {
-    [false, true]
-        .into_iter()
-        .map(|lihd| {
+    // Two paired arms (same seed), run in parallel as sweep points.
+    SweepRunner::new("ablate_seed_lihd", seed)
+        .run(&[false, true], 1, |&lihd, _cell| {
             // Short tracker interval so the swarm discovers the (listening)
             // seed within the run; seeds never dial.
             let mut cfg = FlowConfig::default();
@@ -407,6 +422,8 @@ pub fn ablate_seed_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<
                 seed_upload: rate(w.delivered_up_bytes(seeding_task) - up0, duration),
             }
         })
+        .into_iter()
+        .flatten()
         .collect()
 }
 

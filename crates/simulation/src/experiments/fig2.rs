@@ -11,6 +11,7 @@
 //!   working); the bi-directional one stays roughly flat because its
 //!   DUPACKs are sent as extra pure packets.
 
+use crate::harness::SweepRunner;
 use crate::packet::{PacketConfig, PacketWorld};
 use crate::report::{kbps, Table};
 use simnet::stats::RunSummary;
@@ -109,31 +110,40 @@ fn run_once(
     w.tcp_delivered(conn, true) as f64 / duration.as_secs_f64()
 }
 
-/// Runs the Fig. 2(a) sweep.
+/// Runs the Fig. 2(a) sweep. Cells (one per BER × run) execute in
+/// parallel on the sweep harness; both arms share a cell (and therefore a
+/// seed) so the bi/uni comparison uses common random numbers.
 pub fn run_fig2a(params: &Fig2aParams) -> Vec<Fig2aPoint> {
+    let cells = SweepRunner::new("fig2a", 0xF2A).run(
+        &params.bers,
+        params.runs as usize,
+        |&ber, cell| {
+            cell.add_virtual_secs(2.0 * params.duration.as_secs_f64());
+            let seed = cell.run_seed;
+            let one = |bi: bool| {
+                run_once(
+                    ber,
+                    bi,
+                    params.duration,
+                    params.channel_bytes_per_sec,
+                    params.delayed_ack,
+                    seed,
+                )
+            };
+            (one(true), one(false))
+        },
+    );
     params
         .bers
         .iter()
-        .map(|&ber| {
-            let collect = |bi: bool| -> RunSummary {
-                let xs: Vec<f64> = (0..params.runs)
-                    .map(|r| {
-                        run_once(
-                            ber,
-                            bi,
-                            params.duration,
-                            params.channel_bytes_per_sec,
-                            params.delayed_ack,
-                            0xF2A + r,
-                        )
-                    })
-                    .collect();
-                RunSummary::of(&xs)
-            };
+        .zip(cells)
+        .map(|(&ber, runs)| {
+            let bi: Vec<f64> = runs.iter().map(|&(b, _)| b).collect();
+            let uni: Vec<f64> = runs.iter().map(|&(_, u)| u).collect();
             Fig2aPoint {
                 ber,
-                bi: collect(true),
-                uni: collect(false),
+                bi: RunSummary::of(&bi),
+                uni: RunSummary::of(&uni),
             }
         })
         .collect()
@@ -271,6 +281,23 @@ pub fn run_fig2bc(params: &Fig2bcParams, bidirectional: bool, seed: u64) -> Fig2
         .map(|t| t.as_secs_f64())
         .collect();
     Fig2bcTrace { packets, drops }
+}
+
+/// Runs both Fig. 2(b)/(c) traces (uni, bi) as a two-point sweep on the
+/// harness; both panels use the same `seed`, as the serial pair of
+/// [`run_fig2bc`] calls did.
+pub fn run_fig2bc_pair(params: &Fig2bcParams, seed: u64) -> (Fig2bcTrace, Fig2bcTrace) {
+    let dur = params.duration.as_secs_f64();
+    let mut traces = SweepRunner::new("fig2bc", seed)
+        .run(&[false, true], 1, |&bidirectional, cell| {
+            cell.add_virtual_secs(dur);
+            run_fig2bc(params, bidirectional, seed)
+        })
+        .into_iter()
+        .flatten();
+    let uni = traces.next().expect("uni trace");
+    let bi = traces.next().expect("bi trace");
+    (uni, bi)
 }
 
 /// Renders a Fig. 2(b)/(c) trace as a table.

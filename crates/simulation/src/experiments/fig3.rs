@@ -15,6 +15,7 @@
 
 use super::common::{capped_config, populate_swarm, rate, synthetic_torrent, SwarmSetup};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
+use crate::harness::SweepRunner;
 use crate::report::{kbps, mb, Table};
 use simnet::mobility::MobilityProcess;
 use simnet::stats::TimeSeries;
@@ -140,25 +141,30 @@ fn run_3ab_once(params: &Fig3abParams, access: Access, fraction: f64, seed: u64)
     rate(total, params.duration)
 }
 
-fn run_3ab(params: &Fig3abParams, access: Access) -> Vec<Fig3abPoint> {
+fn run_3ab(name: &str, params: &Fig3abParams, access: Access) -> Vec<Fig3abPoint> {
+    let dur = params.duration.as_secs_f64();
+    let cells = SweepRunner::new(name, 0xF3A).run(
+        &params.fractions,
+        params.runs as usize,
+        |&fraction, cell| {
+            cell.add_virtual_secs(dur);
+            run_3ab_once(params, access, fraction, cell.run_seed)
+        },
+    );
     params
         .fractions
         .iter()
-        .map(|&fraction| {
-            let xs: Vec<f64> = (0..params.runs)
-                .map(|r| run_3ab_once(params, access, fraction, 0xF3A + r * 17))
-                .collect();
-            Fig3abPoint {
-                fraction,
-                download: simnet::stats::mean(&xs),
-            }
+        .zip(cells)
+        .map(|(&fraction, xs)| Fig3abPoint {
+            fraction,
+            download: simnet::stats::mean(&xs),
         })
         .collect()
 }
 
 /// Runs Fig. 3(a): wired asymmetric access.
 pub fn run_fig3a(params: &Fig3abParams) -> Vec<Fig3abPoint> {
-    run_3ab(params, Access::residential())
+    run_3ab("fig3a", params, Access::residential())
 }
 
 /// Runs Fig. 3(b): wireless shared channel. The default capacity mirrors
@@ -172,7 +178,7 @@ pub fn run_fig3b(params: &Fig3abParams) -> Vec<Fig3abPoint> {
 /// Runs the Fig. 3(b) sweep at an explicit wireless capacity
 /// (bytes/second).
 pub fn run_3b_custom(params: &Fig3abParams, capacity: f64) -> Vec<Fig3abPoint> {
-    run_3ab(params, Access::Wireless { capacity })
+    run_3ab("fig3b", params, Access::Wireless { capacity })
 }
 
 /// Renders a Fig. 3(a)/(b) sweep.
@@ -345,11 +351,19 @@ pub fn run_fig3c_arm(params: &Fig3cParams, arm: Fig3cArm, seed: u64) -> Fig3cRes
     }
 }
 
-/// Runs all four arms.
+/// Runs all four arms in parallel. Each arm is a sweep point with one
+/// run; every arm gets the same `seed` so the comparison is paired, as in
+/// the serial implementation.
 pub fn run_fig3c(params: &Fig3cParams, seed: u64) -> Vec<Fig3cResult> {
-    Fig3cArm::all()
+    let arms = Fig3cArm::all();
+    let dur = params.duration.as_secs_f64();
+    SweepRunner::new("fig3c", seed)
+        .run(&arms, 1, |&arm, cell| {
+            cell.add_virtual_secs(dur);
+            run_fig3c_arm(params, arm, seed)
+        })
         .into_iter()
-        .map(|arm| run_fig3c_arm(params, arm, seed))
+        .flatten()
         .collect()
 }
 

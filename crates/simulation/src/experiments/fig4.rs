@@ -13,6 +13,7 @@
 
 use super::common::{rate, synthetic_torrent};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
+use crate::harness::SweepRunner;
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
 use bittorrent::tracker::TrackerConfig;
@@ -140,22 +141,33 @@ fn run_4a_once(
     rate(w.downloaded_bytes(task), params.duration)
 }
 
-/// Runs the Fig. 4(a) sweep.
+/// Runs the Fig. 4(a) sweep on the harness. Both arms (one/all mobile)
+/// share a cell and its point-invariant seed, preserving the paired
+/// comparison of the serial driver.
 pub fn run_fig4a(params: &Fig4aParams) -> Vec<Fig4aPoint> {
+    let dur = params.duration.as_secs_f64();
+    let cells = SweepRunner::new("fig4a", 0xF4A).run(
+        &params.periods,
+        params.runs as usize,
+        |&period, cell| {
+            cell.add_virtual_secs(2.0 * dur);
+            (
+                run_4a_once(params, period, 1, cell.run_seed),
+                run_4a_once(params, period, params.seeds, cell.run_seed),
+            )
+        },
+    );
     params
         .periods
         .iter()
-        .map(|&period| {
-            let collect = |mobile: usize| -> RunSummary {
-                let xs: Vec<f64> = (0..params.runs)
-                    .map(|r| run_4a_once(params, period, mobile, 0xF4A + r * 31))
-                    .collect();
-                RunSummary::of(&xs)
-            };
+        .zip(cells)
+        .map(|(&period, runs)| {
+            let one: Vec<f64> = runs.iter().map(|&(o, _)| o).collect();
+            let all: Vec<f64> = runs.iter().map(|&(_, a)| a).collect();
             Fig4aPoint {
                 period,
-                one_mobile: collect(1),
-                all_mobile: collect(params.seeds),
+                one_mobile: RunSummary::of(&one),
+                all_mobile: RunSummary::of(&all),
             }
         })
         .collect()

@@ -19,6 +19,7 @@
 
 use super::common::{populate_swarm, rate, synthetic_torrent, SwarmSetup};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
+use crate::harness::{run_seed, SweepRunner};
 use crate::packet::{PacketConfig, PacketWorld};
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
@@ -90,7 +91,7 @@ pub struct Fig8aPoint {
     pub wp2p: RunSummary,
 }
 
-fn run_8a_once(params: &Fig8aParams, am: Option<AmConfig>, ber: f64, seed: u64) -> f64 {
+pub(crate) fn run_8a_once(params: &Fig8aParams, am: Option<AmConfig>, ber: f64, seed: u64) -> f64 {
     let meta = Metainfo::synthetic("fig8a.bin", "tr", params.piece_length, params.file_size, 1);
     let ih = meta.info.info_hash();
     let mut cfg = PacketConfig::default();
@@ -134,22 +135,33 @@ fn run_8a_once(params: &Fig8aParams, am: Option<AmConfig>, ber: f64, seed: u64) 
     rate(total, params.duration) / 2.0
 }
 
-/// Runs the Fig. 8(a) sweep.
+/// Runs the Fig. 8(a) sweep on the harness. Both arms (default / AM)
+/// share a cell, and [`run_fig8a_point`] reuses the same per-run seeds,
+/// so the ablation stays comparable with the figure.
 pub fn run_fig8a(params: &Fig8aParams) -> Vec<Fig8aPoint> {
+    let dur = params.duration.as_secs_f64();
+    let cells = SweepRunner::new("fig8a", 0xF8A).run(
+        &params.bers,
+        params.runs as usize,
+        |&ber, cell| {
+            cell.add_virtual_secs(2.0 * dur);
+            (
+                run_8a_once(params, None, ber, cell.run_seed),
+                run_8a_once(params, Some(AmConfig::default()), ber, cell.run_seed),
+            )
+        },
+    );
     params
         .bers
         .iter()
-        .map(|&ber| {
-            let collect = |am: Option<AmConfig>| -> RunSummary {
-                let xs: Vec<f64> = (0..params.runs)
-                    .map(|r| run_8a_once(params, am, ber, 0xF8A + r * 13))
-                    .collect();
-                RunSummary::of(&xs)
-            };
+        .zip(cells)
+        .map(|(&ber, runs)| {
+            let default: Vec<f64> = runs.iter().map(|&(d, _)| d).collect();
+            let wp2p: Vec<f64> = runs.iter().map(|&(_, w)| w).collect();
             Fig8aPoint {
                 ber,
-                default: collect(None),
-                wp2p: collect(Some(AmConfig::default())),
+                default: RunSummary::of(&default),
+                wp2p: RunSummary::of(&wp2p),
             }
         })
         .collect()
@@ -157,10 +169,10 @@ pub fn run_fig8a(params: &Fig8aParams) -> Vec<Fig8aPoint> {
 
 /// Runs one Fig. 8(a)-style point with an explicit AM configuration
 /// (`None` = default client); averaged over the params' run count. Used
-/// by the AM component ablation.
+/// by the AM component ablation. Seeds match [`run_fig8a`]'s.
 pub fn run_fig8a_point(params: &Fig8aParams, am: Option<AmConfig>, ber: f64) -> f64 {
     let xs: Vec<f64> = (0..params.runs)
-        .map(|r| run_8a_once(params, am, ber, 0xF8A + r * 13))
+        .map(|r| run_8a_once(params, am, ber, run_seed(0xF8A, r as usize)))
         .collect();
     simnet::stats::mean(&xs)
 }
@@ -270,8 +282,22 @@ pub struct Fig8bResult {
     pub wp2p_bytes: u64,
 }
 
-/// Runs Fig. 8(b).
+/// Runs Fig. 8(b) — a single trace, wrapped as a one-cell sweep so its
+/// cost lands in the harness stats alongside the real sweeps.
 pub fn run_fig8b(params: &Fig8bParams, seed: u64) -> Fig8bResult {
+    let dur = params.duration.as_secs_f64();
+    SweepRunner::new("fig8b", seed)
+        .run(&[()], 1, |_, cell| {
+            cell.add_virtual_secs(dur);
+            run_fig8b_once(params, seed)
+        })
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("fig8b trace")
+}
+
+fn run_fig8b_once(params: &Fig8bParams, seed: u64) -> Fig8bResult {
     let mut cfg = FlowConfig::default();
     cfg.tracker.announce_interval = SimDuration::from_mins(5);
     let mut w = FlowWorld::new(cfg, seed);
@@ -446,22 +472,32 @@ fn run_8c_once(params: &Fig8cParams, lihd: bool, capacity: f64, seed: u64) -> f6
     rate(w.downloaded_bytes(task), params.duration)
 }
 
-/// Runs the Fig. 8(c) sweep.
+/// Runs the Fig. 8(c) sweep on the harness; default and LIHD arms share
+/// a cell (common random numbers).
 pub fn run_fig8c(params: &Fig8cParams) -> Vec<Fig8cPoint> {
+    let dur = params.duration.as_secs_f64();
+    let cells = SweepRunner::new("fig8c", 0xF8C).run(
+        &params.capacities,
+        params.runs as usize,
+        |&capacity, cell| {
+            cell.add_virtual_secs(2.0 * dur);
+            (
+                run_8c_once(params, false, capacity, cell.run_seed),
+                run_8c_once(params, true, capacity, cell.run_seed),
+            )
+        },
+    );
     params
         .capacities
         .iter()
-        .map(|&capacity| {
-            let collect = |lihd: bool| -> RunSummary {
-                let xs: Vec<f64> = (0..params.runs)
-                    .map(|r| run_8c_once(params, lihd, capacity, 0xF8C + r * 7))
-                    .collect();
-                RunSummary::of(&xs)
-            };
+        .zip(cells)
+        .map(|(&capacity, runs)| {
+            let default: Vec<f64> = runs.iter().map(|&(d, _)| d).collect();
+            let wp2p: Vec<f64> = runs.iter().map(|&(_, w)| w).collect();
             Fig8cPoint {
                 capacity,
-                default: collect(false),
-                wp2p: collect(true),
+                default: RunSummary::of(&default),
+                wp2p: RunSummary::of(&wp2p),
             }
         })
         .collect()

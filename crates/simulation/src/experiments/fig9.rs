@@ -13,6 +13,7 @@
 use super::common::{rate, synthetic_torrent, SwarmSetup};
 use super::playability::{run_playability, PlayabilityCurve, PlayabilityParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
+use crate::harness::SweepRunner;
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
 use bittorrent::tracker::TrackerConfig;
@@ -183,22 +184,32 @@ fn run_9c_once(params: &Fig9cParams, rr: bool, period: SimDuration, seed: u64) -
     rate(total, params.duration) / 2.0
 }
 
-/// Runs the Fig. 9(c) sweep.
+/// Runs the Fig. 9(c) sweep on the harness; default and role-reversal
+/// arms share a cell (common random numbers).
 pub fn run_fig9c(params: &Fig9cParams) -> Vec<Fig9cPoint> {
+    let dur = params.duration.as_secs_f64();
+    let cells = SweepRunner::new("fig9c", 0xF9C).run(
+        &params.periods,
+        params.runs as usize,
+        |&period, cell| {
+            cell.add_virtual_secs(2.0 * dur);
+            (
+                run_9c_once(params, false, period, cell.run_seed),
+                run_9c_once(params, true, period, cell.run_seed),
+            )
+        },
+    );
     params
         .periods
         .iter()
-        .map(|&period| {
-            let collect = |rr: bool| -> RunSummary {
-                let xs: Vec<f64> = (0..params.runs)
-                    .map(|r| run_9c_once(params, rr, period, 0xF9C + r * 11))
-                    .collect();
-                RunSummary::of(&xs)
-            };
+        .zip(cells)
+        .map(|(&period, runs)| {
+            let default: Vec<f64> = runs.iter().map(|&(d, _)| d).collect();
+            let wp2p: Vec<f64> = runs.iter().map(|&(_, w)| w).collect();
             Fig9cPoint {
                 period,
-                default: collect(false),
-                wp2p: collect(true),
+                default: RunSummary::of(&default),
+                wp2p: RunSummary::of(&wp2p),
             }
         })
         .collect()

@@ -5,6 +5,7 @@
 
 use super::common::{populate_swarm, synthetic_torrent, SwarmSetup};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
+use crate::harness::SweepRunner;
 use crate::report::Table;
 use bittorrent::client::ClientConfig;
 use media_model::playable_fraction;
@@ -112,51 +113,66 @@ pub fn run_playability(
     base_seed: u64,
 ) -> PlayabilityCurve {
     let grid = params.grid;
+    // One sweep point, `runs` cells: each run simulates independently in
+    // parallel and returns its forward-filled per-bin curve; the curves
+    // are then averaged in cell order.
+    let per_run_curves = SweepRunner::new("playability", base_seed).run(
+        &[()],
+        params.runs as usize,
+        |_, cell| {
+            let seed = cell.run_seed;
+            let mut w = FlowWorld::new(FlowConfig::default(), seed);
+            let torrent =
+                synthetic_torrent("media.mpg", params.piece_length, params.file_size, seed);
+            populate_swarm(&mut w, torrent, &params.swarm);
+            let node = w.add_node(params.client_access);
+            let task = w.add_task(TaskSpec {
+                node,
+                torrent,
+                start_complete: false,
+                start_fraction: None,
+                make_config: Box::new(ClientConfig::default),
+                wp2p: WP2pConfig {
+                    mobility_fetching: fetching,
+                    ..WP2pConfig::default_client()
+                },
+            });
+            w.start();
+            // Sample (downloaded, playable) after every tick; record the
+            // latest sample within each bin, so bin i reports the
+            // playability when the download stood at ≈ its upper edge.
+            let mut per_run: Vec<Option<f64>> = vec![None; grid];
+            let piece_length = params.piece_length;
+            let file_size = params.file_size;
+            let deadline = SimTime::ZERO + params.timeout;
+            w.run_until(deadline, |w| {
+                let f = w.progress_fraction(task);
+                if f <= 0.0 {
+                    return;
+                }
+                let p = w.with_progress(task, |pr| {
+                    playable_fraction(pr.have(), piece_length, file_size)
+                });
+                let bin = ((f * grid as f64).ceil() as usize).clamp(1, grid) - 1;
+                per_run[bin] = Some(p);
+            });
+            cell.add_virtual_secs(w.now().as_secs_f64());
+            // Forward-fill bins that were jumped over (e.g. several
+            // pieces in one tick) with the previous observation.
+            let mut last = 0.0;
+            per_run
+                .into_iter()
+                .map(|slot| {
+                    last = slot.unwrap_or(last);
+                    last
+                })
+                .collect::<Vec<f64>>()
+        },
+    );
     let mut sums = vec![0.0f64; grid];
     let mut counts = vec![0u64; grid];
-    for r in 0..params.runs {
-        let seed = base_seed ^ (r.wrapping_mul(0x9E37_79B9));
-        let mut w = FlowWorld::new(FlowConfig::default(), seed);
-        let torrent =
-            synthetic_torrent("media.mpg", params.piece_length, params.file_size, seed);
-        populate_swarm(&mut w, torrent, &params.swarm);
-        let node = w.add_node(params.client_access);
-        let task = w.add_task(TaskSpec {
-            node,
-            torrent,
-            start_complete: false,
-            start_fraction: None,
-            make_config: Box::new(ClientConfig::default),
-            wp2p: WP2pConfig {
-                mobility_fetching: fetching,
-                ..WP2pConfig::default_client()
-            },
-        });
-        w.start();
-        // Sample (downloaded, playable) after every tick; record the first
-        // sample entering each bin.
-        let mut per_run: Vec<Option<f64>> = vec![None; grid];
-        let piece_length = params.piece_length;
-        let file_size = params.file_size;
-        let deadline = SimTime::ZERO + params.timeout;
-        w.run_until(deadline, |w| {
-            let f = w.progress_fraction(task);
-            if f <= 0.0 {
-                return;
-            }
-            let p =
-                w.with_progress(task, |pr| playable_fraction(pr.have(), piece_length, file_size));
-            // Keep the latest sample within each bin, so bin i reports the
-            // playability when the download stood at ≈ its upper edge.
-            let bin = ((f * grid as f64).ceil() as usize).clamp(1, grid) - 1;
-            per_run[bin] = Some(p);
-        });
-        // Forward-fill bins that were jumped over (e.g. several pieces in
-        // one tick) with the previous observation.
-        let mut last = 0.0;
-        for (i, slot) in per_run.iter().enumerate() {
-            let v = slot.unwrap_or(last);
-            last = v;
+    for curve in per_run_curves.into_iter().flatten() {
+        for (i, v) in curve.into_iter().enumerate() {
             sums[i] += v;
             counts[i] += 1;
         }

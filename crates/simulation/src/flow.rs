@@ -25,7 +25,7 @@
 //!   after a hand-off). Age-based Manipulation is packet-level and lives
 //!   in the packet world instead.
 
-use crate::rates::{max_min_rates, FlowDemand};
+use crate::rates::{FlowDemand, MaxMinSolver};
 use bittorrent::client::{Action, Client, ClientConfig, ClientStats};
 use bittorrent::metainfo::{InfoHash, Metainfo};
 use bittorrent::peer_id::{PeerId, PeerIdStyle};
@@ -342,6 +342,27 @@ pub struct FlowWorld {
     last_advance: SimTime,
     next_metrics: SimTime,
     trace: Trace,
+    /// Set whenever the rate problem's inputs change (topology, queue
+    /// emptiness, node liveness, upload caps); cleared by a solve. While
+    /// clean, `recompute_rates` is a no-op — the previous allocation is
+    /// still exact.
+    rates_dirty: bool,
+    rate_solves: u64,
+    rate_skips: u64,
+    scratch: RatesScratch,
+}
+
+/// Persistent buffers for [`FlowWorld::recompute_rates`] so steady-state
+/// ticks allocate nothing.
+#[derive(Default)]
+struct RatesScratch {
+    solver: MaxMinSolver,
+    caps: Vec<f64>,
+    task_cap_res: Vec<Option<usize>>,
+    demands: Vec<FlowDemand>,
+    /// `(conn id, is ab)` per demand, same order.
+    refs: Vec<(u64, bool)>,
+    rates: Vec<f64>,
 }
 
 impl FlowWorld {
@@ -363,7 +384,22 @@ impl FlowWorld {
             last_advance: SimTime::ZERO,
             next_metrics: SimTime::ZERO,
             trace: Trace::new(4096),
+            rates_dirty: true,
+            rate_solves: 0,
+            rate_skips: 0,
+            scratch: RatesScratch::default(),
         }
+    }
+
+    /// Ticks whose rate problem changed and was re-solved.
+    pub fn rate_solves(&self) -> u64 {
+        self.rate_solves
+    }
+
+    /// Ticks that skipped the max-min solve because nothing affecting the
+    /// allocation changed since the previous one.
+    pub fn rate_skips(&self) -> u64 {
+        self.rate_skips
     }
 
     /// Current virtual time.
@@ -522,9 +558,12 @@ impl FlowWorld {
         task.client = Some(client);
         task.started = true;
         task.next_client_tick = now;
+        // A fresh client may carry an upload cap into the rate problem.
+        self.rates_dirty = true;
     }
 
     fn kill_client(&mut self, t: TaskKey, now: SimTime) {
+        self.rates_dirty = true;
         if let Some(client) = self.tasks[t].client.take() {
             let stats = client.stats();
             let acc = &mut self.tasks[t].acc;
@@ -657,6 +696,9 @@ impl FlowWorld {
     /// paper's §4.2 future work.
     pub fn set_task_upload_limit(&mut self, t: TaskKey, limit: Option<f64>) {
         if let Some(c) = self.tasks[t].client.as_mut() {
+            if c.upload_limit() != limit {
+                self.rates_dirty = true;
+            }
             c.set_upload_limit(limit);
         }
     }
@@ -772,6 +814,7 @@ impl FlowWorld {
         // Deliveries: (dst task, dst key, dst generation, src task, msg).
         let mut deliveries: Vec<(TaskKey, u64, u32, TaskKey, Message)> = Vec::new();
         let mut scratch: Vec<Message> = Vec::new();
+        let mut drained = false;
         for conn in self.conns.values_mut() {
             if conn.dead_since.is_some() {
                 continue;
@@ -785,10 +828,16 @@ impl FlowWorld {
                 }
                 scratch.clear();
                 q.advance(q.rate * elapsed, &mut scratch);
+                if q.queue.is_empty() {
+                    drained = true; // demand leaves the rate problem
+                }
                 for msg in scratch.drain(..) {
                     deliveries.push((dst.task, dst.key, dst.generation, src.task, msg));
                 }
             }
+        }
+        if drained {
+            self.rates_dirty = true;
         }
         for (dst_task, dst_key, dst_gen, src_task, msg) in deliveries {
             if self.tasks[dst_task].generation != dst_gen {
@@ -825,6 +874,7 @@ impl FlowWorld {
         let Some(conn) = self.conns.remove(&cid) else {
             return;
         };
+        self.rates_dirty = true;
         for end in [conn.a, conn.b] {
             // Client connection keys restart at 1 after task re-initiation,
             // so `(task, key)` may have been re-bound to a *newer*
@@ -867,6 +917,9 @@ impl FlowWorld {
         if let Some(l) = task.lihd.as_mut() {
             if l.due(now) {
                 let u = l.update(now, d_cur);
+                if client.upload_limit() != Some(u) {
+                    self.rates_dirty = true;
+                }
                 client.set_upload_limit(Some(u));
             }
         }
@@ -928,6 +981,9 @@ impl FlowWorld {
                 if let Some(&(cid, is_a)) = self.index.get(&(t, conn)) {
                     if let Some(c) = self.conns.get_mut(&cid) {
                         let q = if is_a { &mut c.ab } else { &mut c.ba };
+                        if q.queue.is_empty() && c.dead_since.is_none() {
+                            self.rates_dirty = true; // demand appears
+                        }
                         q.push(msg);
                     }
                 }
@@ -1019,6 +1075,7 @@ impl FlowWorld {
         );
         self.index.insert((t, key), (cid, true));
         self.index.insert((tt, b_key), (cid, false));
+        self.rates_dirty = true;
         self.trace.record(
             now,
             TraceKind::Connection,
@@ -1070,6 +1127,7 @@ impl FlowWorld {
         self.trace
             .record(now, TraceKind::Mobility, format!("node {node} hand-off: down"));
         self.nodes[node].alive = false;
+        self.rates_dirty = true;
         let tasks: Vec<TaskKey> = (0..self.tasks.len())
             .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
             .collect();
@@ -1087,6 +1145,7 @@ impl FlowWorld {
         );
         self.nodes[node].addr = addr;
         self.nodes[node].alive = true;
+        self.rates_dirty = true;
         let tasks: Vec<TaskKey> = (0..self.tasks.len())
             .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
             .collect();
@@ -1104,15 +1163,26 @@ impl FlowWorld {
     }
 
     fn recompute_rates(&mut self) {
-        let mut caps = vec![0.0f64; self.nodes.len() * 2];
+        // The allocation is a pure function of (topology, queue
+        // emptiness, liveness, caps); when none of those changed since
+        // the last solve, the assigned rates are still exact.
+        if !self.rates_dirty {
+            self.rate_skips += 1;
+            return;
+        }
+        self.rates_dirty = false;
+        self.rate_solves += 1;
+        let mut s = std::mem::take(&mut self.scratch);
+        s.caps.clear();
+        s.caps.resize(self.nodes.len() * 2, 0.0);
         for (i, n) in self.nodes.iter().enumerate() {
             match n.access {
                 Access::Wired { up, down } => {
-                    caps[2 * i] = up;
-                    caps[2 * i + 1] = down;
+                    s.caps[2 * i] = up;
+                    s.caps[2 * i + 1] = down;
                 }
                 Access::Wireless { capacity } => {
-                    caps[2 * i] = capacity;
+                    s.caps[2 * i] = capacity;
                 }
             }
         }
@@ -1120,16 +1190,17 @@ impl FlowWorld {
         // resource of that capacity: all its outgoing flows share it, so
         // capping uploads genuinely releases channel capacity to other
         // flows (how LIHD buys downloads back on a shared channel).
-        let mut task_cap_res: Vec<Option<usize>> = vec![None; self.tasks.len()];
+        s.task_cap_res.clear();
+        s.task_cap_res.resize(self.tasks.len(), None);
         for (t, task) in self.tasks.iter().enumerate() {
             if let Some(limit) = task.client.as_ref().and_then(|c| c.upload_limit()) {
-                task_cap_res[t] = Some(caps.len());
-                caps.push(limit.max(1.0));
+                s.task_cap_res[t] = Some(s.caps.len());
+                s.caps.push(limit.max(1.0));
             }
         }
         // Collect active flows in deterministic order.
-        let mut demands: Vec<FlowDemand> = Vec::new();
-        let mut refs: Vec<(u64, bool)> = Vec::new(); // (conn id, is ab)
+        s.demands.clear();
+        s.refs.clear();
         for (&cid, conn) in &self.conns {
             if conn.dead_since.is_some() {
                 continue;
@@ -1144,31 +1215,31 @@ impl FlowWorld {
                     self.node_resources(node_a).0,
                     self.node_resources(node_b).1,
                 );
-                if let Some(r) = task_cap_res[conn.a.task] {
+                if let Some(r) = s.task_cap_res[conn.a.task] {
                     d = d.with_cap(r);
                 }
-                demands.push(d);
-                refs.push((cid, true));
+                s.demands.push(d);
+                s.refs.push((cid, true));
             }
             if !conn.ba.queue.is_empty() {
                 let mut d = FlowDemand::new(
                     self.node_resources(node_b).0,
                     self.node_resources(node_a).1,
                 );
-                if let Some(r) = task_cap_res[conn.b.task] {
+                if let Some(r) = s.task_cap_res[conn.b.task] {
                     d = d.with_cap(r);
                 }
-                demands.push(d);
-                refs.push((cid, false));
+                s.demands.push(d);
+                s.refs.push((cid, false));
             }
         }
-        let rates = max_min_rates(&demands, &caps);
+        s.solver.solve(&s.demands, &s.caps, &mut s.rates);
         // Zero everything, then set the active ones.
         for conn in self.conns.values_mut() {
             conn.ab.rate = 0.0;
             conn.ba.rate = 0.0;
         }
-        for ((cid, is_ab), rate) in refs.into_iter().zip(rates) {
+        for (&(cid, is_ab), &rate) in s.refs.iter().zip(&s.rates) {
             let conn = self.conns.get_mut(&cid).expect("listed above");
             if is_ab {
                 conn.ab.rate = rate;
@@ -1176,6 +1247,7 @@ impl FlowWorld {
                 conn.ba.rate = rate;
             }
         }
+        self.scratch = s;
     }
 }
 
@@ -1228,5 +1300,38 @@ mod tests {
         let mut out = Vec::new();
         q.advance(13.0, &mut out);
         assert_eq!(q.head_remaining, 100.0);
+    }
+
+    #[test]
+    fn clean_ticks_skip_the_solve() {
+        // An empty world is dirty exactly once (initial state); every
+        // later tick must take the skip path.
+        let mut w = FlowWorld::new(FlowConfig::default(), 7);
+        w.start();
+        w.run_until(SimTime::from_secs(10), |_| {});
+        assert_eq!(w.rate_solves(), 1, "only the first tick solves");
+        assert!(w.rate_skips() >= 30, "skips={}", w.rate_skips());
+    }
+
+    #[test]
+    fn transfer_completes_and_quiet_ticks_skip() {
+        let meta = Metainfo::synthetic("skip.bin", "tr", 64 * 1024, 1024 * 1024, 1);
+        let torrent = TorrentSpec::from_metainfo(&meta, 64 * 1024);
+        let mut w = FlowWorld::new(FlowConfig::default(), 42);
+        let seed_node = w.add_node(Access::campus());
+        let leech_node = w.add_node(Access::residential());
+        w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+        let leech = w.add_task(TaskSpec::default_client(leech_node, torrent, false));
+        w.start();
+        w.run_until(SimTime::from_secs(240), |_| {});
+        assert_eq!(w.progress_fraction(leech), 1.0);
+        assert!(w.rate_solves() > 0);
+        // After completion the swarm idles: a long tail of clean ticks.
+        assert!(
+            w.rate_skips() > w.rate_solves(),
+            "solves={} skips={}",
+            w.rate_solves(),
+            w.rate_skips()
+        );
     }
 }

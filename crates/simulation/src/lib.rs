@@ -9,6 +9,8 @@
 //! * [`packet`] — the packet-level world: sim-TCP segments over wireless
 //!   channel models, with the AM filter in the datapath. Used for paper
 //!   Figs. 2 and 8(a).
+//! * [`harness`] — the parallel deterministic sweep runner every
+//!   experiment driver fans its (point × run) cells through.
 //! * [`experiments`] — one driver per figure, each producing the same
 //!   series the paper plots.
 //! * [`report`] — plain-text table rendering for the figure binaries.
@@ -18,6 +20,7 @@
 
 pub mod experiments;
 pub mod flow;
+pub mod harness;
 pub mod packet;
 pub mod rates;
 pub mod report;

@@ -63,71 +63,148 @@ impl FlowDemand {
 ///
 /// Resources with non-positive capacity admit no traffic.
 ///
+/// One-shot convenience over [`MaxMinSolver`]; callers on a hot path
+/// should hold a solver and call [`MaxMinSolver::solve`] to reuse its
+/// scratch buffers.
+///
 /// # Panics
 ///
 /// Panics when a flow references an out-of-range resource.
 pub fn max_min_rates(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
-    let n = flows.len();
-    let mut rates = vec![0.0f64; n];
-    if n == 0 {
-        return rates;
-    }
-    let mut remaining: Vec<f64> = capacities.iter().map(|&c| c.max(0.0)).collect();
-    let mut active: Vec<bool> = vec![true; n];
-    // Flows on zero-capacity resources never start.
-    for (i, f) in flows.iter().enumerate() {
-        for r in f.resources() {
-            assert!(r < capacities.len(), "resource {r} out of range");
-            if remaining[r] <= 0.0 {
-                active[i] = false;
-            }
-        }
-    }
-    let mut users = vec![0usize; capacities.len()];
-
-    loop {
-        // Count active users per resource.
-        users.iter_mut().for_each(|u| *u = 0);
-        let mut any_active = false;
-        for (i, f) in flows.iter().enumerate() {
-            if active[i] {
-                any_active = true;
-                for r in f.resources() {
-                    users[r] += 1;
-                }
-            }
-        }
-        if !any_active {
-            break;
-        }
-        // The smallest per-flow headroom across used resources.
-        let mut delta = f64::INFINITY;
-        for (r, &u) in users.iter().enumerate() {
-            if u > 0 {
-                delta = delta.min(remaining[r] / u as f64);
-            }
-        }
-        if !delta.is_finite() || delta <= 0.0 {
-            break;
-        }
-        // Raise all active flows by delta; drain resources.
-        for (i, f) in flows.iter().enumerate() {
-            if active[i] {
-                rates[i] += delta;
-                for r in f.resources() {
-                    remaining[r] -= delta;
-                }
-            }
-        }
-        // Freeze flows using any (numerically) saturated resource.
-        let eps = 1e-9;
-        for (i, f) in flows.iter().enumerate() {
-            if active[i] && f.resources().any(|r| remaining[r] <= eps * capacities[r].max(1.0)) {
-                active[i] = false;
-            }
-        }
-    }
+    let mut rates = Vec::new();
+    MaxMinSolver::new().solve(flows, capacities, &mut rates);
     rates
+}
+
+/// Reusable progressive-filling solver.
+///
+/// All active flows rise together, so instead of bumping every flow's
+/// rate each round the solver tracks one shared `level` and stamps it
+/// onto a flow when the flow freezes. Freezing walks only the flows on
+/// the just-saturated resource (per-resource membership lists built once
+/// per solve), and per-resource active-user counts are maintained
+/// incrementally — each round costs O(resources touched), and the total
+/// freeze work across all rounds is O(flow-resource incidences), not
+/// O(rounds × flows) as in the naive rescan.
+///
+/// Scratch buffers persist across calls so steady-state solves allocate
+/// nothing.
+#[derive(Debug, Default)]
+pub struct MaxMinSolver {
+    remaining: Vec<f64>,
+    users: Vec<usize>,
+    flows_on: Vec<Vec<usize>>,
+    /// Resources with at least one active user in the current solve; the
+    /// per-resource state of exactly these is cleared on the next call.
+    touched: Vec<ResourceId>,
+    active: Vec<bool>,
+}
+
+impl MaxMinSolver {
+    /// A solver with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves the allocation into `rates` (cleared and resized to
+    /// `flows.len()`). Semantics are identical to [`max_min_rates`].
+    pub fn solve(&mut self, flows: &[FlowDemand], capacities: &[f64], rates: &mut Vec<f64>) {
+        let n = flows.len();
+        rates.clear();
+        rates.resize(n, 0.0);
+        if n == 0 {
+            return;
+        }
+        let nr = capacities.len();
+        if self.remaining.len() < nr {
+            self.remaining.resize(nr, 0.0);
+            self.users.resize(nr, 0);
+            self.flows_on.resize_with(nr, Vec::new);
+        }
+        // Reset only what the previous solve dirtied.
+        for r in self.touched.drain(..) {
+            self.users[r] = 0;
+            self.flows_on[r].clear();
+        }
+        for (rem, &c) in self.remaining.iter_mut().zip(capacities) {
+            *rem = c.max(0.0);
+        }
+        self.active.clear();
+        self.active.resize(n, true);
+
+        // Flows on zero-capacity resources never start; the rest are
+        // registered on each resource they use.
+        for (i, f) in flows.iter().enumerate() {
+            for r in f.resources() {
+                assert!(r < nr, "resource {r} out of range");
+                if self.remaining[r] <= 0.0 {
+                    self.active[i] = false;
+                }
+            }
+            if self.active[i] {
+                for r in f.resources() {
+                    if self.users[r] == 0 {
+                        self.touched.push(r);
+                    }
+                    self.users[r] += 1;
+                    self.flows_on[r].push(i);
+                }
+            }
+        }
+        let mut n_active = self.active.iter().filter(|&&a| a).count();
+
+        let eps = 1e-9;
+        let mut level = 0.0f64;
+        while n_active > 0 {
+            // The smallest per-flow headroom across used resources.
+            let mut delta = f64::INFINITY;
+            for &r in &self.touched {
+                let u = self.users[r];
+                if u > 0 {
+                    delta = delta.min(self.remaining[r] / u as f64);
+                }
+            }
+            if !delta.is_finite() || delta <= 0.0 {
+                break;
+            }
+            level += delta;
+            for &r in &self.touched {
+                let u = self.users[r];
+                if u > 0 {
+                    self.remaining[r] -= delta * u as f64;
+                }
+            }
+            // Freeze the flows on each (numerically) saturated resource
+            // at the current level, releasing their claims elsewhere.
+            for ti in 0..self.touched.len() {
+                let r = self.touched[ti];
+                if self.users[r] == 0 || self.remaining[r] > eps * capacities[r].max(1.0) {
+                    continue;
+                }
+                for fi in 0..self.flows_on[r].len() {
+                    let i = self.flows_on[r][fi];
+                    if !self.active[i] {
+                        continue;
+                    }
+                    self.active[i] = false;
+                    rates[i] = level;
+                    n_active -= 1;
+                    for rr in flows[i].resources() {
+                        self.users[rr] -= 1;
+                    }
+                }
+            }
+        }
+        // Anything still active when the fill stalls keeps the level it
+        // reached (mirrors the rescan implementation's early break).
+        if n_active > 0 {
+            for (i, a) in self.active.iter().enumerate() {
+                if *a {
+                    rates[i] = level;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +295,36 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(max_min_rates(&[], &[10.0]).is_empty());
+    }
+
+    #[test]
+    fn solver_reuse_matches_one_shot() {
+        // A persistent solver must give the same answers as fresh calls
+        // even when consecutive problems change shape (more resources,
+        // fewer flows, zero-cap resources appearing).
+        let problems: Vec<(Vec<FlowDemand>, Vec<f64>)> = vec![
+            (
+                vec![FlowDemand::single(0), FlowDemand::new(0, 1), FlowDemand::single(1)],
+                vec![10.0, 100.0],
+            ),
+            (
+                vec![
+                    FlowDemand::new(0, 3).with_cap(4),
+                    FlowDemand::new(1, 2),
+                    FlowDemand::single(2),
+                ],
+                vec![30.0, 20.0, 25.0, 40.0, 7.5],
+            ),
+            (vec![FlowDemand::new(0, 1)], vec![0.0, 50.0]),
+            (vec![], vec![10.0]),
+            (vec![FlowDemand::single(0); 4], vec![100.0]),
+        ];
+        let mut solver = MaxMinSolver::new();
+        let mut out = Vec::new();
+        for (flows, caps) in &problems {
+            solver.solve(flows, caps, &mut out);
+            assert_eq!(out, max_min_rates(flows, caps), "flows={flows:?}");
+        }
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Property-based tests across the workspace's core data structures and
 //! invariants.
+//!
+//! Cases are generated from [`SimRng`] streams rather than an external
+//! property-testing crate (the workspace builds fully offline): each test
+//! runs a few hundred randomized cases from a fixed seed, so failures are
+//! reproducible — re-run with the printed case seed to shrink by hand.
 
 use bittorrent::bencode::Value;
 use bittorrent::bitfield::Bitfield;
@@ -7,84 +12,109 @@ use bittorrent::progress::TorrentProgress;
 use bittorrent::rate::TokenBucket;
 use media_model::playable_fraction;
 use p2p_simulation::rates::{max_min_rates, FlowDemand};
-use proptest::collection::vec;
-use proptest::prelude::*;
 use sim_tcp::reasm::Reassembly;
 use sim_tcp::seq::SeqNum;
 use simnet::event::EventQueue;
+use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
+
+/// Runs `cases` randomized cases; each gets an independent RNG stream so
+/// a failing case replays from `base_seed` and its index alone.
+fn for_cases(base_seed: u64, cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    let root = SimRng::new(base_seed);
+    for case in 0..cases {
+        let mut rng = root.fork(case);
+        f(&mut rng);
+    }
+}
+
+fn random_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.range(0..=max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
 // ---------------------------------------------------------------------
 // Bencode
 // ---------------------------------------------------------------------
 
-/// Recursive strategy for arbitrary bencode values.
-fn bencode_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-    ];
-    leaf.prop_recursive(3, 32, 8, |inner| {
-        prop_oneof![
-            vec(inner.clone(), 0..6).prop_map(Value::List),
-            vec((vec(any::<u8>(), 0..12), inner), 0..6).prop_map(|pairs| {
-                Value::Dict(pairs.into_iter().collect())
-            }),
-        ]
-    })
+/// Arbitrary bencode value with bounded depth.
+fn bencode_value(rng: &mut SimRng, depth: u32) -> Value {
+    let choices = if depth == 0 { 2 } else { 4 };
+    match rng.range(0..choices) {
+        0 => Value::Int(rng.next_u64() as i64),
+        1 => Value::Bytes(random_bytes(rng, 64)),
+        2 => {
+            let n = rng.range(0..6usize);
+            Value::List((0..n).map(|_| bencode_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.range(0..6usize);
+            Value::Dict(
+                (0..n)
+                    .map(|_| (random_bytes(rng, 12), bencode_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn bencode_roundtrips(v in bencode_value()) {
+#[test]
+fn bencode_roundtrips() {
+    for_cases(0xB3C0DE, 256, |rng| {
+        let v = bencode_value(rng, 3);
         let encoded = v.encode();
         let decoded = Value::decode(&encoded).expect("own encoding decodes");
-        prop_assert_eq!(decoded, v);
-    }
+        assert_eq!(decoded, v);
+    });
+}
 
-    #[test]
-    fn bencode_decoder_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+#[test]
+fn bencode_decoder_never_panics() {
+    for_cases(0xB3C0DF, 512, |rng| {
         // Any input: decode returns Ok or Err, never panics.
-        let _ = Value::decode(&bytes);
-    }
+        let _ = Value::decode(&random_bytes(rng, 256));
+    });
 }
 
 // ---------------------------------------------------------------------
 // Bitfield
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn bitfield_set_get_roundtrip(len in 1u32..512, indices in vec(any::<u32>(), 0..64)) {
+#[test]
+fn bitfield_set_get_roundtrip() {
+    for_cases(0xB17F, 256, |rng| {
+        let len = rng.range(1u32..512);
         let mut bf = Bitfield::new(len);
         let mut expected = std::collections::BTreeSet::new();
-        for i in indices {
-            let i = i % len;
+        for _ in 0..rng.range(0..64usize) {
+            let i = rng.range(0..u32::MAX) % len;
             bf.set(i);
             expected.insert(i);
         }
-        prop_assert_eq!(bf.count() as usize, expected.len());
-        prop_assert_eq!(bf.iter_set().collect::<Vec<_>>(),
-                        expected.iter().copied().collect::<Vec<_>>());
+        assert_eq!(bf.count() as usize, expected.len());
+        assert_eq!(
+            bf.iter_set().collect::<Vec<_>>(),
+            expected.iter().copied().collect::<Vec<_>>()
+        );
         // Wire round-trip preserves everything.
         let back = Bitfield::from_bytes(bf.as_bytes(), len).expect("own bytes parse");
-        prop_assert_eq!(back, bf);
-    }
+        assert_eq!(back, bf);
+    });
 }
 
 // ---------------------------------------------------------------------
 // TCP reassembly
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Any permutation of any segmentation delivers the exact stream.
-    #[test]
-    fn reassembly_delivers_exact_stream(
-        seg_lens in vec(1u32..2000, 1..40),
-        seed in any::<u64>(),
-        initial in any::<u32>(),
-    ) {
-        use simnet::rng::SimRng;
+/// Any permutation of any segmentation delivers the exact stream.
+#[test]
+fn reassembly_delivers_exact_stream() {
+    for_cases(0x7C9, 256, |rng| {
+        let n_segs = rng.range(1..40usize);
+        let seg_lens: Vec<u32> = (0..n_segs).map(|_| rng.range(1u32..2000)).collect();
+        let initial = rng.range(0..u32::MAX);
         let total: u64 = seg_lens.iter().map(|&l| l as u64).sum();
         // Build (offset, len) segments then shuffle.
         let mut segs = Vec::new();
@@ -93,25 +123,26 @@ proptest! {
             segs.push((off, l));
             off = off.wrapping_add(l);
         }
-        let mut rng = SimRng::new(seed);
         rng.shuffle(&mut segs);
         let mut r = Reassembly::new(SeqNum(initial));
         let mut delivered = 0u64;
         for (o, l) in segs {
             delivered += r.on_data(SeqNum(initial.wrapping_add(o)), l).delivered;
         }
-        prop_assert_eq!(delivered, total);
-        prop_assert_eq!(r.delivered_total(), total);
-        prop_assert_eq!(r.rcv_nxt(), SeqNum(initial.wrapping_add(total as u32)));
-        prop_assert_eq!(r.buffered_ooo(), 0);
-    }
+        assert_eq!(delivered, total);
+        assert_eq!(r.delivered_total(), total);
+        assert_eq!(r.rcv_nxt(), SeqNum(initial.wrapping_add(total as u32)));
+        assert_eq!(r.buffered_ooo(), 0);
+    });
+}
 
-    /// Duplicated segments never inflate the delivered byte count.
-    #[test]
-    fn reassembly_ignores_duplicates(
-        seg_lens in vec(1u32..500, 1..20),
-        dup_factor in 1usize..4,
-    ) {
+/// Duplicated segments never inflate the delivered byte count.
+#[test]
+fn reassembly_ignores_duplicates() {
+    for_cases(0x7CA, 128, |rng| {
+        let n_segs = rng.range(1..20usize);
+        let seg_lens: Vec<u32> = (0..n_segs).map(|_| rng.range(1u32..500)).collect();
+        let dup_factor = rng.range(1usize..4);
         let total: u64 = seg_lens.iter().map(|&l| l as u64).sum();
         let mut r = Reassembly::new(SeqNum(0));
         let mut segs = Vec::new();
@@ -126,29 +157,27 @@ proptest! {
         for (o, l) in segs {
             delivered += r.on_data(SeqNum(o), l).delivered;
         }
-        prop_assert_eq!(delivered, total);
-    }
+        assert_eq!(delivered, total);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Token bucket
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Long-run admitted volume never exceeds rate·time + burst.
-    #[test]
-    fn token_bucket_conserves(
-        rate in 100.0f64..100_000.0,
-        burst_mult in 1.0f64..5.0,
-        offers in vec((0u64..5_000, 1u64..10_000), 1..200),
-    ) {
-        let burst = rate * burst_mult;
+/// Long-run admitted volume never exceeds rate·time + burst.
+#[test]
+fn token_bucket_conserves() {
+    for_cases(0x70CB, 256, |rng| {
+        let rate = rng.range(100.0f64..100_000.0);
+        let burst = rate * rng.range(1.0f64..5.0);
         let mut tb = TokenBucket::new(Some(rate), burst);
         let mut t = SimTime::ZERO;
         let mut admitted = 0u64;
         let mut horizon = SimTime::ZERO;
-        for (dt_ms, bytes) in offers {
-            t += SimDuration::from_millis(dt_ms);
+        for _ in 0..rng.range(1..200usize) {
+            t += SimDuration::from_millis(rng.range(0u64..5_000));
+            let bytes = rng.range(1u64..10_000);
             horizon = t;
             if tb.try_consume(t, bytes) {
                 admitted += bytes;
@@ -157,67 +186,65 @@ proptest! {
         let bound = rate * horizon.as_secs_f64() + burst
             // Debt admission can overshoot by one payload.
             + 10_000.0;
-        prop_assert!(admitted as f64 <= bound,
-            "admitted {admitted} > bound {bound}");
-    }
+        assert!(
+            admitted as f64 <= bound,
+            "admitted {admitted} > bound {bound}"
+        );
+    });
 }
 
 // ---------------------------------------------------------------------
 // Playability
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Playability is monotone under adding pieces and bounded by the
-    /// downloaded fraction.
-    #[test]
-    fn playability_monotone_and_bounded(
-        n in 1u32..128,
-        order in vec(any::<u32>(), 1..128),
-    ) {
+/// Playability is monotone under adding pieces and bounded by the
+/// downloaded fraction.
+#[test]
+fn playability_monotone_and_bounded() {
+    for_cases(0x97AB, 128, |rng| {
+        let n = rng.range(1u32..128);
         let piece = 1000u32;
-        let length = n as u64 * piece as u64 - 137; // short last piece
+        let length = n as u64 * piece as u64 - 137.min(n as u64 * piece as u64 - 1); // short last piece
         let mut bf = Bitfield::new(n);
         let mut last = 0.0f64;
-        for i in order {
-            bf.set(i % n);
+        for _ in 0..rng.range(1..128usize) {
+            bf.set(rng.range(0..u32::MAX) % n);
             let p = playable_fraction(&bf, piece, length);
-            let downloaded: u64 = bf.iter_set()
+            let downloaded: u64 = bf
+                .iter_set()
                 .map(|ix| {
                     let start = ix as u64 * piece as u64;
                     (start + piece as u64).min(length) - start
                 })
                 .sum();
             let dl_frac = downloaded as f64 / length as f64;
-            prop_assert!(p >= last - 1e-12, "monotone violated");
-            prop_assert!(p <= dl_frac + 1e-12, "playable beyond downloaded");
+            assert!(p >= last - 1e-12, "monotone violated");
+            assert!(p <= dl_frac + 1e-12, "playable beyond downloaded");
             last = p;
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Max-min fairness
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// No resource is oversubscribed, and every flow with spare capacity
-    /// everywhere it travels is not starved.
-    #[test]
-    fn max_min_feasible_and_work_conserving(
-        n_res in 1usize..10,
-        flows_raw in vec((any::<usize>(), any::<usize>()), 1..40),
-        caps_raw in vec(1.0f64..1_000.0, 10),
-    ) {
-        let caps: Vec<f64> = caps_raw[..n_res].to_vec();
-        let flows: Vec<FlowDemand> = flows_raw
-            .iter()
-            .map(|&(a, b)| FlowDemand::new(a % n_res, b % n_res))
+/// No resource is oversubscribed, and every flow with spare capacity
+/// everywhere it travels is not starved.
+#[test]
+fn max_min_feasible_and_work_conserving() {
+    for_cases(0x3A53, 512, |rng| {
+        let n_res = rng.range(1usize..10);
+        let caps: Vec<f64> = (0..n_res).map(|_| rng.range(1.0f64..1_000.0)).collect();
+        let n_flows = rng.range(1..40usize);
+        let flows: Vec<FlowDemand> = (0..n_flows)
+            .map(|_| FlowDemand::new(rng.range(0..n_res), rng.range(0..n_res)))
             .collect();
         let rates = max_min_rates(&flows, &caps);
-        prop_assert_eq!(rates.len(), flows.len());
+        assert_eq!(rates.len(), flows.len());
         let mut used = vec![0.0f64; n_res];
         for (f, r) in flows.iter().zip(&rates) {
-            prop_assert!(*r >= 0.0);
+            assert!(*r >= 0.0);
             used[f.r1] += r;
             if let Some(r2) = f.r2 {
                 used[r2] += r;
@@ -227,7 +254,7 @@ proptest! {
             }
         }
         for (u, c) in used.iter().zip(&caps) {
-            prop_assert!(*u <= c * (1.0 + 1e-9) + 1e-9, "oversubscribed: {u} > {c}");
+            assert!(*u <= c * (1.0 + 1e-9) + 1e-9, "oversubscribed: {u} > {c}");
         }
         // Every flow is frozen by some saturated resource.
         for (f, r) in flows.iter().zip(&rates) {
@@ -235,54 +262,48 @@ proptest! {
                 .into_iter()
                 .flatten()
                 .any(|res| used[res] >= caps[res] * (1.0 - 1e-6));
-            prop_assert!(saturated || *r > 0.0, "flow starved with spare capacity");
+            assert!(saturated || *r > 0.0, "flow starved with spare capacity");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Event queue ordering
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn event_queue_pops_in_time_then_fifo_order(
-        times in vec(0u64..1_000, 1..200),
-    ) {
+#[test]
+fn event_queue_pops_in_time_then_fifo_order() {
+    for_cases(0xE0E0, 256, |rng| {
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule_at(SimTime::from_micros(t), i);
+        for i in 0..rng.range(1..200usize) {
+            q.schedule_at(SimTime::from_micros(rng.range(0u64..1_000)), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "time went backwards");
                 if t == lt {
-                    prop_assert!(i > li, "FIFO tie-break violated");
+                    assert!(i > li, "FIFO tie-break violated");
                 }
             }
             last = Some((t, i));
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Torrent progress
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Receiving every block exactly once completes the torrent, no
-    /// matter the interleaving across connections.
-    #[test]
-    fn progress_completes_under_any_interleaving(
-        pieces in 1u32..20,
-        piece_len in 1u32..8,
-        seed in any::<u64>(),
-    ) {
-        use simnet::rng::SimRng;
+/// Receiving every block exactly once completes the torrent, no matter
+/// the interleaving across connections.
+#[test]
+fn progress_completes_under_any_interleaving() {
+    for_cases(0x9409, 128, |rng| {
+        let pieces = rng.range(1u32..20);
         let block = 16u32;
-        let piece_len = piece_len * block;
-        let length = pieces as u64 * piece_len as u64 - 5;
+        let piece_len = rng.range(1u32..8) * block;
+        let length = (pieces as u64 * piece_len as u64).saturating_sub(5).max(1);
         let mut p = TorrentProgress::with_block_size(piece_len, length, block);
         let mut blocks = Vec::new();
         for piece in 0..p.num_pieces() {
@@ -290,7 +311,6 @@ proptest! {
                 blocks.push(p.block_ref(piece, b));
             }
         }
-        let mut rng = SimRng::new(seed);
         rng.shuffle(&mut blocks);
         let mut completed = 0u32;
         for (i, b) in blocks.iter().enumerate() {
@@ -301,37 +321,43 @@ proptest! {
                     }
                 }
                 bittorrent::progress::BlockOutcome::Duplicate => {
-                    prop_assert!(false, "no duplicates were sent");
+                    panic!("no duplicates were sent");
                 }
             }
         }
-        prop_assert_eq!(completed, p.num_pieces());
-        prop_assert!(p.is_complete());
-        prop_assert_eq!(p.bytes_downloaded(), length);
-    }
+        assert_eq!(completed, p.num_pieces());
+        assert!(p.is_complete());
+        assert_eq!(p.bytes_downloaded(), length);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Wire codec
 // ---------------------------------------------------------------------
 
-/// Strategy over non-handshake wire messages (with payload for `Piece`).
-fn wire_message() -> impl Strategy<Value = (bittorrent::wire::Message, Option<Vec<u8>>)> {
-    use bittorrent::bitfield::Bitfield;
+/// Arbitrary non-handshake wire message (with payload for `Piece`).
+fn wire_message(rng: &mut SimRng) -> (bittorrent::wire::Message, Option<Vec<u8>>) {
     use bittorrent::wire::{BlockRef, Message};
-    let block = (any::<u32>(), any::<u32>(), 1u32..64).prop_map(|(p, o, l)| BlockRef {
-        piece: p,
-        offset: o,
-        len: l,
-    });
-    prop_oneof![
-        Just((Message::KeepAlive, None)),
-        Just((Message::Choke, None)),
-        Just((Message::Unchoke, None)),
-        Just((Message::Interested, None)),
-        Just((Message::NotInterested, None)),
-        any::<u32>().prop_map(|index| (Message::Have { index }, None)),
-        (1u32..64, any::<u64>()).prop_map(|(len, bits)| {
+    let block = |rng: &mut SimRng| BlockRef {
+        piece: rng.range(0..u32::MAX),
+        offset: rng.range(0..u32::MAX),
+        len: rng.range(1u32..64),
+    };
+    match rng.range(0..10u32) {
+        0 => (Message::KeepAlive, None),
+        1 => (Message::Choke, None),
+        2 => (Message::Unchoke, None),
+        3 => (Message::Interested, None),
+        4 => (Message::NotInterested, None),
+        5 => (
+            Message::Have {
+                index: rng.range(0..u32::MAX),
+            },
+            None,
+        ),
+        6 => {
+            let len = rng.range(1u32..64);
+            let bits = rng.next_u64();
             let mut bf = Bitfield::new(len);
             for i in 0..len {
                 if bits & (1 << (i % 64)) != 0 {
@@ -339,79 +365,77 @@ fn wire_message() -> impl Strategy<Value = (bittorrent::wire::Message, Option<Ve
                 }
             }
             (Message::Bitfield(bf), None)
-        }),
-        block.clone().prop_map(|b| (Message::Request(b), None)),
-        block.clone().prop_map(|b| (Message::Cancel(b), None)),
-        block.prop_map(|b| {
+        }
+        7 => (Message::Request(block(rng)), None),
+        8 => (Message::Cancel(block(rng)), None),
+        _ => {
+            let b = block(rng);
             let data = vec![0xAB; b.len as usize];
             (Message::Piece(b), Some(data))
-        }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    /// encode → decode is the identity for every message, and the wire
-    /// length reported matches the encoded size.
-    #[test]
-    fn wire_codec_roundtrips((msg, payload) in wire_message()) {
+/// encode → decode is the identity for every message, and the wire length
+/// reported matches the encoded size.
+#[test]
+fn wire_codec_roundtrips() {
+    for_cases(0x31C0, 512, |rng| {
         use bittorrent::wire::{decode, encode};
+        let (msg, payload) = wire_message(rng);
         let num_pieces = match &msg {
             bittorrent::wire::Message::Bitfield(bf) => bf.len(),
             _ => 64,
         };
         let mut buf = Vec::new();
         encode(&msg, payload.as_deref(), &mut buf);
-        prop_assert_eq!(buf.len() as u32, msg.wire_len());
+        assert_eq!(buf.len() as u32, msg.wire_len());
         let decoded = decode(&buf, num_pieces).unwrap().expect("complete message");
-        prop_assert_eq!(decoded.message, msg);
-        prop_assert_eq!(decoded.consumed, buf.len());
+        assert_eq!(decoded.message, msg);
+        assert_eq!(decoded.consumed, buf.len());
         if let (Some((s, e)), Some(data)) = (decoded.payload, payload) {
-            prop_assert_eq!(&buf[s..e], &data[..]);
+            assert_eq!(&buf[s..e], &data[..]);
         }
-    }
+    });
+}
 
-    /// The stream decoder never panics on arbitrary bytes.
-    #[test]
-    fn wire_decoder_never_panics(bytes in vec(any::<u8>(), 0..128), n in 0u32..64) {
-        let _ = bittorrent::wire::decode(&bytes, n);
-    }
+/// The stream decoder never panics on arbitrary bytes.
+#[test]
+fn wire_decoder_never_panics() {
+    for_cases(0x31C1, 512, |rng| {
+        let n = rng.range(0u32..64);
+        let _ = bittorrent::wire::decode(&random_bytes(rng, 128), n);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Choker invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The unchoke set never exceeds slots+1, never contains an
-    /// uninterested peer, and always includes the highest-credit
-    /// interested peer.
-    #[test]
-    fn choker_invariants(
-        peers_raw in vec((any::<bool>(), 0.0f64..1e6), 0..30),
-        slots in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// The unchoke set never exceeds slots+1, never contains an uninterested
+/// peer, and always includes the highest-credit interested peer.
+#[test]
+fn choker_invariants() {
+    for_cases(0xC40E, 256, |rng| {
         use bittorrent::choker::{Choker, ChokerConfig, PeerSnapshot};
-        use simnet::rng::SimRng;
-        let peers: Vec<PeerSnapshot> = peers_raw
-            .iter()
-            .enumerate()
-            .map(|(k, &(interested, credit))| PeerSnapshot {
+        let peers: Vec<PeerSnapshot> = (0..rng.range(0..30usize))
+            .map(|k| PeerSnapshot {
                 key: k as u64,
-                interested,
-                credit,
+                interested: rng.chance(0.5),
+                credit: rng.range(0.0f64..1e6),
             })
             .collect();
+        let slots = rng.range(1usize..6);
         let mut ch = Choker::new(ChokerConfig {
             upload_slots: slots,
             ..ChokerConfig::default()
         });
-        let mut rng = SimRng::new(seed);
-        let d = ch.rechoke(SimTime::ZERO, &peers, &mut rng);
-        prop_assert!(d.unchoked.len() <= slots + 1, "too many unchoked");
+        let mut rng2 = rng.fork(1);
+        let d = ch.rechoke(SimTime::ZERO, &peers, &mut rng2);
+        assert!(d.unchoked.len() <= slots + 1, "too many unchoked");
         for k in &d.unchoked {
             let p = peers.iter().find(|p| p.key == *k).expect("known peer");
-            prop_assert!(p.interested, "unchoked an uninterested peer");
+            assert!(p.interested, "unchoked an uninterested peer");
         }
         // The top interested peer (if any) always gets a regular slot.
         if let Some(top) = peers
@@ -419,42 +443,41 @@ proptest! {
             .filter(|p| p.interested)
             .max_by(|a, b| a.credit.partial_cmp(&b.credit).unwrap())
         {
-            prop_assert!(d.unchoked.contains(&top.key), "top peer choked");
+            assert!(d.unchoked.contains(&top.key), "top peer choked");
         }
         // No duplicates.
         let mut keys = d.unchoked.clone();
         keys.sort_unstable();
         keys.dedup();
-        prop_assert_eq!(keys.len(), d.unchoked.len());
-    }
+        assert_eq!(keys.len(), d.unchoked.len());
+    });
 }
 
 // ---------------------------------------------------------------------
 // AM filter invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The AM filter never drops anything that is not a DUPACK, never
-    /// reorders, and decoupled output always keeps the original data
-    /// segment intact.
-    #[test]
-    fn am_filter_never_harms_data(
-        segs in vec((any::<u32>(), any::<u32>(), 0u32..2000), 1..60),
-        incoming_heavy in any::<bool>(),
-    ) {
+/// The AM filter never drops anything that is not a DUPACK, never
+/// reorders, and decoupled output always keeps the original data segment
+/// intact.
+#[test]
+fn am_filter_never_harms_data() {
+    for_cases(0xA3F1, 256, |rng| {
         use sim_tcp::segment::{SegFlags, Segment};
-        use sim_tcp::seq::SeqNum;
         use wp2p::am::{AgeFilter, AmConfig, AmOutput};
         let mut f = AgeFilter::new(AmConfig::default());
         let mut now = SimTime::ZERO;
-        if incoming_heavy {
+        if rng.chance(0.5) {
             // Mature the connection.
             for i in 0..40u32 {
                 f.on_incoming(
                     &Segment {
                         seq: SeqNum(i * 1460),
                         ack: SeqNum(0),
-                        flags: SegFlags { ack: true, ..Default::default() },
+                        flags: SegFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
                         payload: 1460,
                         window: 65535,
                     },
@@ -463,27 +486,30 @@ proptest! {
                 now += SimDuration::from_millis(5);
             }
         }
-        for (seq, ack, payload) in segs {
+        for _ in 0..rng.range(1..60usize) {
             let seg = Segment {
-                seq: SeqNum(seq),
-                ack: SeqNum(ack),
-                flags: SegFlags { ack: true, ..Default::default() },
-                payload,
+                seq: SeqNum(rng.range(0..u32::MAX)),
+                ack: SeqNum(rng.range(0..u32::MAX)),
+                flags: SegFlags {
+                    ack: true,
+                    ..Default::default()
+                },
+                payload: rng.range(0u32..2000),
                 window: 65535,
             };
             match f.on_outgoing(seg, now) {
-                AmOutput::Pass(out) => prop_assert_eq!(out, seg),
+                AmOutput::Pass(out) => assert_eq!(out, seg),
                 AmOutput::Decoupled { pure_ack, data } => {
-                    prop_assert_eq!(data, seg, "data must pass unmodified");
-                    prop_assert!(pure_ack.is_pure_ack());
-                    prop_assert_eq!(pure_ack.ack, seg.ack);
+                    assert_eq!(data, seg, "data must pass unmodified");
+                    assert!(pure_ack.is_pure_ack());
+                    assert_eq!(pure_ack.ack, seg.ack);
                 }
                 AmOutput::Drop => {
                     // Only ever DUPACKs (pure acks) may be dropped.
-                    prop_assert!(seg.is_pure_ack(), "dropped a data segment!");
+                    assert!(seg.is_pure_ack(), "dropped a data segment!");
                 }
             }
             now += SimDuration::from_millis(1);
         }
-    }
+    });
 }
