@@ -8,13 +8,18 @@
 //! ```
 //!
 //! `--only <name>` runs just the figures whose name contains `<name>`.
+//! `--faults <seed>` skips the figures and instead replays the seed's
+//! deterministic fault plan into both worlds with the swarm-wide
+//! invariant checker live — the harness for reproducing a failing seed
+//! from CI (same seed, byte-identical schedule and trace).
 //! Sweeps fan out across worker threads (`WP2P_THREADS` overrides the
 //! count; `WP2P_THREADS=1` is byte-identical to the parallel output).
 //! Per-figure cell counts and timings land in `BENCH_sweeps.json`.
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{fig2, fig3, fig4, fig8, fig9, playability};
+use p2p_simulation::experiments::{faults, fig2, fig3, fig4, fig8, fig9, playability};
+use simnet::time::SimDuration;
 use p2p_simulation::harness::{self, SweepStats};
 use std::time::Instant;
 use wp2p_bench::{preamble, preset_from_args, Preset};
@@ -92,6 +97,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--faults takes a u64 seed");
+        let horizon = if quick { 120 } else { 600 };
+        let flow = faults::replay_flow(seed, SimDuration::from_secs(horizon));
+        let pkt = faults::replay_packet(seed, SimDuration::from_secs(horizon.min(60)));
+        print!("{}", flow.schedule);
+        println!();
+        faults::fault_table(seed, &flow, &pkt).print();
+        return;
+    }
+
     let (small, large) = if quick {
         (
             playability::PlayabilityParams::quick_5mb(),
@@ -108,7 +128,8 @@ fn main() {
 
     // Each figure is a named, independently runnable (and independently
     // failable) section.
-    let figures: Vec<(&'static str, Box<dyn FnOnce()>)> = vec![
+    type Figure = (&'static str, Box<dyn FnOnce()>);
+    let figures: Vec<Figure> = vec![
         (
             "fig2a",
             Box::new(move || {

@@ -280,6 +280,54 @@ mod tests {
     }
 
     #[test]
+    fn slot_accounting_survives_churn() {
+        // Seeded churn storm: peers join and leave between rechokes.
+        // Across every round, slot accounting holds: at most slots+1
+        // unchoked, no duplicates, nobody absent or uninterested, and
+        // the optimistic member is never double-counted as regular.
+        let slots = 3usize;
+        let run = |seed: u64| -> Vec<ChokeDecision> {
+            let mut ch = Choker::new(ChokerConfig {
+                upload_slots: slots,
+                ..ChokerConfig::default()
+            });
+            let mut rng = SimRng::new(seed);
+            let mut decisions = Vec::new();
+            for round in 0..200u64 {
+                // Key space shifts with the round so peers churn in/out.
+                let peers: Vec<PeerSnapshot> = (0..rng.range(0..12u64))
+                    .map(|k| peer(round * 7 + k, rng.chance(0.7), rng.range(0.0f64..1e4)))
+                    .collect();
+                let d = ch.rechoke(SimTime::from_secs(10 * round), &peers, &mut rng);
+                assert!(d.unchoked.len() <= slots + 1, "slot overflow: {d:?}");
+                let mut sorted = d.unchoked.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), d.unchoked.len(), "duplicate unchoke");
+                for k in &d.unchoked {
+                    let p = peers.iter().find(|p| p.key == *k);
+                    assert!(
+                        p.is_some_and(|p| p.interested),
+                        "unchoked a departed or uninterested peer {k}"
+                    );
+                }
+                if let Some(opt) = d.optimistic {
+                    assert!(d.unchoked.contains(&opt), "optimistic not unchoked");
+                    // Regular slots = everything except the optimistic.
+                    assert!(
+                        d.unchoked.iter().filter(|&&k| k != opt).count() <= slots,
+                        "optimistic double-counted as regular"
+                    );
+                }
+                decisions.push(d);
+            }
+            decisions
+        };
+        // And the whole storm is deterministic per seed.
+        assert_eq!(run(0xC4A0), run(0xC4A0), "churn storm must replay identically");
+    }
+
+    #[test]
     fn dead_optimistic_is_replaced_immediately() {
         let cfg = ChokerConfig {
             upload_slots: 1,

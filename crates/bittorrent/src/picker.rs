@@ -195,6 +195,47 @@ mod tests {
     }
 
     #[test]
+    fn rarest_first_tie_break_is_seed_deterministic() {
+        // Same seed ⇒ the exact same pick sequence over an evolving
+        // availability vector; a different seed diverges somewhere.
+        let run = |seed: u64| -> Vec<u32> {
+            let mut avail = vec![3u32, 1, 1, 4, 1, 1, 2, 1];
+            let cands: Vec<u32> = (0..avail.len() as u32).collect();
+            let mut rng = SimRng::new(seed);
+            let mut picker = RarestFirst;
+            (0..64)
+                .map(|i| {
+                    let p = picker.pick(&cands, &ctx(&avail), &mut rng).unwrap();
+                    // Mutate availability so ties shift between rounds.
+                    let n = avail.len();
+                    avail[(i * 5) % n] += 1;
+                    p
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "tie-break ignores the seed");
+    }
+
+    #[test]
+    fn rarest_first_tie_break_stays_among_rarest() {
+        // Under random availability churn, every pick is one of the
+        // currently-rarest candidates — the tie-break never leaks a
+        // more-common piece in.
+        let mut rng = SimRng::new(0xACE);
+        let mut avail = vec![2u32; 16];
+        let cands: Vec<u32> = (0..16).collect();
+        let mut picker = RarestFirst;
+        for _ in 0..500 {
+            let bump = rng.range(0..16usize);
+            avail[bump] = avail[bump].saturating_add(1);
+            let p = picker.pick(&cands, &ctx(&avail), &mut rng).unwrap();
+            let min = *avail.iter().min().unwrap();
+            assert_eq!(avail[p as usize], min, "picked non-rarest piece {p}");
+        }
+    }
+
+    #[test]
     fn rarest_first_respects_candidates() {
         // Piece 0 is globally rarest but not a candidate.
         let avail = vec![0, 5, 2];

@@ -1,0 +1,606 @@
+//! Deterministic fault injection.
+//!
+//! The paper's claims are all claims about behaviour under adversity —
+//! lossy wireless legs (§3.2), hand-offs that destroy peer identity
+//! (§3.4), seeds that vanish mid-swarm (§5). A [`FaultPlan`] turns that
+//! adversity into *data*: a seeded, pre-computed schedule of fault events
+//! that a simulation world replays exactly. Same seed ⇒ byte-identical
+//! schedule ([`FaultPlan::render`]) ⇒ byte-identical simulation trace, so
+//! every failure a fuzzing sweep finds becomes a one-line reproducible
+//! regression.
+//!
+//! The pieces:
+//!
+//! * [`FaultKind`] / [`FaultEvent`] — the fault vocabulary: loss bursts,
+//!   link black-holes, address churn, tracker outages, bandwidth
+//!   squeezes, peer crash/restart.
+//! * [`FaultPlan`] — an ordered schedule, either hand-built
+//!   ([`FaultPlan::push`]) or generated from a seed
+//!   ([`FaultPlan::generate`]).
+//! * [`FaultHooks`] — the world-side surface. Both simulation worlds
+//!   (flow and packet) implement it; each documents how it approximates
+//!   faults its model cannot express literally.
+//! * [`FaultInjector`] — the replay driver: expands windowed faults into
+//!   begin/end actions and applies every action that has come due, from
+//!   the world's `run_until` callback.
+//!
+//! ```
+//! use simnet::fault::{FaultPlan, FaultPlanConfig};
+//! use simnet::addr::NodeId;
+//! use simnet::time::SimDuration;
+//!
+//! let cfg = FaultPlanConfig::new(SimDuration::from_secs(600), vec![NodeId(1)]);
+//! let a = FaultPlan::generate(42, &cfg);
+//! let b = FaultPlan::generate(42, &cfg);
+//! assert_eq!(a.render(), b.render()); // byte-identical schedule
+//! ```
+
+use crate::addr::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The node's wireless leg turns lossy: bit-error rate `ber` for
+    /// `duration`, then back to its pre-fault value.
+    LossBurst {
+        /// Affected node.
+        node: NodeId,
+        /// Bit-error rate during the burst.
+        ber: f64,
+        /// Length of the burst.
+        duration: SimDuration,
+    },
+    /// All traffic to and from the node silently disappears for
+    /// `duration` — the link is up as far as both ends can tell, nothing
+    /// arrives (the paper's "fixed peers continue to try to reach the
+    /// mobile peer").
+    LinkBlackhole {
+        /// Affected node.
+        node: NodeId,
+        /// Length of the outage.
+        duration: SimDuration,
+    },
+    /// The node instantly moves to a fresh network address (a hand-off
+    /// with a negligible outage window).
+    AddressChurn {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// The tracker is unreachable for `duration`: announces go
+    /// unanswered and register nothing.
+    TrackerOutage {
+        /// Length of the outage.
+        duration: SimDuration,
+    },
+    /// The node's access capacity is scaled by `factor` (in `(0, 1]`)
+    /// for `duration`, then restored.
+    BandwidthSqueeze {
+        /// Affected node.
+        node: NodeId,
+        /// Capacity multiplier during the squeeze.
+        factor: f64,
+        /// Length of the squeeze.
+        duration: SimDuration,
+    },
+    /// The node's client process dies losing all connections, and
+    /// restarts `downtime` later from its persisted progress.
+    PeerCrash {
+        /// Affected node.
+        node: NodeId,
+        /// Time until the restart.
+        downtime: SimDuration,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::LossBurst {
+                node,
+                ber,
+                duration,
+            } => {
+                write!(f, "loss-burst node={} ber={:e} for {}", node.0, ber, duration)
+            }
+            FaultKind::LinkBlackhole { node, duration } => {
+                write!(f, "blackhole node={} for {}", node.0, duration)
+            }
+            FaultKind::AddressChurn { node } => write!(f, "addr-churn node={}", node.0),
+            FaultKind::TrackerOutage { duration } => {
+                write!(f, "tracker-outage for {}", duration)
+            }
+            FaultKind::BandwidthSqueeze {
+                node,
+                factor,
+                duration,
+            } => write!(
+                f,
+                "bw-squeeze node={} factor={:.3} for {}",
+                node.0, factor, duration
+            ),
+            FaultKind::PeerCrash { node, downtime } => {
+                write!(f, "crash node={} down {}", node.0, downtime)
+            }
+        }
+    }
+}
+
+/// A fault scheduled at an absolute virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault begins.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters for seeded plan generation.
+#[derive(Clone, Debug)]
+pub struct FaultPlanConfig {
+    /// Faults are scheduled in `[0, horizon)`.
+    pub horizon: SimDuration,
+    /// Nodes eligible for node-scoped faults (must be non-empty).
+    pub nodes: Vec<NodeId>,
+    /// How many fault events to schedule.
+    pub events: usize,
+    /// Mean window length for windowed faults (exponentially
+    /// distributed, clamped to `[1 s, horizon/2]`).
+    pub mean_duration: SimDuration,
+    /// Include tracker outages in the mix.
+    pub tracker_outages: bool,
+    /// Include crash/restart in the mix (worlds whose clients cannot be
+    /// rebuilt may exclude them).
+    pub crashes: bool,
+}
+
+impl FaultPlanConfig {
+    /// A default mix over `nodes`: 6 events, 30 s mean windows, all
+    /// fault kinds enabled.
+    pub fn new(horizon: SimDuration, nodes: Vec<NodeId>) -> Self {
+        FaultPlanConfig {
+            horizon,
+            nodes,
+            events: 6,
+            mean_duration: SimDuration::from_secs(30),
+            tracker_outages: true,
+            crashes: true,
+        }
+    }
+}
+
+/// A deterministic, ordered fault schedule. See the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan to [`push`](FaultPlan::push) events onto.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates a random plan — a pure function of `(seed, cfg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.nodes` is empty or `cfg.horizon` is zero.
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        assert!(!cfg.nodes.is_empty(), "no fault-eligible nodes");
+        assert!(cfg.horizon > SimDuration::ZERO, "zero horizon");
+        let root = SimRng::new(seed);
+        let mut plan = FaultPlan::empty(seed);
+        let horizon_us = cfg.horizon.as_micros();
+        for i in 0..cfg.events {
+            let mut r = root.fork(i as u64);
+            let at = SimTime::from_micros(r.range(0..horizon_us.max(1)));
+            let node = *r.choose(&cfg.nodes).expect("nodes non-empty");
+            let dur_secs = r
+                .exp(cfg.mean_duration.as_secs_f64())
+                .clamp(1.0, (cfg.horizon.as_secs_f64() / 2.0).max(1.0));
+            let duration = SimDuration::from_micros((dur_secs * 1e6) as u64);
+            // Weighted kind choice; indices stay stable so schedules only
+            // change when the config changes.
+            let kinds: &[u32] = match (cfg.tracker_outages, cfg.crashes) {
+                (true, true) => &[0, 1, 2, 3, 4, 5],
+                (true, false) => &[0, 1, 2, 3, 4],
+                (false, true) => &[0, 1, 2, 4, 5],
+                (false, false) => &[0, 1, 2, 4],
+            };
+            let kind = match *r.choose(kinds).expect("kinds non-empty") {
+                0 => FaultKind::LossBurst {
+                    node,
+                    // 1e-5..1e-4: enough to hurt long frames without
+                    // severing the link outright.
+                    ber: 1e-5 * 10f64.powf(r.unit()),
+                    duration,
+                },
+                1 => FaultKind::LinkBlackhole { node, duration },
+                2 => FaultKind::AddressChurn { node },
+                3 => FaultKind::TrackerOutage { duration },
+                4 => FaultKind::BandwidthSqueeze {
+                    node,
+                    factor: 0.1 + 0.6 * r.unit(),
+                    duration,
+                },
+                _ => FaultKind::PeerCrash {
+                    node,
+                    downtime: duration,
+                },
+            };
+            plan.push(at, kind);
+        }
+        plan
+    }
+
+    /// Adds a fault, keeping the schedule ordered by time (ties keep
+    /// insertion order).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the schedule, one event per line. Byte-identical for
+    /// identical `(seed, config)` — the string regression tests pin.
+    pub fn render(&self) -> String {
+        let mut out = format!("fault plan seed={}\n", self.seed);
+        for e in &self.events {
+            out.push_str(&format!("[{}] {}\n", e.at, e.kind));
+        }
+        out
+    }
+}
+
+/// The world-side fault surface.
+///
+/// Windowed faults arrive as begin/end pairs; the world remembers
+/// whatever baseline it needs to restore. Implementations must tolerate
+/// faults targeting nodes where they do not literally apply (e.g. a loss
+/// burst on a wired node) by approximating or ignoring them —
+/// documented per world.
+pub trait FaultHooks {
+    /// Current virtual time of the world (drives [`FaultInjector::poll`]).
+    fn fault_now(&self) -> SimTime;
+    /// A loss burst begins on `node`.
+    fn begin_loss_burst(&mut self, node: NodeId, ber: f64);
+    /// The loss burst on `node` ends; restore the baseline.
+    fn end_loss_burst(&mut self, node: NodeId);
+    /// All traffic to/from `node` starts silently vanishing.
+    fn begin_blackhole(&mut self, node: NodeId);
+    /// The black-hole on `node` ends.
+    fn end_blackhole(&mut self, node: NodeId);
+    /// `node` instantly moves to a fresh address.
+    fn churn_address(&mut self, node: NodeId);
+    /// The tracker stops answering.
+    fn begin_tracker_outage(&mut self);
+    /// The tracker is reachable again.
+    fn end_tracker_outage(&mut self);
+    /// `node`'s capacity is scaled by `factor`.
+    fn begin_bandwidth_squeeze(&mut self, node: NodeId, factor: f64);
+    /// The squeeze on `node` ends; restore full capacity.
+    fn end_bandwidth_squeeze(&mut self, node: NodeId);
+    /// `node`'s client crashes (connections become black holes).
+    fn crash_peer(&mut self, node: NodeId);
+    /// `node`'s client restarts from persisted progress.
+    fn restart_peer(&mut self, node: NodeId);
+}
+
+/// One instantaneous action on the expanded timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FaultAction {
+    LossBurstStart(NodeId, f64),
+    LossBurstEnd(NodeId),
+    BlackholeStart(NodeId),
+    BlackholeEnd(NodeId),
+    AddressChurn(NodeId),
+    TrackerOutageStart,
+    TrackerOutageEnd,
+    SqueezeStart(NodeId, f64),
+    SqueezeEnd(NodeId),
+    Crash(NodeId),
+    Restart(NodeId),
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::LossBurstStart(n, ber) => {
+                write!(f, "loss-burst-start node={} ber={:e}", n.0, ber)
+            }
+            FaultAction::LossBurstEnd(n) => write!(f, "loss-burst-end node={}", n.0),
+            FaultAction::BlackholeStart(n) => write!(f, "blackhole-start node={}", n.0),
+            FaultAction::BlackholeEnd(n) => write!(f, "blackhole-end node={}", n.0),
+            FaultAction::AddressChurn(n) => write!(f, "addr-churn node={}", n.0),
+            FaultAction::TrackerOutageStart => write!(f, "tracker-outage-start"),
+            FaultAction::TrackerOutageEnd => write!(f, "tracker-outage-end"),
+            FaultAction::SqueezeStart(n, x) => {
+                write!(f, "bw-squeeze-start node={} factor={:.3}", n.0, x)
+            }
+            FaultAction::SqueezeEnd(n) => write!(f, "bw-squeeze-end node={}", n.0),
+            FaultAction::Crash(n) => write!(f, "crash node={}", n.0),
+            FaultAction::Restart(n) => write!(f, "restart node={}", n.0),
+        }
+    }
+}
+
+/// Replays a [`FaultPlan`] against a world.
+///
+/// Call [`poll`](FaultInjector::poll) from the world's `run_until`
+/// callback; every action whose time has come is applied, in order.
+pub struct FaultInjector {
+    timeline: Vec<(SimTime, FaultAction)>,
+    next: usize,
+}
+
+impl FaultInjector {
+    /// Expands a plan's windowed faults into an ordered begin/end
+    /// timeline.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut timeline: Vec<(SimTime, FaultAction)> = Vec::new();
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::LossBurst {
+                    node,
+                    ber,
+                    duration,
+                } => {
+                    timeline.push((e.at, FaultAction::LossBurstStart(node, ber)));
+                    timeline.push((e.at + duration, FaultAction::LossBurstEnd(node)));
+                }
+                FaultKind::LinkBlackhole { node, duration } => {
+                    timeline.push((e.at, FaultAction::BlackholeStart(node)));
+                    timeline.push((e.at + duration, FaultAction::BlackholeEnd(node)));
+                }
+                FaultKind::AddressChurn { node } => {
+                    timeline.push((e.at, FaultAction::AddressChurn(node)));
+                }
+                FaultKind::TrackerOutage { duration } => {
+                    timeline.push((e.at, FaultAction::TrackerOutageStart));
+                    timeline.push((e.at + duration, FaultAction::TrackerOutageEnd));
+                }
+                FaultKind::BandwidthSqueeze {
+                    node,
+                    factor,
+                    duration,
+                } => {
+                    timeline.push((e.at, FaultAction::SqueezeStart(node, factor)));
+                    timeline.push((e.at + duration, FaultAction::SqueezeEnd(node)));
+                }
+                FaultKind::PeerCrash { node, downtime } => {
+                    timeline.push((e.at, FaultAction::Crash(node)));
+                    timeline.push((e.at + downtime, FaultAction::Restart(node)));
+                }
+            }
+        }
+        // Stable by time: simultaneous actions apply in plan order, ends
+        // before later starts.
+        timeline.sort_by_key(|&(at, _)| at);
+        FaultInjector { timeline, next: 0 }
+    }
+
+    /// Applies every action due at or before the world's current time.
+    /// Returns how many actions were applied by this call.
+    pub fn poll(&mut self, hooks: &mut impl FaultHooks) -> usize {
+        let now = hooks.fault_now();
+        let mut applied = 0;
+        while let Some(&(at, action)) = self.timeline.get(self.next) {
+            if at > now {
+                break;
+            }
+            self.next += 1;
+            applied += 1;
+            match action {
+                FaultAction::LossBurstStart(n, ber) => hooks.begin_loss_burst(n, ber),
+                FaultAction::LossBurstEnd(n) => hooks.end_loss_burst(n),
+                FaultAction::BlackholeStart(n) => hooks.begin_blackhole(n),
+                FaultAction::BlackholeEnd(n) => hooks.end_blackhole(n),
+                FaultAction::AddressChurn(n) => hooks.churn_address(n),
+                FaultAction::TrackerOutageStart => hooks.begin_tracker_outage(),
+                FaultAction::TrackerOutageEnd => hooks.end_tracker_outage(),
+                FaultAction::SqueezeStart(n, x) => hooks.begin_bandwidth_squeeze(n, x),
+                FaultAction::SqueezeEnd(n) => hooks.end_bandwidth_squeeze(n),
+                FaultAction::Crash(n) => hooks.crash_peer(n),
+                FaultAction::Restart(n) => hooks.restart_peer(n),
+            }
+        }
+        applied
+    }
+
+    /// Actions applied so far.
+    pub fn applied(&self) -> usize {
+        self.next
+    }
+
+    /// True when every action has been applied.
+    pub fn finished(&self) -> bool {
+        self.next >= self.timeline.len()
+    }
+
+    /// Renders the expanded action timeline, one action per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (at, a) in &self.timeline {
+            out.push_str(&format!("[{}] {}\n", at, a));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultPlanConfig {
+        FaultPlanConfig::new(
+            SimDuration::from_secs(600),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+        )
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::generate(7, &cfg());
+        let b = FaultPlan::generate(7, &cfg());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, &cfg());
+        let b = FaultPlan::generate(2, &cfg());
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let p = FaultPlan::generate(3, &cfg());
+        assert_eq!(p.len(), cfg().events);
+        for w in p.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut p = FaultPlan::empty(0);
+        p.push(
+            SimTime::from_secs(10),
+            FaultKind::AddressChurn { node: NodeId(0) },
+        );
+        p.push(
+            SimTime::from_secs(5),
+            FaultKind::TrackerOutage {
+                duration: SimDuration::from_secs(1),
+            },
+        );
+        p.push(
+            SimTime::from_secs(10),
+            FaultKind::AddressChurn { node: NodeId(1) },
+        );
+        let times: Vec<u64> = p.events().iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![5_000_000, 10_000_000, 10_000_000]);
+        // Ties keep insertion order.
+        assert_eq!(
+            p.events()[1].kind,
+            FaultKind::AddressChurn { node: NodeId(0) }
+        );
+    }
+
+    #[test]
+    fn injector_expands_windows() {
+        let mut p = FaultPlan::empty(0);
+        p.push(
+            SimTime::from_secs(1),
+            FaultKind::LinkBlackhole {
+                node: NodeId(4),
+                duration: SimDuration::from_secs(3),
+            },
+        );
+        let inj = FaultInjector::new(&p);
+        let r = inj.render();
+        assert!(r.contains("blackhole-start node=4"));
+        assert!(r.contains("blackhole-end node=4"));
+        assert_eq!(r.lines().count(), 2);
+    }
+
+    #[test]
+    fn injector_applies_in_order() {
+        struct Log {
+            now: SimTime,
+            log: Vec<String>,
+        }
+        impl FaultHooks for Log {
+            fn fault_now(&self) -> SimTime {
+                self.now
+            }
+            fn begin_loss_burst(&mut self, n: NodeId, ber: f64) {
+                self.log.push(format!("lb+{} {ber:e}", n.0));
+            }
+            fn end_loss_burst(&mut self, n: NodeId) {
+                self.log.push(format!("lb-{}", n.0));
+            }
+            fn begin_blackhole(&mut self, n: NodeId) {
+                self.log.push(format!("bh+{}", n.0));
+            }
+            fn end_blackhole(&mut self, n: NodeId) {
+                self.log.push(format!("bh-{}", n.0));
+            }
+            fn churn_address(&mut self, n: NodeId) {
+                self.log.push(format!("ac{}", n.0));
+            }
+            fn begin_tracker_outage(&mut self) {
+                self.log.push("to+".into());
+            }
+            fn end_tracker_outage(&mut self) {
+                self.log.push("to-".into());
+            }
+            fn begin_bandwidth_squeeze(&mut self, n: NodeId, x: f64) {
+                self.log.push(format!("sq+{} {x:.3}", n.0));
+            }
+            fn end_bandwidth_squeeze(&mut self, n: NodeId) {
+                self.log.push(format!("sq-{}", n.0));
+            }
+            fn crash_peer(&mut self, n: NodeId) {
+                self.log.push(format!("cr{}", n.0));
+            }
+            fn restart_peer(&mut self, n: NodeId) {
+                self.log.push(format!("rs{}", n.0));
+            }
+        }
+        let mut p = FaultPlan::empty(0);
+        p.push(
+            SimTime::from_secs(2),
+            FaultKind::TrackerOutage {
+                duration: SimDuration::from_secs(2),
+            },
+        );
+        p.push(
+            SimTime::from_secs(1),
+            FaultKind::PeerCrash {
+                node: NodeId(0),
+                downtime: SimDuration::from_secs(5),
+            },
+        );
+        let mut inj = FaultInjector::new(&p);
+        let mut w = Log {
+            now: SimTime::ZERO,
+            log: Vec::new(),
+        };
+        assert_eq!(inj.poll(&mut w), 0);
+        w.now = SimTime::from_secs(3);
+        assert_eq!(inj.poll(&mut w), 2);
+        assert_eq!(w.log, vec!["cr0", "to+"]);
+        w.now = SimTime::from_secs(60);
+        inj.poll(&mut w);
+        assert!(inj.finished());
+        assert_eq!(w.log, vec!["cr0", "to+", "to-", "rs0"]);
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`wireless`] — a shared half-duplex channel where uplink and downlink
 //!   contend for the same capacity, the defining constraint of the paper.
 //! * [`mobility`] — hand-off schedules with outage windows.
+//! * [`fault`] — seeded deterministic fault plans (loss bursts,
+//!   black-holes, address churn, tracker outages, bandwidth squeezes,
+//!   crash/restart) replayed into any world implementing
+//!   [`fault::FaultHooks`].
 //! * [`stats`] — virtual-time rate meters, time series, run summaries.
 //! * [`trace`] — opt-in bounded event tracing for debugging worlds.
 //!
@@ -42,6 +46,7 @@
 
 pub mod addr;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod mobility;
 pub mod rng;
@@ -55,6 +60,9 @@ pub mod wireless;
 pub mod prelude {
     pub use crate::addr::{AddressBook, NodeId, SimAddr};
     pub use crate::event::{EventQueue, EventToken};
+    pub use crate::fault::{
+        FaultEvent, FaultHooks, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig,
+    };
     pub use crate::link::{DropReason, Link, LinkConfig, SendOutcome};
     pub use crate::mobility::{Handoff, MobilityProcess};
     pub use crate::rng::SimRng;

@@ -127,6 +127,18 @@ impl WirelessChannel {
         self.config.ber = ber;
     }
 
+    /// Updates the channel capacity mid-run (fault injection squeezes
+    /// and restores it). Frames already on the air keep their old
+    /// serialization time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bandwidth.
+    pub fn set_bandwidth(&mut self, bandwidth_bps: u64) {
+        assert!(bandwidth_bps > 0, "channel bandwidth must be positive");
+        self.config.bandwidth_bps = bandwidth_bps;
+    }
+
     fn expire(&mut self, now: SimTime) {
         while let Some(&front) = self.completions.front() {
             if front <= now {

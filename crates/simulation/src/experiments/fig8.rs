@@ -565,6 +565,32 @@ mod tests {
     }
 
     #[test]
+    fn fig8b_quick_preset_retention_leads_throughout() {
+        // Seeded regression pinning the EXPERIMENTS.md quick-preset shape
+        // with the exact seed the bench driver uses (0x8B): the retaining
+        // client leads at every sampled time and finishes the 12-minute
+        // window far ahead (reported: 46.1 vs 25.6 MB, +80%).
+        let p = Fig8bParams::quick();
+        let r = run_fig8b(&p, 0x8B);
+        for q in 1..=4u64 {
+            let ts = SimTime::from_micros(p.duration.as_micros() * q / 4);
+            let d = r.default_series.value_at(ts).unwrap_or(0.0);
+            let w = r.wp2p_series.value_at(ts).unwrap_or(0.0);
+            assert!(
+                w >= d,
+                "retention trails at {:.1} min: wp2p={w:.0} default={d:.0}",
+                ts.as_secs_f64() / 60.0
+            );
+        }
+        assert!(
+            r.wp2p_bytes as f64 >= 1.3 * r.default_bytes as f64,
+            "final lead collapsed: wp2p={} default={}",
+            r.wp2p_bytes,
+            r.default_bytes
+        );
+    }
+
+    #[test]
     fn fig8c_lihd_beats_default_where_the_channel_binds() {
         let params = Fig8cParams::quick();
         let pts = run_fig8c(&params);

@@ -6,6 +6,7 @@
 //! `quick` preset (CI-sized) and a `paper` preset (full scale).
 
 pub mod common;
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

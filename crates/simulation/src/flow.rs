@@ -31,16 +31,17 @@ use bittorrent::metainfo::{InfoHash, Metainfo};
 use bittorrent::peer_id::{PeerId, PeerIdStyle};
 use bittorrent::progress::TorrentProgress;
 use bittorrent::rate::RateEstimator;
-use bittorrent::tracker::{AnnounceEvent, Tracker, TrackerConfig};
+use bittorrent::tracker::{AnnounceEvent, AnnounceResponse, Tracker, TrackerConfig};
 use bittorrent::wire::Message;
-use simnet::addr::{AddressBook, SimAddr};
+use simnet::addr::{AddressBook, NodeId, SimAddr};
+use simnet::fault::FaultHooks;
 use simnet::mobility::MobilityProcess;
 use simnet::rng::SimRng;
 use simnet::sim::Simulator;
 use simnet::stats::TimeSeries;
 use simnet::trace::{Trace, TraceKind};
 use simnet::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wp2p::config::WP2pConfig;
 use wp2p::ia::Lihd;
 use wp2p::ma::{MobilityAwarePicker, RoleReversal};
@@ -350,6 +351,19 @@ pub struct FlowWorld {
     rate_solves: u64,
     rate_skips: u64,
     scratch: RatesScratch,
+    // --- fault-injection state (see the `FaultHooks` impl) ---
+    /// Announces fail while set.
+    tracker_down: bool,
+    /// Nodes whose traffic silently vanishes.
+    blackholed: BTreeSet<NodeKey>,
+    /// Pre-fault access of nodes with an active capacity modifier.
+    access_baseline: BTreeMap<NodeKey, Access>,
+    /// Active loss-burst capacity factor per node.
+    lossy_factor: BTreeMap<NodeKey, f64>,
+    /// Active bandwidth-squeeze factor per node.
+    squeeze_factor: BTreeMap<NodeKey, f64>,
+    /// Every-tick invariant checker (runs in debug/test builds).
+    checker: crate::invariants::InvariantChecker,
 }
 
 /// Persistent buffers for [`FlowWorld::recompute_rates`] so steady-state
@@ -388,6 +402,12 @@ impl FlowWorld {
             rate_solves: 0,
             rate_skips: 0,
             scratch: RatesScratch::default(),
+            tracker_down: false,
+            blackholed: BTreeSet::new(),
+            access_baseline: BTreeMap::new(),
+            lossy_factor: BTreeMap::new(),
+            squeeze_factor: BTreeMap::new(),
+            checker: crate::invariants::InvariantChecker::new(),
         }
     }
 
@@ -808,6 +828,14 @@ impl FlowWorld {
                 self.tasks[t].series_up.push(now, up);
             }
         }
+        // 7. Invariants: in debug/test builds every tick is a checked
+        // state, so any test that runs this world is an invariant run.
+        #[cfg(debug_assertions)]
+        {
+            let mut ck = std::mem::take(&mut self.checker);
+            ck.check_flow(self);
+            self.checker = ck;
+        }
     }
 
     fn advance_flows(&mut self, now: SimTime, elapsed: f64) {
@@ -1099,6 +1127,28 @@ impl FlowWorld {
         let ih = client.info_hash();
         let pid = client.peer_id();
         let seed = client.is_seed();
+        if self.tracker_down {
+            // The request times out: nothing is registered, no peers are
+            // learned, and the client backs off briefly before retrying
+            // (real clients re-announce after a failure timeout).
+            self.trace.record(
+                now,
+                TraceKind::Tracker,
+                format!("task {t} announce {event:?} failed: tracker outage"),
+            );
+            if event != AnnounceEvent::Stopped {
+                let retry = AnnounceResponse {
+                    interval: SimDuration::from_secs(60),
+                    peers: Vec::new(),
+                    complete: 0,
+                    incomplete: 0,
+                };
+                if let Some(client) = self.tasks[t].client.as_mut() {
+                    client.on_tracker_response(&retry, now);
+                }
+            }
+            return;
+        }
         let mut rng = self.rng.fork(9000 + t as u64 + now.as_micros());
         let resp = self
             .tracker
@@ -1150,6 +1200,12 @@ impl FlowWorld {
             .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
             .collect();
         for t in tasks {
+            // A fault-injected restart may have revived the client before
+            // this scheduled hand-off end: re-initiate cleanly rather
+            // than leaking the old client's connection index entries.
+            if self.tasks[t].client.is_some() {
+                self.kill_client(t, now);
+            }
             self.spawn_client(t, now);
         }
         self.pump_actions(now);
@@ -1210,6 +1266,11 @@ impl FlowWorld {
             if !self.nodes[node_a].alive || !self.nodes[node_b].alive {
                 continue;
             }
+            // A black-holed node's flows stall at rate zero: the link
+            // looks up, nothing moves.
+            if self.blackholed.contains(&node_a) || self.blackholed.contains(&node_b) {
+                continue;
+            }
             if !conn.ab.queue.is_empty() {
                 let mut d = FlowDemand::new(
                     self.node_resources(node_a).0,
@@ -1248,6 +1309,296 @@ impl FlowWorld {
             }
         }
         self.scratch = s;
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (invariant checking, fault harnesses)
+    // ------------------------------------------------------------------
+
+    /// Number of tasks in the world.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node hosting a task.
+    pub fn task_node(&self, t: TaskKey) -> NodeKey {
+        self.tasks[t].spec.node
+    }
+
+    /// A task's re-initiation generation (bumps on every hand-off,
+    /// crash, or churn).
+    pub fn task_generation(&self, t: TaskKey) -> u32 {
+        self.tasks[t].generation
+    }
+
+    /// The task's current peer identity, once spawned.
+    pub fn task_identity(&self, t: TaskKey) -> Option<PeerId> {
+        self.tasks[t].identity
+    }
+
+    /// True when the task runs wP2P identity retention.
+    pub fn task_retains_identity(&self, t: TaskKey) -> bool {
+        self.tasks[t].spec.wp2p.identity_retention
+    }
+
+    /// Whether a node currently has connectivity.
+    pub fn node_alive(&self, node: NodeKey) -> bool {
+        self.nodes[node].alive
+    }
+
+    /// True while a fault-injected tracker outage is active.
+    pub fn tracker_is_down(&self) -> bool {
+        self.tracker_down
+    }
+
+    /// Invariant passes run by the built-in debug-build checker.
+    pub fn invariant_checks(&self) -> u64 {
+        self.checker.checks()
+    }
+
+    /// Verifies the current rate allocation against every capacity it
+    /// crosses: node access pipes (shared for wireless), and
+    /// application-level upload caps. Returns the first violation.
+    ///
+    /// While the rate problem is dirty (inputs changed since the last
+    /// solve), the stale allocation is not required to fit the new caps
+    /// and the check passes vacuously; it re-arms at the next tick.
+    pub fn rates_feasible(&self) -> Result<(), String> {
+        if self.rates_dirty {
+            return Ok(());
+        }
+        let mut usage = vec![0.0f64; self.nodes.len() * 2];
+        let mut task_up = vec![0.0f64; self.tasks.len()];
+        for (cid, conn) in &self.conns {
+            if conn.dead_since.is_some() {
+                continue;
+            }
+            for (q, src, dst) in [(&conn.ab, conn.a, conn.b), (&conn.ba, conn.b, conn.a)] {
+                if !(q.rate.is_finite() && q.rate >= 0.0) {
+                    return Err(format!("conn {cid}: invalid rate {}", q.rate));
+                }
+                if q.rate <= 0.0 {
+                    continue;
+                }
+                let up_res = self.node_resources(self.tasks[src.task].spec.node).0;
+                let down_res = self.node_resources(self.tasks[dst.task].spec.node).1;
+                usage[up_res] += q.rate;
+                usage[down_res] += q.rate;
+                task_up[src.task] += q.rate;
+            }
+        }
+        let fits = |used: f64, cap: f64| used <= cap * (1.0 + 1e-6) + 1e-6;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (up_cap, down_cap) = match n.access {
+                Access::Wired { up, down } => (up, down),
+                // Shared channel: both directions land on resource 2i.
+                Access::Wireless { capacity } => (capacity, f64::INFINITY),
+            };
+            if !fits(usage[2 * i], up_cap) {
+                return Err(format!(
+                    "node {i}: uplink/channel used {:.1} of {:.1} B/s",
+                    usage[2 * i],
+                    up_cap
+                ));
+            }
+            if !fits(usage[2 * i + 1], down_cap) {
+                return Err(format!(
+                    "node {i}: downlink used {:.1} of {:.1} B/s",
+                    usage[2 * i + 1],
+                    down_cap
+                ));
+            }
+        }
+        for (t, task) in self.tasks.iter().enumerate() {
+            if let Some(limit) = task.client.as_ref().and_then(|c| c.upload_limit()) {
+                if !fits(task_up[t], limit.max(1.0)) {
+                    return Err(format!(
+                        "task {t}: uploads {:.1} exceed cap {:.1} B/s",
+                        task_up[t], limit
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes a node's effective access from its pre-fault baseline
+    /// and the active loss/squeeze factors.
+    fn apply_access_faults(&mut self, node: NodeKey) {
+        let base = *self
+            .access_baseline
+            .entry(node)
+            .or_insert(self.nodes[node].access);
+        let f = self.lossy_factor.get(&node).copied().unwrap_or(1.0)
+            * self.squeeze_factor.get(&node).copied().unwrap_or(1.0);
+        self.nodes[node].access = match base {
+            Access::Wired { up, down } => Access::Wired {
+                up: (up * f).max(1.0),
+                down: (down * f).max(1.0),
+            },
+            Access::Wireless { capacity } => Access::Wireless {
+                capacity: (capacity * f).max(1.0),
+            },
+        };
+        self.rates_dirty = true;
+    }
+}
+
+/// Fault injection into the fluid model.
+///
+/// Approximations where the model has no literal equivalent:
+///
+/// * **Loss bursts** become a capacity derate of `(1 − ber)^12000` (the
+///   packet-error rate of a 1500-byte frame): in a fluid world the
+///   goodput loss *is* the fault's observable effect.
+/// * **Black-holes** pin every flow through the node to rate zero while
+///   leaving connections nominally up — peers see a silent stall, the
+///   paper's mobile-host pathology.
+/// * **Address churn** is a hand-off with an empty outage window.
+/// * **Crash/restart** re-uses the hand-off teardown (connections decay
+///   as black holes, progress persists) but keeps the node's address.
+impl FaultHooks for FlowWorld {
+    fn fault_now(&self) -> SimTime {
+        self.now()
+    }
+
+    fn begin_loss_burst(&mut self, node: NodeId, ber: f64) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() {
+            return;
+        }
+        let factor = (1.0 - ber).powi(12_000).clamp(0.01, 1.0);
+        self.lossy_factor.insert(n, factor);
+        self.apply_access_faults(n);
+        self.trace.record(
+            self.sim.now(),
+            TraceKind::Other,
+            format!("fault: node {n} loss burst (capacity x{factor:.3})"),
+        );
+    }
+
+    fn end_loss_burst(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if self.lossy_factor.remove(&n).is_some() {
+            self.apply_access_faults(n);
+            self.trace
+                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} loss burst over"));
+        }
+    }
+
+    fn begin_blackhole(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() {
+            return;
+        }
+        if self.blackholed.insert(n) {
+            self.rates_dirty = true;
+            self.trace
+                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} black-holed"));
+        }
+    }
+
+    fn end_blackhole(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if self.blackholed.remove(&n) {
+            self.rates_dirty = true;
+            self.trace
+                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} black-hole over"));
+        }
+    }
+
+    fn churn_address(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() {
+            return;
+        }
+        let now = self.sim.now();
+        self.trace
+            .record(now, TraceKind::Other, format!("fault: node {n} address churn"));
+        if self.nodes[n].alive {
+            self.handoff_start(n, now);
+        }
+        self.handoff_end(n, now);
+    }
+
+    fn begin_tracker_outage(&mut self) {
+        self.tracker_down = true;
+        self.trace
+            .record(self.sim.now(), TraceKind::Other, "fault: tracker outage".to_string());
+    }
+
+    fn end_tracker_outage(&mut self) {
+        self.tracker_down = false;
+        self.trace
+            .record(self.sim.now(), TraceKind::Other, "fault: tracker back".to_string());
+    }
+
+    fn begin_bandwidth_squeeze(&mut self, node: NodeId, factor: f64) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() {
+            return;
+        }
+        self.squeeze_factor.insert(n, factor.clamp(0.001, 1.0));
+        self.apply_access_faults(n);
+        self.trace.record(
+            self.sim.now(),
+            TraceKind::Other,
+            format!("fault: node {n} bandwidth squeeze x{factor:.3}"),
+        );
+    }
+
+    fn end_bandwidth_squeeze(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if self.squeeze_factor.remove(&n).is_some() {
+            self.apply_access_faults(n);
+            self.trace
+                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} squeeze over"));
+        }
+    }
+
+    fn crash_peer(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() || !self.nodes[n].alive {
+            return;
+        }
+        let now = self.sim.now();
+        self.trace
+            .record(now, TraceKind::Other, format!("fault: node {n} crashed"));
+        self.nodes[n].alive = false;
+        self.rates_dirty = true;
+        let tasks: Vec<TaskKey> = (0..self.tasks.len())
+            .filter(|&t| self.tasks[t].spec.node == n && self.tasks[t].started)
+            .collect();
+        for t in tasks {
+            self.kill_client(t, now);
+        }
+    }
+
+    fn restart_peer(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() || self.nodes[n].alive {
+            return;
+        }
+        let now = self.sim.now();
+        self.trace
+            .record(now, TraceKind::Other, format!("fault: node {n} restarted"));
+        self.nodes[n].alive = true;
+        self.rates_dirty = true;
+        let tasks: Vec<TaskKey> = (0..self.tasks.len())
+            .filter(|&t| self.tasks[t].spec.node == n && self.tasks[t].started)
+            .collect();
+        for t in tasks {
+            if self.tasks[t].client.is_some() {
+                self.kill_client(t, now);
+            }
+            self.spawn_client(t, now);
+        }
+        self.pump_actions(now);
     }
 }
 

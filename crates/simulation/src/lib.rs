@@ -11,6 +11,9 @@
 //!   Figs. 2 and 8(a).
 //! * [`harness`] — the parallel deterministic sweep runner every
 //!   experiment driver fans its (point × run) cells through.
+//! * [`invariants`] — the swarm-wide invariant checker both worlds run
+//!   every tick in debug/test builds (conservation, monotonicity,
+//!   sequence-space and feasibility laws).
 //! * [`experiments`] — one driver per figure, each producing the same
 //!   series the paper plots.
 //! * [`report`] — plain-text table rendering for the figure binaries.
@@ -21,6 +24,7 @@
 pub mod experiments;
 pub mod flow;
 pub mod harness;
+pub mod invariants;
 pub mod packet;
 pub mod rates;
 pub mod report;

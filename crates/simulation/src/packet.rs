@@ -26,11 +26,12 @@ use sim_tcp::segment::Segment;
 use sim_tcp::seq::SeqNum;
 use simnet::addr::{AddressBook, NodeId};
 use simnet::event::EventToken;
+use simnet::fault::FaultHooks;
 use simnet::rng::SimRng;
 use simnet::sim::Simulator;
 use simnet::time::{SimDuration, SimTime};
 use simnet::wireless::{Direction, DirectionStats, WirelessChannel, WirelessConfig};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wp2p::am::{AgeFilter, AmConfig, AmOutput, AmStats};
 
 /// Node index in the packet world.
@@ -137,6 +138,16 @@ pub struct PacketWorld {
     rng: SimRng,
     next_iss: u32,
     clients_started: bool,
+    /// Fault state: nodes whose frames vanish silently.
+    blackholed: BTreeSet<PNodeKey>,
+    /// Fault state: crashed nodes (frames vanish, client ticks skipped).
+    crashed: BTreeSet<PNodeKey>,
+    /// Pre-fault BER of nodes under a loss burst.
+    ber_baseline: BTreeMap<PNodeKey, f64>,
+    /// Pre-fault channel bandwidth of squeezed nodes.
+    bw_baseline: BTreeMap<PNodeKey, u64>,
+    tracker_down: bool,
+    checker: crate::invariants::InvariantChecker,
 }
 
 impl PacketWorld {
@@ -153,6 +164,12 @@ impl PacketWorld {
             rng: SimRng::new(seed),
             next_iss: 1,
             clients_started: false,
+            blackholed: BTreeSet::new(),
+            crashed: BTreeSet::new(),
+            ber_baseline: BTreeMap::new(),
+            bw_baseline: BTreeMap::new(),
+            tracker_down: false,
+            checker: crate::invariants::InvariantChecker::new(),
         }
     }
 
@@ -284,6 +301,40 @@ impl PacketWorld {
         self.conns[conn]
             .as_ref()
             .map(|c| if a_side { &c.a } else { &c.b })
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of connection slots ever opened (some may be torn down).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Total application bytes one side has queued on its endpoint.
+    pub fn tcp_written(&self, conn: PConnKey, a_side: bool) -> u64 {
+        self.conns[conn]
+            .as_ref()
+            .map(|c| {
+                if a_side {
+                    c.a.written_total()
+                } else {
+                    c.b.written_total()
+                }
+            })
+            .unwrap_or(u64::MAX) // torn-down conns place no bound
+    }
+
+    /// True while a fault-injected tracker outage is active.
+    pub fn tracker_is_down(&self) -> bool {
+        self.tracker_down
+    }
+
+    /// Invariant passes run by the built-in debug-build checker.
+    pub fn invariant_checks(&self) -> u64 {
+        self.checker.checks()
     }
 
     /// AM filter diagnostic: (age estimate bytes, srtt seconds) per side.
@@ -460,6 +511,9 @@ impl PacketWorld {
         seg: Segment,
         now: SimTime,
     ) {
+        if self.blackholed.contains(&from_node) || self.crashed.contains(&from_node) {
+            return; // fault: frames from this node vanish silently
+        }
         let hop_at = match self.nodes[from_node].channel.as_mut() {
             Some(ch) => match ch
                 .send(now, Direction::Up, seg.wire_bytes(), &mut self.rng)
@@ -479,6 +533,9 @@ impl PacketWorld {
             return;
         };
         let to_node = if to_a { c.a_node } else { c.b_node };
+        if self.blackholed.contains(&to_node) || self.crashed.contains(&to_node) {
+            return; // fault: frames to this node vanish silently
+        }
         let deliver_at = match self.nodes[to_node].channel.as_mut() {
             Some(ch) => match ch
                 .send(now, Direction::Down, seg.wire_bytes(), &mut self.rng)
@@ -736,6 +793,23 @@ impl PacketWorld {
                 }
             }
             Action::Announce { event } => {
+                if self.tracker_down {
+                    // The announce is lost. A client parks its announce
+                    // clock until a response arrives, so synthesize an
+                    // empty retry response to keep it re-announcing.
+                    if event != AnnounceEvent::Stopped {
+                        let resp = bittorrent::tracker::AnnounceResponse {
+                            interval: SimDuration::from_secs(60),
+                            peers: Vec::new(),
+                            complete: 0,
+                            incomplete: 0,
+                        };
+                        if let Some(client) = self.nodes[node].client.as_mut() {
+                            client.on_tracker_response(&resp, now);
+                        }
+                    }
+                    return;
+                }
                 let Some(client) = self.nodes[node].client.as_ref() else {
                     return;
                 };
@@ -764,6 +838,8 @@ impl PacketWorld {
     /// Runs until `deadline`; `on_event` is invoked after every processed
     /// event (for experiment sampling).
     pub fn run_until(&mut self, deadline: SimTime, mut on_event: impl FnMut(&mut PacketWorld)) {
+        #[cfg(debug_assertions)]
+        let mut since_check = 0u32;
         while let Some(t) = self.sim.peek_time() {
             if t > deadline {
                 break;
@@ -775,6 +851,9 @@ impl PacketWorld {
                 PEv::Timer { conn, a_side } => self.on_timer(conn, a_side, now),
                 PEv::ClientTick => {
                     for n in 0..self.nodes.len() {
+                        if self.crashed.contains(&n) {
+                            continue; // fault: a crashed peer's client is frozen
+                        }
                         if let Some(c) = self.nodes[n].client.as_mut() {
                             c.on_tick(now);
                         }
@@ -784,6 +863,125 @@ impl PacketWorld {
                 }
             }
             on_event(self);
+            #[cfg(debug_assertions)]
+            {
+                since_check += 1;
+                if since_check >= 16 {
+                    since_check = 0;
+                    let mut ck = std::mem::take(&mut self.checker);
+                    ck.check_packet(self);
+                    self.checker = ck;
+                }
+            }
         }
+    }
+}
+
+/// Fault injection into the packet world.
+///
+/// Approximations where the model has no literal equivalent:
+///
+/// * **Loss bursts** and **bandwidth squeezes** act on the node's
+///   wireless channel and are no-ops for purely wired nodes.
+/// * **Black-holes** silently drop every frame from/to the node; TCP
+///   state on both sides freezes and recovers via retransmission.
+/// * **Address churn** reassigns the node's address and aborts its
+///   connections, as a mobile IP change would.
+/// * **Crash** freezes the node (frames vanish, client ticks skipped)
+///   rather than destroying the client: sessions cannot be rebuilt at
+///   this layer, and a frozen peer exercises the same timeout paths.
+impl FaultHooks for PacketWorld {
+    fn fault_now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn begin_loss_burst(&mut self, node: NodeId, ber: f64) {
+        let n = node.0 as usize;
+        let Some(ch) = self.nodes.get_mut(n).and_then(|nd| nd.channel.as_mut()) else {
+            return;
+        };
+        self.ber_baseline.entry(n).or_insert(ch.config().ber);
+        ch.set_ber(ber);
+    }
+
+    fn end_loss_burst(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if let Some(base) = self.ber_baseline.remove(&n) {
+            if let Some(ch) = self.nodes[n].channel.as_mut() {
+                ch.set_ber(base);
+            }
+        }
+    }
+
+    fn begin_blackhole(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n < self.nodes.len() {
+            self.blackholed.insert(n);
+        }
+    }
+
+    fn end_blackhole(&mut self, node: NodeId) {
+        self.blackholed.remove(&(node.0 as usize));
+    }
+
+    fn churn_address(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n >= self.nodes.len() {
+            return;
+        }
+        let now = self.sim.now();
+        let addr = self.book.reassign(NodeId(n as u32));
+        self.nodes[n].addr = addr;
+        if let Some(c) = self.nodes[n].client.as_mut() {
+            c.set_own_addr(addr);
+        }
+        for conn in 0..self.conns.len() {
+            let touches = self.conns[conn]
+                .as_ref()
+                .map(|c| c.a_node == n || c.b_node == n)
+                .unwrap_or(false);
+            if touches {
+                self.teardown_conn(conn, now);
+            }
+        }
+        self.pump_actions(now);
+    }
+
+    fn begin_tracker_outage(&mut self) {
+        self.tracker_down = true;
+    }
+
+    fn end_tracker_outage(&mut self) {
+        self.tracker_down = false;
+    }
+
+    fn begin_bandwidth_squeeze(&mut self, node: NodeId, factor: f64) {
+        let n = node.0 as usize;
+        let Some(ch) = self.nodes.get_mut(n).and_then(|nd| nd.channel.as_mut()) else {
+            return;
+        };
+        let base = *self.bw_baseline.entry(n).or_insert(ch.config().bandwidth_bps);
+        let squeezed = ((base as f64 * factor.clamp(0.001, 1.0)) as u64).max(1);
+        ch.set_bandwidth(squeezed);
+    }
+
+    fn end_bandwidth_squeeze(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if let Some(base) = self.bw_baseline.remove(&n) {
+            if let Some(ch) = self.nodes[n].channel.as_mut() {
+                ch.set_bandwidth(base);
+            }
+        }
+    }
+
+    fn crash_peer(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if n < self.nodes.len() {
+            self.crashed.insert(n);
+        }
+    }
+
+    fn restart_peer(&mut self, node: NodeId) {
+        self.crashed.remove(&(node.0 as usize));
     }
 }

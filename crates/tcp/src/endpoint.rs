@@ -109,6 +109,8 @@ pub struct Endpoint {
     snd_nxt: SeqNum,
     /// Application bytes queued beyond `snd_nxt`.
     snd_buffered: u64,
+    /// Total application bytes ever queued with [`Endpoint::write`].
+    written_total: u64,
     cc: Congestion,
     rtt: RttEstimator,
     peer_window: u32,
@@ -155,6 +157,7 @@ impl Endpoint {
             snd_una: iss,
             snd_nxt: iss,
             snd_buffered: 0,
+            written_total: 0,
             cc: Congestion::new(config.mss, config.init_cwnd_segs),
             rtt: RttEstimator::linux_like(),
             peer_window: config.recv_window,
@@ -246,6 +249,12 @@ impl Endpoint {
     pub fn write(&mut self, bytes: u64) {
         debug_assert!(!self.fin_queued, "write after close");
         self.snd_buffered += bytes;
+        self.written_total += bytes;
+    }
+
+    /// Total application bytes ever queued with [`Endpoint::write`].
+    pub fn written_total(&self) -> u64 {
+        self.written_total
     }
 
     /// Half-closes: a FIN will follow the queued data.

@@ -1,10 +1,20 @@
-//! Failure-injection tests: the system keeps its invariants under churn,
-//! loss bursts, dead addresses, and mid-run parameter changes.
+//! Failure-injection tests: deterministic [`FaultPlan`] scenarios replayed
+//! into both worlds, with the swarm-wide invariant checker live throughout.
+//!
+//! Every scenario drives a seeded fault schedule through a
+//! [`FaultInjector`] and runs [`InvariantChecker`] on every tick — an
+//! invariant violation panics the test regardless of the scenario's own
+//! assertions. The legacy mobility/parameter-change tests at the bottom
+//! predate the fault subsystem and stay as independent coverage.
 
 use bittorrent::client::ClientConfig;
 use bittorrent::metainfo::Metainfo;
-use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskSpec, TorrentSpec};
+use p2p_simulation::experiments::faults::replay_flow;
+use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskKey, TaskSpec, TorrentSpec};
+use p2p_simulation::invariants::InvariantChecker;
 use p2p_simulation::packet::{PacketConfig, PacketWorld};
+use simnet::addr::NodeId;
+use simnet::fault::{FaultInjector, FaultKind, FaultPlan};
 use simnet::mobility::MobilityProcess;
 use simnet::time::{SimDuration, SimTime};
 use simnet::wireless::WirelessConfig;
@@ -16,6 +26,322 @@ fn spec(len: u64, seed: u64) -> TorrentSpec {
     TorrentSpec::from_metainfo(&meta, 128 * 1024)
 }
 
+/// One seed + one leech flow world; returns `(world, leech_task)`.
+fn seed_leech_world(seed: u64, len: u64) -> (FlowWorld, TaskKey) {
+    let torrent = spec(len, seed);
+    let mut w = FlowWorld::new(FlowConfig::default(), seed);
+    let sn = w.add_node(Access::campus());
+    w.add_task(TaskSpec::default_client(sn, torrent, true));
+    let ln = w.add_node(Access::residential());
+    let t = w.add_task(TaskSpec::default_client(ln, torrent, false));
+    (w, t)
+}
+
+/// Replays `plan` into `w` until `deadline` with invariants checked every
+/// tick; returns the number of fault actions applied.
+fn run_flow_with_plan(w: &mut FlowWorld, plan: &FaultPlan, deadline: SimTime) -> usize {
+    let mut inj = FaultInjector::new(plan);
+    let mut ck = InvariantChecker::new();
+    w.start();
+    w.run_until(deadline, |w| {
+        inj.poll(w);
+        ck.check_flow(w);
+    });
+    assert!(ck.checks() > 0, "invariant checker never ran");
+    inj.applied()
+}
+
+// ---------------------------------------------------------------------
+// Named FaultPlan scenarios — flow world
+// ---------------------------------------------------------------------
+
+/// A severe loss burst on the leech derates its capacity but the
+/// download completes with clean accounting.
+#[test]
+fn scenario_loss_burst_on_leech() {
+    let (mut w, t) = seed_leech_world(11, 4 * MB);
+    let mut plan = FaultPlan::empty(11);
+    plan.push(
+        SimTime::from_secs(10),
+        FaultKind::LossBurst {
+            node: NodeId(1),
+            ber: 8e-5,
+            duration: SimDuration::from_secs(40),
+        },
+    );
+    let applied = run_flow_with_plan(&mut w, &plan, SimTime::from_secs(300));
+    assert_eq!(applied, 2, "burst begin + end");
+    assert_eq!(w.progress_fraction(t), 1.0);
+    assert!(w.downloaded_bytes(t) <= 4 * MB);
+}
+
+/// A black-hole stalls the leech completely mid-download; transfer
+/// resumes once connectivity returns.
+#[test]
+fn scenario_blackhole_stalls_then_recovers() {
+    // Big enough that the hole (15 s) opens mid-transfer: residential
+    // downlink moves ~0.5 MB/s, so 16 MB needs ~32 s of connected time.
+    let (mut w, t) = seed_leech_world(12, 16 * MB);
+    let mut plan = FaultPlan::empty(12);
+    plan.push(
+        SimTime::from_secs(15),
+        FaultKind::LinkBlackhole {
+            node: NodeId(1),
+            duration: SimDuration::from_secs(60),
+        },
+    );
+    let mut stalled_frac = None;
+    let mut inj = FaultInjector::new(&plan);
+    let mut ck = InvariantChecker::new();
+    w.start();
+    w.run_until(SimTime::from_secs(400), |w| {
+        inj.poll(w);
+        ck.check_flow(w);
+        // Sample progress while the hole is open.
+        if w.now() > SimTime::from_secs(70) && stalled_frac.is_none() {
+            stalled_frac = Some(w.progress_fraction(t));
+        }
+    });
+    let stalled = stalled_frac.expect("sampled");
+    assert!(stalled < 1.0, "black-hole should stall the transfer");
+    assert_eq!(w.progress_fraction(t), 1.0, "recovers after the hole closes");
+}
+
+/// Address churn mid-download: progress survives the re-initiation.
+#[test]
+fn scenario_address_churn_preserves_progress() {
+    let (mut w, t) = seed_leech_world(13, 4 * MB);
+    let mut plan = FaultPlan::empty(13);
+    plan.push(SimTime::from_secs(30), FaultKind::AddressChurn { node: NodeId(1) });
+    plan.push(SimTime::from_secs(60), FaultKind::AddressChurn { node: NodeId(1) });
+    run_flow_with_plan(&mut w, &plan, SimTime::from_secs(400));
+    assert_eq!(w.progress_fraction(t), 1.0);
+    assert!(w.task_generation(t) >= 2, "churn forces re-initiation");
+}
+
+/// The tracker is down when the swarm starts: discovery is delayed until
+/// the outage ends, then the download proceeds normally.
+#[test]
+fn scenario_tracker_outage_delays_discovery() {
+    let (mut w, t) = seed_leech_world(14, 2 * MB);
+    let mut plan = FaultPlan::empty(14);
+    plan.push(
+        SimTime::from_millis(250),
+        FaultKind::TrackerOutage {
+            duration: SimDuration::from_secs(90),
+        },
+    );
+    let mut frac_during = None;
+    let mut inj = FaultInjector::new(&plan);
+    let mut ck = InvariantChecker::new();
+    w.start();
+    w.run_until(SimTime::from_secs(500), |w| {
+        inj.poll(w);
+        ck.check_flow(w);
+        if w.now() > SimTime::from_secs(80) && frac_during.is_none() {
+            frac_during = Some(w.progress_fraction(t));
+        }
+    });
+    assert_eq!(
+        frac_during.expect("sampled"),
+        0.0,
+        "no peers can be discovered while the tracker is down"
+    );
+    assert_eq!(w.progress_fraction(t), 1.0, "recovers via re-announce");
+}
+
+/// A bandwidth squeeze shrinks the leech's pipe; rates stay feasible
+/// (checked every tick) and the transfer still completes.
+#[test]
+fn scenario_bandwidth_squeeze_stays_feasible() {
+    let (mut w, t) = seed_leech_world(15, 4 * MB);
+    let mut plan = FaultPlan::empty(15);
+    plan.push(
+        SimTime::from_secs(10),
+        FaultKind::BandwidthSqueeze {
+            node: NodeId(1),
+            factor: 0.15,
+            duration: SimDuration::from_secs(120),
+        },
+    );
+    run_flow_with_plan(&mut w, &plan, SimTime::from_secs(500));
+    assert_eq!(w.progress_fraction(t), 1.0);
+}
+
+/// The leech crashes and restarts: verified pieces survive the crash.
+#[test]
+fn scenario_peer_crash_and_restart_resumes() {
+    let (mut w, t) = seed_leech_world(16, 4 * MB);
+    let mut plan = FaultPlan::empty(16);
+    plan.push(
+        SimTime::from_secs(20),
+        FaultKind::PeerCrash {
+            node: NodeId(1),
+            downtime: SimDuration::from_secs(30),
+        },
+    );
+    let applied = run_flow_with_plan(&mut w, &plan, SimTime::from_secs(400));
+    assert_eq!(applied, 2, "crash + restart");
+    assert_eq!(w.progress_fraction(t), 1.0);
+    assert!(w.task_generation(t) >= 1, "crash forces re-initiation");
+}
+
+/// A wP2P mobile leech with identity retention rides out a churn storm;
+/// the invariant checker asserts its peer-id never changes.
+#[test]
+fn scenario_identity_retention_survives_churn_storm() {
+    let torrent = spec(4 * MB, 17);
+    let mut w = FlowWorld::new(FlowConfig::default(), 17);
+    let sn = w.add_node(Access::campus());
+    w.add_task(TaskSpec::default_client(sn, torrent, true));
+    let m = w.add_node(Access::Wireless { capacity: 300_000.0 });
+    let t = w.add_task(TaskSpec {
+        node: m,
+        torrent,
+        start_complete: false,
+        start_fraction: None,
+        make_config: Box::new(ClientConfig::default),
+        wp2p: wp2p::config::WP2pConfig::full(300_000.0),
+    });
+    let mut plan = FaultPlan::empty(17);
+    for k in 0..5 {
+        plan.push(
+            SimTime::from_secs(20 + 30 * k),
+            FaultKind::AddressChurn { node: NodeId(1) },
+        );
+    }
+    run_flow_with_plan(&mut w, &plan, SimTime::from_secs(400));
+    assert!(w.task_retains_identity(t));
+    assert!(w.task_generation(t) >= 5);
+    assert!(
+        w.progress_fraction(t) > 0.5,
+        "churn storm should slow, not stop: {:.2}",
+        w.progress_fraction(t)
+    );
+}
+
+/// Overlapping faults on the same node (squeeze + loss burst + churn)
+/// compose without corrupting accounting.
+#[test]
+fn scenario_overlapping_faults_compose() {
+    let (mut w, t) = seed_leech_world(18, 4 * MB);
+    let mut plan = FaultPlan::empty(18);
+    plan.push(
+        SimTime::from_secs(10),
+        FaultKind::BandwidthSqueeze {
+            node: NodeId(1),
+            factor: 0.3,
+            duration: SimDuration::from_secs(100),
+        },
+    );
+    plan.push(
+        SimTime::from_secs(30),
+        FaultKind::LossBurst {
+            node: NodeId(1),
+            ber: 5e-5,
+            duration: SimDuration::from_secs(40),
+        },
+    );
+    plan.push(SimTime::from_secs(50), FaultKind::AddressChurn { node: NodeId(1) });
+    run_flow_with_plan(&mut w, &plan, SimTime::from_secs(600));
+    assert_eq!(w.progress_fraction(t), 1.0);
+    assert!(w.downloaded_bytes(t) <= 4 * MB);
+}
+
+/// Soak: a generated plan with every fault kind enabled against a small
+/// swarm. The assertions are the invariants themselves.
+#[test]
+fn scenario_generated_plan_soak() {
+    let replay = replay_flow(0xF1A7, SimDuration::from_secs(120));
+    assert!(replay.applied > 0, "plan applied no faults");
+    assert!(replay.checks > 100, "checker barely ran: {}", replay.checks);
+    for (i, p) in replay.progress.iter().enumerate() {
+        assert!((0.0..=1.0).contains(p), "task {i} progress out of range: {p}");
+    }
+}
+
+/// Same seed ⇒ byte-identical fault schedule and byte-identical world
+/// trace (the acceptance bar for reproducing CI failures locally).
+#[test]
+fn scenario_same_seed_is_byte_identical() {
+    let a = replay_flow(0xBEE, SimDuration::from_secs(90));
+    let b = replay_flow(0xBEE, SimDuration::from_secs(90));
+    assert_eq!(a.schedule, b.schedule, "fault schedules differ across runs");
+    assert_eq!(a.trace, b.trace, "world traces differ across runs");
+    assert_eq!(a.applied, b.applied);
+    assert_eq!(a.progress, b.progress);
+    // And a different seed actually produces a different schedule.
+    let c = replay_flow(0xBEF, SimDuration::from_secs(90));
+    assert_ne!(a.schedule, c.schedule, "seed does not influence the plan");
+}
+
+// ---------------------------------------------------------------------
+// Named FaultPlan scenarios — packet world
+// ---------------------------------------------------------------------
+
+/// Replays `plan` into `w` until `deadline` with invariants checked on
+/// every event; returns the number of fault actions applied.
+fn run_packet_with_plan(w: &mut PacketWorld, plan: &FaultPlan, deadline: SimTime) -> usize {
+    let mut inj = FaultInjector::new(plan);
+    let mut ck = InvariantChecker::new();
+    w.run_until(deadline, |w| {
+        inj.poll(w);
+        ck.check_packet(w);
+    });
+    assert!(ck.checks() > 0, "invariant checker never ran");
+    inj.applied()
+}
+
+/// A per-segment loss burst mid-transfer: TCP rides it out and delivers
+/// the stream exactly once.
+#[test]
+fn scenario_packet_loss_burst_exactly_once() {
+    let mut w = PacketWorld::new(PacketConfig::default(), 21);
+    let wired = w.add_node(None);
+    let mobile = w.add_node(Some(WirelessConfig::wlan_80211g()));
+    let conn = w.open_tcp(wired, mobile);
+    w.tcp_write(conn, true, 3_000_000);
+    let mut plan = FaultPlan::empty(21);
+    plan.push(
+        SimTime::from_millis(500),
+        FaultKind::LossBurst {
+            node: NodeId(1),
+            ber: 5e-5,
+            duration: SimDuration::from_secs(2),
+        },
+    );
+    let applied = run_packet_with_plan(&mut w, &plan, SimTime::from_secs(60));
+    assert_eq!(applied, 2);
+    assert_eq!(w.tcp_delivered(conn, false), 3_000_000, "exactly-once delivery");
+    let ep = w.endpoint(conn, true).unwrap();
+    assert!(ep.stats().retransmissions > 0, "burst left no scars");
+}
+
+/// A black-hole freezes the connection; retransmission recovers the
+/// stream after it lifts, with sequence space intact.
+#[test]
+fn scenario_packet_blackhole_recovers() {
+    let mut w = PacketWorld::new(PacketConfig::default(), 22);
+    let wired = w.add_node(None);
+    let mobile = w.add_node(Some(WirelessConfig::wlan_80211g()));
+    let conn = w.open_tcp(wired, mobile);
+    w.tcp_write(conn, true, 1_000_000);
+    let mut plan = FaultPlan::empty(22);
+    plan.push(
+        SimTime::from_millis(300),
+        FaultKind::LinkBlackhole {
+            node: NodeId(1),
+            duration: SimDuration::from_secs(3),
+        },
+    );
+    run_packet_with_plan(&mut w, &plan, SimTime::from_secs(120));
+    assert_eq!(w.tcp_delivered(conn, false), 1_000_000, "recovers after the hole");
+}
+
+// ---------------------------------------------------------------------
+// Legacy scenarios (predate FaultPlan; independent coverage)
+// ---------------------------------------------------------------------
+
 /// Seed churn: the only seed flaps on/off; the leech still finishes
 /// because progress survives the gaps.
 #[test]
@@ -23,7 +349,7 @@ fn download_survives_seed_churn() {
     let torrent = spec(8 * MB, 1);
     let mut w = FlowWorld::new(FlowConfig::default(), 1);
     let sn = w.add_node(Access::campus());
-    let seed_task = w.add_task(TaskSpec::default_client(sn, torrent, true));
+    w.add_task(TaskSpec::default_client(sn, torrent, true));
     // The seed itself "moves" every 45 s: its connections black-hole and
     // it reappears at a fresh address.
     w.set_mobility(
@@ -34,7 +360,6 @@ fn download_survives_seed_churn() {
     let t = w.add_task(TaskSpec::default_client(ln, torrent, false));
     w.start();
     w.run_until(SimTime::from_secs(900), |_| {});
-    let _ = seed_task;
     assert!(
         w.progress_fraction(t) > 0.5,
         "churn should slow, not stop, the download: {:.2}",

@@ -136,6 +136,51 @@ fn reassembly_delivers_exact_stream() {
     });
 }
 
+/// Chaos: random overlapping / out-of-order / duplicate / stale segments
+/// interleaved with a full cover never corrupt the stream — exactly the
+/// original bytes are delivered, in order, and nothing is left buffered.
+#[test]
+fn reassembly_survives_overlapping_chaos() {
+    for_cases(0x7CB, 256, |rng| {
+        let total = rng.range(1u32..50_000);
+        let initial = rng.range(0..u32::MAX); // wrap point lands anywhere
+        // A covering segmentation of [0, total)...
+        let mut segs: Vec<(u32, u32)> = Vec::new();
+        let mut off = 0u32;
+        while off < total {
+            let l = rng.range(1u32..3000).min(total - off);
+            segs.push((off, l));
+            off += l;
+        }
+        // ...plus random junk: overlapping ranges, duplicates, stale
+        // retransmissions of data already covered.
+        for _ in 0..rng.range(0..40usize) {
+            let o = rng.range(0..total);
+            let l = rng.range(1u32..3000).min(total - o);
+            segs.push((o, l));
+        }
+        rng.shuffle(&mut segs);
+        let mut r = Reassembly::new(SeqNum(initial));
+        let mut delivered = 0u64;
+        for (o, l) in segs {
+            let out = r.on_data(SeqNum(initial.wrapping_add(o)), l);
+            delivered += out.delivered;
+            assert!(
+                r.delivered_total() <= total as u64,
+                "delivered more bytes than the stream holds"
+            );
+            // rcv_nxt always tracks the delivered prefix exactly.
+            assert_eq!(
+                r.rcv_nxt(),
+                SeqNum(initial.wrapping_add(r.delivered_total() as u32))
+            );
+        }
+        assert_eq!(delivered, total as u64, "stream incomplete or inflated");
+        assert_eq!(r.delivered_total(), total as u64);
+        assert_eq!(r.buffered_ooo(), 0, "junk left buffered past delivery");
+    });
+}
+
 /// Duplicated segments never inflate the delivered byte count.
 #[test]
 fn reassembly_ignores_duplicates() {
@@ -158,6 +203,38 @@ fn reassembly_ignores_duplicates() {
             delivered += r.on_data(SeqNum(o), l).delivered;
         }
         assert_eq!(delivered, total);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Sequence-number arithmetic
+// ---------------------------------------------------------------------
+
+/// Wrapping sequence arithmetic is consistent for any anchor (including
+/// right at the 2³² wrap) and any in-window distance: ordering, distance,
+/// min/max, and add all agree.
+#[test]
+fn seqnum_wraparound_arithmetic_is_consistent() {
+    for_cases(0x5E9, 512, |rng| {
+        // Half the cases anchor within one window of the wrap point so
+        // the wrap is actually exercised, not just possible.
+        let a = if rng.chance(0.5) {
+            SeqNum(u32::MAX - rng.range(0u32..1 << 20))
+        } else {
+            SeqNum(rng.range(0..u32::MAX))
+        };
+        let d = rng.range(1u32..1 << 30); // strictly in-window distance
+        let b = a.add(d);
+        assert!(a.before(b), "a must be before a+{d}");
+        assert!(b.after(a));
+        assert!(a.before_eq(b) && a.before_eq(a) && !a.before(a));
+        assert_eq!(a.distance_to(b), d, "distance must survive the wrap");
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        // Adding the two's-complement of d walks back to a.
+        assert_eq!(b.add(d.wrapping_neg()), a);
+        // Ordering is antisymmetric for distinct in-window points.
+        assert!(!b.before(a));
     });
 }
 
