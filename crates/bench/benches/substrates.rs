@@ -158,8 +158,7 @@ fn bench_rates(filter: Option<&str>) {
     // solver rescanned all N flows per round.
     let n = 2000usize;
     let shared = 0usize;
-    let worst_flows: Vec<FlowDemand> =
-        (0..n).map(|i| FlowDemand::new(shared, i + 1)).collect();
+    let worst_flows: Vec<FlowDemand> = (0..n).map(|i| FlowDemand::new(shared, i + 1)).collect();
     let mut worst_caps = vec![1e9; n + 1];
     worst_caps[shared] = 1_000_000.0;
     bench(filter, "rates/max_min_2000_flows_one_bottleneck", || {

@@ -1,15 +1,22 @@
-//! Runs every figure-regeneration experiment in sequence and prints all
-//! tables — a one-command reproduction of the paper's evaluation section.
+//! Runs every registered experiment in sequence and prints all tables —
+//! a one-command reproduction of the paper's evaluation section.
 //!
 //! ```sh
 //! cargo run --release -p wp2p-bench --bin all_figures            # quick
 //! cargo run --release -p wp2p-bench --bin all_figures -- --paper # full
 //! cargo run --release -p wp2p-bench --bin all_figures -- --only fig8
+//! cargo run --release -p wp2p-bench --bin all_figures -- --only fig2a --metrics-out out/
 //! ```
 //!
-//! `--only <name>` runs just the figures whose name contains `<name>`.
-//! `--faults <seed>` skips the figures and instead replays the seed's
-//! deterministic fault plan into both worlds with the swarm-wide
+//! The figures come from `p2p_simulation::experiments::registry`: each is
+//! an [`Experiment`](p2p_simulation::experiments::registry::Experiment)
+//! with a name, quick/paper parameter sets, and a canonical seed.
+//! `--only <name>` runs just the experiments whose name contains
+//! `<name>`. `--metrics-out <dir>` runs each figure with a live metrics
+//! handle and writes `<dir>/<figure>.metrics.json` plus
+//! `<dir>/<figure>.series.csv` — seed-deterministic under any worker
+//! count. `--faults <seed>` skips the figures and instead replays the
+//! seed's deterministic fault plan into both worlds with the swarm-wide
 //! invariant checker live — the harness for reproducing a failing seed
 //! from CI (same seed, byte-identical schedule and trace).
 //! Sweeps fan out across worker threads (`WP2P_THREADS` overrides the
@@ -18,11 +25,13 @@
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{faults, fig2, fig3, fig4, fig8, fig9, playability};
-use simnet::time::SimDuration;
+use p2p_simulation::experiments::{faults, registry};
 use p2p_simulation::harness::{self, SweepStats};
+use simnet::time::SimDuration;
 use std::time::Instant;
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 struct FigureReport {
     name: &'static str,
@@ -89,6 +98,7 @@ fn main() {
     let preset = preset_from_args();
     preamble("All figures", preset);
     let quick = preset == Preset::Quick;
+    let metrics_out = metrics_out_from_args();
 
     let args: Vec<String> = std::env::args().collect();
     let only: Option<String> = args
@@ -104,193 +114,55 @@ fn main() {
     {
         let seed: u64 = seed.parse().expect("--faults takes a u64 seed");
         let horizon = if quick { 120 } else { 600 };
-        let flow = faults::replay_flow(seed, SimDuration::from_secs(horizon));
-        let pkt = faults::replay_packet(seed, SimDuration::from_secs(horizon.min(60)));
+        let flow_handle = metrics_handle(metrics_out.as_deref(), seed);
+        let pkt_handle = metrics_handle(metrics_out.as_deref(), seed);
+        let flow = faults::replay_flow_with(seed, SimDuration::from_secs(horizon), &flow_handle);
+        let pkt =
+            faults::replay_packet_with(seed, SimDuration::from_secs(horizon.min(60)), &pkt_handle);
         print!("{}", flow.schedule);
         println!();
         faults::fault_table(seed, &flow, &pkt).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "faults_flow", &flow_handle);
+            dump_metrics(dir, "faults_packet", &pkt_handle);
+        }
         return;
     }
-
-    let (small, large) = if quick {
-        (
-            playability::PlayabilityParams::quick_5mb(),
-            playability::PlayabilityParams::quick_large(),
-        )
-    } else {
-        (
-            playability::PlayabilityParams::paper_5mb(),
-            playability::PlayabilityParams::paper_large(),
-        )
-    };
-    let small2 = small.clone();
-    let large2 = large.clone();
-
-    // Each figure is a named, independently runnable (and independently
-    // failable) section.
-    type Figure = (&'static str, Box<dyn FnOnce()>);
-    let figures: Vec<Figure> = vec![
-        (
-            "fig2a",
-            Box::new(move || {
-                let p = if quick {
-                    fig2::Fig2aParams::quick()
-                } else {
-                    fig2::Fig2aParams::paper()
-                };
-                fig2::fig2a_table(&fig2::run_fig2a(&p)).print();
-            }),
-        ),
-        (
-            "fig2bc",
-            Box::new(|| {
-                let p = fig2::Fig2bcParams::paper();
-                let (uni, bi) = fig2::run_fig2bc_pair(&p, 0x2BC);
-                fig2::fig2bc_table(&uni, &bi).print();
-            }),
-        ),
-        (
-            "fig3ab",
-            Box::new(move || {
-                let p = if quick {
-                    fig3::Fig3abParams::quick()
-                } else {
-                    fig3::Fig3abParams::paper()
-                };
-                fig3::fig3ab_table(
-                    "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
-                    &fig3::run_fig3a(&p),
-                    "paper: monotonically increasing",
-                )
-                .print();
-                println!();
-                fig3::fig3ab_table(
-                    "Figure 3(b): Aggregate download (KBps) vs upload limit — wireless",
-                    &fig3::run_fig3b(&p),
-                    "paper: rises, peaks early, falls",
-                )
-                .print();
-            }),
-        ),
-        (
-            "fig3c",
-            Box::new(move || {
-                let p = if quick {
-                    fig3::Fig3cParams::quick()
-                } else {
-                    fig3::Fig3cParams::paper()
-                };
-                fig3::fig3c_table(&fig3::run_fig3c(&p, 0x3C), 10).print();
-            }),
-        ),
-        (
-            "fig4a",
-            Box::new(move || {
-                let p = if quick {
-                    fig4::Fig4aParams::quick()
-                } else {
-                    fig4::Fig4aParams::paper()
-                };
-                fig4::fig4a_table(&fig4::run_fig4a(&p)).print();
-            }),
-        ),
-        (
-            "fig4bc",
-            Box::new(move || {
-                playability::playability_table(
-                    "Figure 4(b): Playable % vs downloaded % — 5 MB, rarest-first",
-                    &playability::run_playability(&small, None, 0x4B),
-                    None,
-                )
-                .print();
-                println!();
-                playability::playability_table(
-                    "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
-                    &playability::run_playability(&large, None, 0x4C),
-                    None,
-                )
-                .print();
-            }),
-        ),
-        (
-            "fig8a",
-            Box::new(move || {
-                let p = if quick {
-                    fig8::Fig8aParams::quick()
-                } else {
-                    fig8::Fig8aParams::paper()
-                };
-                fig8::fig8a_table(&fig8::run_fig8a(&p)).print();
-            }),
-        ),
-        (
-            "fig8b",
-            Box::new(move || {
-                let p = if quick {
-                    fig8::Fig8bParams::quick()
-                } else {
-                    fig8::Fig8bParams::paper()
-                };
-                fig8::fig8b_table(&fig8::run_fig8b(&p, 0x8B), 10).print();
-            }),
-        ),
-        (
-            "fig8c",
-            Box::new(move || {
-                let p = if quick {
-                    fig8::Fig8cParams::quick()
-                } else {
-                    fig8::Fig8cParams::paper()
-                };
-                fig8::fig8c_table(&fig8::run_fig8c(&p)).print();
-            }),
-        ),
-        (
-            "fig9ab",
-            Box::new(move || {
-                fig9::fig9ab_table(
-                    "Figure 9(a): Playable % vs downloaded % — 5 MB",
-                    &fig9::run_fig9ab(&small2, 0x9A),
-                )
-                .print();
-                println!();
-                fig9::fig9ab_table(
-                    "Figure 9(b): Playable % vs downloaded % — large file",
-                    &fig9::run_fig9ab(&large2, 0x9B),
-                )
-                .print();
-            }),
-        ),
-        (
-            "fig9c",
-            Box::new(move || {
-                let p = if quick {
-                    fig9::Fig9cParams::quick()
-                } else {
-                    fig9::Fig9cParams::paper()
-                };
-                fig9::fig9c_table(&fig9::run_fig9c(&p)).print();
-            }),
-        ),
-    ];
 
     let total_start = Instant::now();
     let mut reports = Vec::new();
     let mut failed = Vec::new();
     harness::take_stats(); // drop anything recorded before the run
-    for (name, f) in figures {
+    for e in registry::all() {
+        let name = e.name();
         if let Some(pat) = &only {
             if !name.contains(pat.as_str()) {
                 continue;
             }
         }
+        let params = if quick {
+            e.default_params()
+        } else {
+            e.paper_params()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), e.default_seed());
         let t0 = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.run(&params, &handle, e.default_seed())
+        }));
         let wall_secs = t0.elapsed().as_secs_f64();
         let panicked = outcome.is_err();
-        if panicked {
-            eprintln!("FIGURE FAILED: {name} panicked");
-            failed.push(name);
+        match outcome {
+            Ok(report) => {
+                report.print();
+                if let Some(dir) = &metrics_out {
+                    dump_metrics(dir, name, &handle);
+                }
+            }
+            Err(_) => {
+                eprintln!("FIGURE FAILED: {name} panicked");
+                failed.push(name);
+            }
         }
         println!();
         reports.push(FigureReport {
@@ -307,7 +179,11 @@ fn main() {
         Ok(()) => eprintln!("wrote BENCH_sweeps.json ({} figures)", reports.len()),
         Err(e) => eprintln!("could not write BENCH_sweeps.json: {e}"),
     }
-    let cells: usize = reports.iter().flat_map(|r| &r.sweeps).map(|s| s.cells).sum();
+    let cells: usize = reports
+        .iter()
+        .flat_map(|r| &r.sweeps)
+        .map(|s| s.cells)
+        .sum();
     let cell_wall: f64 = reports
         .iter()
         .flat_map(|r| &r.sweeps)

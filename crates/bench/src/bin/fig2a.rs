@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 2(a): downloading throughput vs BER for
 //! bi-directional vs uni-directional TCP over a wireless leg.
 
-use p2p_simulation::experiments::fig2::{fig2a_table, run_fig2a, Fig2aParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig2::{fig2a_table, run_fig2a_with, Fig2aParams, FIG2A_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig2aParams::quick(),
         Preset::Paper => Fig2aParams::paper(),
     };
-    let points = run_fig2a(&params);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG2A_SEED);
+    let points = run_fig2a_with(&params, &handle, FIG2A_SEED);
     fig2a_table(&points).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig2a", &handle);
+    }
 }

@@ -2,8 +2,12 @@
 //! wireless leg over time, with buffer-drop events, for uni- and
 //! bi-directional TCP.
 
-use p2p_simulation::experiments::fig2::{fig2bc_table, run_fig2bc_pair, Fig2bcParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig2::{
+    fig2bc_table, run_fig2bc_pair_with, Fig2bcParams, FIG2BC_SEED,
+};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -12,7 +16,9 @@ fn main() {
         Preset::Quick => Fig2bcParams::quick(),
         Preset::Paper => Fig2bcParams::paper(),
     };
-    let (uni, bi) = run_fig2bc_pair(&params, 0x2BC);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG2BC_SEED);
+    let (uni, bi) = run_fig2bc_pair_with(&params, &handle, FIG2BC_SEED);
     fig2bc_table(&uni, &bi).print();
     println!(
         "uni: mean packets/bucket before first drop {:.1}, after {:.1}",
@@ -24,4 +30,7 @@ fn main() {
         bi.mean_before_first_drop(),
         bi.mean_after_first_drop()
     );
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig2bc", &handle);
+    }
 }

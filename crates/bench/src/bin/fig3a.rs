@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 3(a): aggregate download rate vs upload limit
 //! on wired asymmetric access (monotone increasing).
 
-use p2p_simulation::experiments::fig3::{fig3ab_table, run_fig3a, Fig3abParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig3::{fig3ab_table, run_fig3a_with, Fig3abParams, FIG3AB_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,11 +13,16 @@ fn main() {
         Preset::Quick => Fig3abParams::quick(),
         Preset::Paper => Fig3abParams::paper(),
     };
-    let points = run_fig3a(&params);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG3AB_SEED);
+    let points = run_fig3a_with(&params, &handle, FIG3AB_SEED);
     fig3ab_table(
         "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
         &points,
         "paper: monotonically increasing (tit-for-tat rewards uploads)",
     )
     .print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig3a", &handle);
+    }
 }

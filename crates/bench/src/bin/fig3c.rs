@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 3(c): downloaded size vs time for the four
 //! {mobility} x {uploading} arms.
 
-use p2p_simulation::experiments::fig3::{fig3c_table, run_fig3c, Fig3cParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig3::{fig3c_table, run_fig3c_with, Fig3cParams, FIG3C_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig3cParams::quick(),
         Preset::Paper => Fig3cParams::paper(),
     };
-    let results = run_fig3c(&params, 0x3C);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG3C_SEED);
+    let results = run_fig3c_with(&params, &handle, FIG3C_SEED);
     fig3c_table(&results, 10).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig3c", &handle);
+    }
 }

@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 4(a): fixed-peer throughput vs server
 //! mobility rate, one-mobile vs all-mobile.
 
-use p2p_simulation::experiments::fig4::{fig4a_table, run_fig4a, Fig4aParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig4::{fig4a_table, run_fig4a_with, Fig4aParams, FIG4A_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig4aParams::quick(),
         Preset::Paper => Fig4aParams::paper(),
     };
-    let points = run_fig4a(&params);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG4A_SEED);
+    let points = run_fig4a_with(&params, &handle, FIG4A_SEED);
     fig4a_table(&points).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig4a", &handle);
+    }
 }

@@ -1,10 +1,14 @@
 //! Regenerates paper Figure 4(b, c): playable fraction vs downloaded
 //! fraction under rarest-first fetching, for a small and a large file.
 
+use metrics::handle::MetricsHandle;
+use p2p_simulation::experiments::fig4::FIG4BC_SEED;
 use p2p_simulation::experiments::playability::{
-    playability_table, run_playability, PlayabilityParams,
+    playability_table, run_playability_with, PlayabilityParams,
 };
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -19,18 +23,26 @@ fn main() {
             PlayabilityParams::paper_large(),
         ),
     };
-    let small_curve = run_playability(&small, None, 0x4B);
+    let out = metrics_out_from_args();
+    // Only the small panel writes series (the panels share series names
+    // and a series must keep a single writer).
+    let handle = metrics_handle(out.as_deref(), FIG4BC_SEED);
+    let small_curve = run_playability_with(&small, None, &handle, FIG4BC_SEED);
     playability_table(
         "Figure 4(b): Playable % vs downloaded % — 5 MB file, rarest-first",
         &small_curve,
         None,
     )
     .print();
-    let large_curve = run_playability(&large, None, 0x4C);
+    let large_curve =
+        run_playability_with(&large, None, &MetricsHandle::disabled(), FIG4BC_SEED + 1);
     playability_table(
         "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
         &large_curve,
         None,
     )
     .print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig4bc", &handle);
+    }
 }

@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 8(a): throughput vs BER, default vs wP2P
 //! (age-based manipulation), leech-to-leech over wireless.
 
-use p2p_simulation::experiments::fig8::{fig8a_table, run_fig8a, Fig8aParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig8::{fig8a_table, run_fig8a_with, Fig8aParams, FIG8A_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig8aParams::quick(),
         Preset::Paper => Fig8aParams::paper(),
     };
-    let points = run_fig8a(&params);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG8A_SEED);
+    let points = run_fig8a_with(&params, &handle, FIG8A_SEED);
     fig8a_table(&points).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig8a", &handle);
+    }
 }

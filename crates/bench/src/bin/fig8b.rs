@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 8(b): downloaded size vs time under 1-minute
 //! hand-offs, default vs wP2P (identity retention).
 
-use p2p_simulation::experiments::fig8::{fig8b_table, run_fig8b, Fig8bParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig8::{fig8b_table, run_fig8b_with, Fig8bParams, FIG8B_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig8bParams::quick(),
         Preset::Paper => Fig8bParams::paper(),
     };
-    let result = run_fig8b(&params, 0x8B);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG8B_SEED);
+    let result = run_fig8b_with(&params, &handle, FIG8B_SEED);
     fig8b_table(&result, 10).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig8b", &handle);
+    }
 }

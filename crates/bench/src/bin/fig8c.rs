@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 8(c): download throughput vs wireless
 //! capacity, default vs wP2P (LIHD upload-rate control).
 
-use p2p_simulation::experiments::fig8::{fig8c_table, run_fig8c, Fig8cParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig8::{fig8c_table, run_fig8c_with, Fig8cParams, FIG8C_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig8cParams::quick(),
         Preset::Paper => Fig8cParams::paper(),
     };
-    let points = run_fig8c(&params);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG8C_SEED);
+    let points = run_fig8c_with(&params, &handle, FIG8C_SEED);
     fig8c_table(&points).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig8c", &handle);
+    }
 }

@@ -1,9 +1,12 @@
 //! Regenerates paper Figure 9(a, b): playable fraction vs downloaded
 //! fraction, default rarest-first vs wP2P mobility-aware fetching.
 
-use p2p_simulation::experiments::fig9::{fig9ab_table, run_fig9ab};
+use metrics::handle::MetricsHandle;
+use p2p_simulation::experiments::fig9::{fig9ab_table, run_fig9ab_with, FIG9AB_SEED};
 use p2p_simulation::experiments::playability::PlayabilityParams;
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -18,16 +21,15 @@ fn main() {
             PlayabilityParams::paper_large(),
         ),
     };
-    let r = run_fig9ab(&small, 0x9A);
-    fig9ab_table(
-        "Figure 9(a): Playable % vs downloaded % — 5 MB file",
-        &r,
-    )
-    .print();
-    let r = run_fig9ab(&large, 0x9B);
-    fig9ab_table(
-        "Figure 9(b): Playable % vs downloaded % — large file",
-        &r,
-    )
-    .print();
+    let out = metrics_out_from_args();
+    // Only panel (a) writes series (the panels share series names and a
+    // series must keep a single writer).
+    let handle = metrics_handle(out.as_deref(), FIG9AB_SEED);
+    let r = run_fig9ab_with(&small, &handle, FIG9AB_SEED);
+    fig9ab_table("Figure 9(a): Playable % vs downloaded % — 5 MB file", &r).print();
+    let r = run_fig9ab_with(&large, &MetricsHandle::disabled(), FIG9AB_SEED + 1);
+    fig9ab_table("Figure 9(b): Playable % vs downloaded % — large file", &r).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig9ab", &handle);
+    }
 }

@@ -1,8 +1,10 @@
 //! Regenerates paper Figure 9(c): mobile-seed upload throughput vs
 //! mobility rate, default vs wP2P (role reversal).
 
-use p2p_simulation::experiments::fig9::{fig9c_table, run_fig9c, Fig9cParams};
-use wp2p_bench::{preamble, preset_from_args, Preset};
+use p2p_simulation::experiments::fig9::{fig9c_table, run_fig9c_with, Fig9cParams, FIG9C_SEED};
+use wp2p_bench::{
+    dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
+};
 
 fn main() {
     let preset = preset_from_args();
@@ -11,6 +13,11 @@ fn main() {
         Preset::Quick => Fig9cParams::quick(),
         Preset::Paper => Fig9cParams::paper(),
     };
-    let points = run_fig9c(&params);
+    let out = metrics_out_from_args();
+    let handle = metrics_handle(out.as_deref(), FIG9C_SEED);
+    let points = run_fig9c_with(&params, &handle, FIG9C_SEED);
     fig9c_table(&points).print();
+    if let Some(dir) = &out {
+        dump_metrics(dir, "fig9c", &handle);
+    }
 }

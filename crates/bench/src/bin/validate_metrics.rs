@@ -1,0 +1,245 @@
+//! Validates `--metrics-out` JSON dumps against the shape documented in
+//! `schemas/metrics.schema.json`.
+//!
+//! ```sh
+//! cargo run -p wp2p-bench --bin validate_metrics -- out/*.metrics.json
+//! ```
+//!
+//! The workspace carries no external crates, so instead of a generic
+//! JSON-Schema engine this binary hand-implements the schema's rules on
+//! top of `metrics::json::Json`. Exits nonzero listing every violation.
+
+use metrics::json::Json;
+
+fn is_uint(v: &Json) -> bool {
+    matches!(v.as_num(), Some(x) if x >= 0.0 && x == x.trunc())
+}
+
+fn validate(doc: &Json, errors: &mut Vec<String>) {
+    let Some(top) = doc.as_obj() else {
+        errors.push("top level is not an object".to_string());
+        return;
+    };
+    const KEYS: [&str; 6] = [
+        "counters",
+        "gauges",
+        "histograms",
+        "seed",
+        "series",
+        "trace",
+    ];
+    for k in KEYS {
+        if !top.contains_key(k) {
+            errors.push(format!("missing top-level key \"{k}\""));
+        }
+    }
+    for k in top.keys() {
+        if !KEYS.contains(&k.as_str()) {
+            errors.push(format!("unknown top-level key \"{k}\""));
+        }
+    }
+
+    if let Some(v) = top.get("seed") {
+        if !is_uint(v) {
+            errors.push("seed is not a non-negative integer".to_string());
+        }
+    }
+
+    if let Some(counters) = top.get("counters") {
+        match counters.as_obj() {
+            Some(m) => {
+                for (name, v) in m {
+                    if !is_uint(v) {
+                        errors.push(format!("counter \"{name}\" is not a non-negative integer"));
+                    }
+                }
+            }
+            None => errors.push("counters is not an object".to_string()),
+        }
+    }
+
+    if let Some(gauges) = top.get("gauges") {
+        match gauges.as_obj() {
+            Some(m) => {
+                for (name, v) in m {
+                    if v.as_num().is_none() && *v != Json::Null {
+                        errors.push(format!("gauge \"{name}\" is not a number or null"));
+                    }
+                }
+            }
+            None => errors.push("gauges is not an object".to_string()),
+        }
+    }
+
+    if let Some(histograms) = top.get("histograms") {
+        match histograms.as_obj() {
+            Some(m) => {
+                for (name, h) in m {
+                    let bounds = h.get("bounds").and_then(Json::as_arr);
+                    let counts = h.get("counts").and_then(Json::as_arr);
+                    let total = h.get("total");
+                    match (bounds, counts, total) {
+                        (Some(bounds), Some(counts), Some(total)) => {
+                            if bounds.iter().any(|b| b.as_num().is_none()) {
+                                errors.push(format!("histogram \"{name}\": non-numeric bound"));
+                            }
+                            if counts.len() != bounds.len() + 1 {
+                                errors.push(format!(
+                                    "histogram \"{name}\": {} counts for {} bounds (want bounds+1)",
+                                    counts.len(),
+                                    bounds.len()
+                                ));
+                            }
+                            if counts.iter().any(|c| !is_uint(c)) {
+                                errors.push(format!("histogram \"{name}\": non-integer count"));
+                            } else {
+                                let sum: f64 = counts.iter().filter_map(Json::as_num).sum();
+                                if total.as_num() != Some(sum) {
+                                    errors.push(format!(
+                                        "histogram \"{name}\": total != sum of counts"
+                                    ));
+                                }
+                            }
+                        }
+                        _ => errors.push(format!("histogram \"{name}\" lacks bounds/counts/total")),
+                    }
+                }
+            }
+            None => errors.push("histograms is not an object".to_string()),
+        }
+    }
+
+    if let Some(series) = top.get("series") {
+        match series.as_obj() {
+            Some(m) => {
+                for (name, s) in m {
+                    if !s.get("dropped").is_some_and(is_uint) {
+                        errors.push(format!(
+                            "series \"{name}\": dropped is not a non-negative integer"
+                        ));
+                    }
+                    match s.get("points").and_then(Json::as_arr) {
+                        Some(points) => {
+                            let mut last_t = f64::NEG_INFINITY;
+                            for (i, p) in points.iter().enumerate() {
+                                let pair = p.as_arr().filter(|a| a.len() == 2);
+                                let Some(pair) = pair else {
+                                    errors.push(format!(
+                                        "series \"{name}\" point {i} is not a [t, v] pair"
+                                    ));
+                                    continue;
+                                };
+                                match pair[0].as_num() {
+                                    Some(t) if t >= last_t => last_t = t,
+                                    Some(t) => errors.push(format!(
+                                        "series \"{name}\" point {i}: time {t} goes backwards"
+                                    )),
+                                    None => errors.push(format!(
+                                        "series \"{name}\" point {i}: non-numeric time"
+                                    )),
+                                }
+                                if pair[1].as_num().is_none() && pair[1] != Json::Null {
+                                    errors.push(format!(
+                                        "series \"{name}\" point {i}: value is not a number or null"
+                                    ));
+                                }
+                            }
+                        }
+                        None => errors.push(format!("series \"{name}\": points is not an array")),
+                    }
+                }
+            }
+            None => errors.push("series is not an object".to_string()),
+        }
+    }
+
+    if let Some(trace) = top.get("trace") {
+        match trace.as_arr() {
+            Some(events) => {
+                let mut last_at = f64::NEG_INFINITY;
+                for (i, ev) in events.iter().enumerate() {
+                    match ev.get("at").and_then(Json::as_num) {
+                        Some(at) if at >= last_at && at >= 0.0 => last_at = at,
+                        Some(at) => errors.push(format!(
+                            "trace event {i}: at {at} is negative or goes backwards"
+                        )),
+                        None => errors.push(format!("trace event {i}: missing numeric \"at\"")),
+                    }
+                    for key in ["kind", "message"] {
+                        if ev.get(key).and_then(Json::as_str).is_none() {
+                            errors.push(format!("trace event {i}: missing string \"{key}\""));
+                        }
+                    }
+                }
+            }
+            None => errors.push("trace is not an array".to_string()),
+        }
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_metrics <dump.metrics.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut errors = Vec::new();
+        match Json::parse(&text) {
+            Ok(doc) => validate(&doc, &mut errors),
+            Err(e) => errors.push(format!("not valid JSON: {e}")),
+        }
+        if errors.is_empty() {
+            println!("{path}: ok");
+        } else {
+            failed = true;
+            for e in &errors {
+                eprintln!("{path}: {e}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn errors_for(text: &str) -> Vec<String> {
+        let mut errors = Vec::new();
+        validate(&Json::parse(text).unwrap(), &mut errors);
+        errors
+    }
+
+    #[test]
+    fn accepts_a_real_dump() {
+        let handle = metrics::handle::MetricsHandle::enabled(7);
+        handle.counter("c").add(3);
+        handle.gauge("g").set(1.5);
+        handle.histogram("h", &[1.0, 10.0]).record(4.0);
+        let s = handle.series("s");
+        s.record(simnet::time::SimTime::from_secs(1), 2.0);
+        s.record(simnet::time::SimTime::from_secs(2), 3.0);
+        assert_eq!(errors_for(&handle.to_json()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_shape_violations() {
+        let base = metrics::handle::MetricsHandle::enabled(0).to_json();
+        assert!(errors_for(&base).is_empty());
+        assert!(!errors_for("{}").is_empty(), "missing keys");
+        let bad = base.replace("\"seed\":0", "\"seed\":-1.5");
+        assert!(!errors_for(&bad).is_empty(), "bad seed");
+    }
+}

@@ -9,6 +9,14 @@
 //! The Criterion benches (in `benches/`) measure the hot substrate paths:
 //! bencode, SHA-1, the event queue, piece pickers, the choker, TCP
 //! reassembly, and max-min rate allocation.
+//!
+//! Every figure binary (and `all_figures`) also accepts
+//! `--metrics-out <dir>`: the run's probe world is wired into a live
+//! [`MetricsHandle`] and its deterministic JSON/CSV dumps land in the
+//! directory as `<figure>.metrics.json` / `<figure>.series.csv`.
+
+use metrics::handle::MetricsHandle;
+use std::path::{Path, PathBuf};
 
 /// Which parameter preset a figure binary should run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,4 +46,46 @@ pub fn preamble(figure: &str, preset: Preset) {
             Preset::Paper => "paper",
         }
     );
+}
+
+/// Parses `--metrics-out <dir>` from the process arguments.
+pub fn metrics_out_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// The handle a figure run should use: live (recording under `seed`)
+/// when a `--metrics-out` directory was requested, inert otherwise.
+pub fn metrics_handle(out: Option<&Path>, seed: u64) -> MetricsHandle {
+    match out {
+        Some(_) => MetricsHandle::enabled(seed),
+        None => MetricsHandle::disabled(),
+    }
+}
+
+/// Writes `<dir>/<name>.metrics.json` and `<dir>/<name>.series.csv` from
+/// an enabled handle (no-op on a disabled one). Both dumps are
+/// deterministic for a given seed, whatever the worker count.
+pub fn dump_metrics(dir: &Path, name: &str, handle: &MetricsHandle) {
+    if !handle.is_enabled() {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+        return;
+    }
+    let json_path = dir.join(format!("{name}.metrics.json"));
+    let csv_path = dir.join(format!("{name}.series.csv"));
+    for (path, content) in [
+        (&json_path, handle.to_json()),
+        (&csv_path, handle.series_csv()),
+    ] {
+        match std::fs::write(path, content) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }

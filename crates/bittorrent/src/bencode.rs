@@ -372,7 +372,10 @@ mod tests {
         roundtrip(&Value::Int(i64::MIN + 1));
         roundtrip(&Value::bytes(vec![0u8, 255, 128]));
         let mut d = BTreeMap::new();
-        d.insert(b"a".to_vec(), Value::List(vec![Value::Int(1), Value::str("two")]));
+        d.insert(
+            b"a".to_vec(),
+            Value::List(vec![Value::Int(1), Value::str("two")]),
+        );
         d.insert(b"b".to_vec(), Value::Dict(BTreeMap::new()));
         roundtrip(&Value::Dict(d));
     }

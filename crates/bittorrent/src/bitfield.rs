@@ -177,7 +177,10 @@ mod tests {
         assert!(Bitfield::from_bytes(&[0xFF], 8).is_some());
         assert!(Bitfield::from_bytes(&[0xFF], 7).is_none(), "spare bit set");
         assert!(Bitfield::from_bytes(&[0xFE], 7).is_some());
-        assert!(Bitfield::from_bytes(&[0xFF, 0x00], 8).is_none(), "wrong length");
+        assert!(
+            Bitfield::from_bytes(&[0xFF, 0x00], 8).is_none(),
+            "wrong length"
+        );
     }
 
     #[test]

@@ -221,11 +221,7 @@ mod tests {
             ..Default::default()
         });
         let mut rng = SimRng::new(5);
-        let peers = vec![
-            peer(1, true, 100.0),
-            peer(2, true, 0.0),
-            peer(3, true, 0.0),
-        ];
+        let peers = vec![peer(1, true, 100.0), peer(2, true, 0.0), peer(3, true, 0.0)];
         let d = ch.rechoke(SimTime::ZERO, &peers, &mut rng);
         assert!(d.unchoked.contains(&1));
         let opt = d.optimistic.expect("optimistic slot filled");
@@ -324,7 +320,11 @@ mod tests {
             decisions
         };
         // And the whole storm is deterministic per seed.
-        assert_eq!(run(0xC4A0), run(0xC4A0), "churn storm must replay identically");
+        assert_eq!(
+            run(0xC4A0),
+            run(0xC4A0),
+            "churn storm must replay identically"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! * optional upload rate caps (the knob LIHD turns) and an
 //!   upload-disable switch (the paper's "no uploading" arms).
 
+use crate::bitfield::Bitfield;
 use crate::choker::{Choker, ChokerConfig, ConnKey, PeerSnapshot};
 use crate::metainfo::InfoHash;
 use crate::peer_id::PeerId;
@@ -26,7 +27,8 @@ use crate::progress::{BlockOutcome, TorrentProgress};
 use crate::rate::{RateEstimator, TokenBucket};
 use crate::tracker::{AnnounceEvent, AnnounceResponse};
 use crate::wire::{BlockRef, Message};
-use crate::bitfield::Bitfield;
+use metrics::handle::MetricsHandle;
+use metrics::registry::Counter;
 use simnet::addr::SimAddr;
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
@@ -226,6 +228,18 @@ pub struct Client {
     stats: ClientStats,
     /// Own current address (not dialled, filtered from tracker responses).
     own_addr: SimAddr,
+    metrics: ClientMetrics,
+}
+
+/// Instruments wired up by [`Client::attach_metrics`]. The handle is
+/// kept so per-peer credit gauges can be resolved as peers appear.
+#[derive(Debug, Default)]
+struct ClientMetrics {
+    handle: MetricsHandle,
+    label: String,
+    pieces_completed: Counter,
+    rechokes: Counter,
+    unchoke_flips: Counter,
 }
 
 impl Client {
@@ -256,8 +270,10 @@ impl Client {
         rng: SimRng,
     ) -> Self {
         // One second of burst; oversized blocks go into bucket debt.
-        let upload_bucket =
-            TokenBucket::new(config.upload_limit, config.upload_limit.unwrap_or(1.0).max(1.0));
+        let upload_bucket = TokenBucket::new(
+            config.upload_limit,
+            config.upload_limit.unwrap_or(1.0).max(1.0),
+        );
         let num_pieces = progress.num_pieces() as usize;
         let mut client = Client {
             config,
@@ -281,10 +297,26 @@ impl Client {
             last_decay: SimTime::ZERO,
             stats: ClientStats::default(),
             own_addr,
+            metrics: ClientMetrics::default(),
         };
         client.choker = Choker::new(client.config.choker);
         client.completed_reported = client.progress.is_complete();
         client
+    }
+
+    /// Wires this session's swarm observables into `handle` under
+    /// `bt.<label>.*`: `pieces_completed`, `rechokes`, and
+    /// `unchoke_flips` counters, plus a per-peer `credit.<peer-id>`
+    /// gauge refreshed at every rechoke. Inert when the handle is
+    /// disabled.
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle, label: &str) {
+        self.metrics = ClientMetrics {
+            handle: handle.clone(),
+            label: label.to_string(),
+            pieces_completed: handle.counter(&format!("bt.{label}.pieces_completed")),
+            rechokes: handle.counter(&format!("bt.{label}.rechokes")),
+            unchoke_flips: handle.counter(&format!("bt.{label}.unchoke_flips")),
+        };
     }
 
     /// Starts the session at `now`: announces `Started` to the tracker.
@@ -550,8 +582,7 @@ impl Client {
                     .filter(|(k, p)| {
                         **k != conn
                             && p.peer_id == Some(peer_id)
-                            && now.saturating_since(p.connected_at)
-                                > SimDuration::from_secs(30)
+                            && now.saturating_since(p.connected_at) > SimDuration::from_secs(30)
                     })
                     .map(|(k, _)| *k)
                     .collect();
@@ -685,6 +716,7 @@ impl Client {
                     }
                 }
                 if let Some(piece) = completed_piece {
+                    self.metrics.pieces_completed.inc();
                     self.actions.push_back(Action::PieceCompleted { piece });
                     let keys = self.connections();
                     for k in keys {
@@ -827,6 +859,20 @@ impl Client {
                 credit,
             });
         }
+        self.metrics.rechokes.inc();
+        if self.metrics.handle.is_enabled() {
+            // Per-peer tit-for-tat credit, refreshed once per rechoke so
+            // the gauge map tracks the live standing order.
+            for snap in &snapshots {
+                if let Some(id) = self.conns.get(&snap.key).and_then(|p| p.peer_id) {
+                    let label = &self.metrics.label;
+                    self.metrics
+                        .handle
+                        .gauge(&format!("bt.{label}.credit.{id}"))
+                        .set(snap.credit);
+                }
+            }
+        }
         let decision = self.choker.rechoke(now, &snapshots, &mut self.rng);
         for conn in self.connections() {
             let unchoke = decision.unchoked.contains(&conn);
@@ -835,12 +881,14 @@ impl Client {
             };
             if unchoke && peer.am_choking {
                 peer.am_choking = false;
+                self.metrics.unchoke_flips.inc();
                 self.actions.push_back(Action::Send {
                     conn,
                     msg: Message::Unchoke,
                 });
             } else if !unchoke && !peer.am_choking {
                 peer.am_choking = true;
+                self.metrics.unchoke_flips.inc();
                 // Already-granted requests stay queued and are still
                 // served: dropping them would re-transfer whole blocks
                 // whenever a borderline peer flaps between choke states
@@ -893,10 +941,7 @@ impl Client {
         if self.is_seed() && !self.config.dial_while_seeding {
             return;
         }
-        let mut budget = self
-            .config
-            .max_connections
-            .saturating_sub(self.conns.len());
+        let mut budget = self.config.max_connections.saturating_sub(self.conns.len());
         if budget == 0 {
             return;
         }
@@ -1003,18 +1048,13 @@ impl Client {
                         downloaded_fraction: self.progress.downloaded_fraction(),
                         stable_for: now.saturating_since(self.stable_since),
                     };
-                    piece_to_request =
-                        self.config.picker.pick(&candidates, &ctx, &mut self.rng);
+                    piece_to_request = self.config.picker.pick(&candidates, &ctx, &mut self.rng);
                 }
             }
 
             // 3. Endgame: duplicate outstanding blocks.
             if piece_to_request.is_none() && endgame {
-                let mut missing: Vec<u32> = self
-                    .progress
-                    .have()
-                    .missing_from(&peer.have)
-                    .collect();
+                let mut missing: Vec<u32> = self.progress.have().missing_from(&peer.have).collect();
                 missing.sort_unstable();
                 piece_to_request = missing.first().copied();
             }
@@ -1033,9 +1073,9 @@ impl Client {
                 .saturating_sub(inflight_bytes);
             let block_len = self.progress.block_ref(piece, 0).len.max(1) as u64;
             let room_by_bytes = (byte_budget / block_len).max(1) as usize;
-            let blocks = self
-                .progress
-                .take_blocks(piece, conn, now, room.min(room_by_bytes), endgame);
+            let blocks =
+                self.progress
+                    .take_blocks(piece, conn, now, room.min(room_by_bytes), endgame);
             if blocks.is_empty() {
                 return;
             }
@@ -1212,7 +1252,15 @@ mod tests {
         // Have messages broadcast per piece.
         let haves = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Message::Have { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Message::Have { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(haves, 4);
         assert!(c.is_seed());
@@ -1236,9 +1284,13 @@ mod tests {
             now,
         );
         let actions = drain(&mut c);
-        assert!(!actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: Message::Piece(_), .. })));
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::Piece(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1294,9 +1346,13 @@ mod tests {
             now,
         );
         let actions = drain(&mut c);
-        assert!(!actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: Message::Piece(_), .. })));
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::Piece(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1322,7 +1378,15 @@ mod tests {
         }
         let served_now = drain(&mut c)
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Message::Piece(_), .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Message::Piece(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(served_now < 4, "bucket must defer some blocks");
         // Time passes; ticks drain the queue.
@@ -1331,7 +1395,15 @@ mod tests {
             c.on_tick(SimTime::from_secs(s));
             total += drain(&mut c)
                 .iter()
-                .filter(|a| matches!(a, Action::Send { msg: Message::Piece(_), .. }))
+                .filter(|a| {
+                    matches!(
+                        a,
+                        Action::Send {
+                            msg: Message::Piece(_),
+                            ..
+                        }
+                    )
+                })
                 .count();
         }
         assert_eq!(total, 4);
@@ -1427,12 +1499,7 @@ mod tests {
         };
         // Must actually be an in-flight block; find it from requests.
         let _ = block;
-        let reqs: Vec<BlockRef> = c
-            .conns
-            .get(&1)
-            .unwrap()
-            .inflight
-            .clone();
+        let reqs: Vec<BlockRef> = c.conns.get(&1).unwrap().inflight.clone();
         c.on_message(1, Message::Piece(reqs[0]), now);
         assert!(c.credit_of(id) > 0.0);
         let before = c.credit_of(id);

@@ -52,7 +52,9 @@ pub mod prelude {
     pub use crate::magnet::MagnetLink;
     pub use crate::metainfo::{Info, InfoHash, Metainfo};
     pub use crate::peer_id::{PeerId, PeerIdStyle};
-    pub use crate::picker::{FixedMix, PickContext, PiecePicker, RandomPick, RarestFirst, Sequential};
+    pub use crate::picker::{
+        FixedMix, PickContext, PiecePicker, RandomPick, RarestFirst, Sequential,
+    };
     pub use crate::progress::{BlockOutcome, TorrentProgress};
     pub use crate::rate::{RateEstimator, TokenBucket};
     pub use crate::sha1::{Digest, Sha1};

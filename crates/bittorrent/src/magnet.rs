@@ -82,9 +82,7 @@ impl MagnetLink {
     ///
     /// See [`MagnetError`].
     pub fn parse(uri: &str) -> Result<MagnetLink, MagnetError> {
-        let rest = uri
-            .strip_prefix("magnet:?")
-            .ok_or(MagnetError::NotMagnet)?;
+        let rest = uri.strip_prefix("magnet:?").ok_or(MagnetError::NotMagnet)?;
         let mut info_hash = None;
         let mut name = None;
         let mut trackers = Vec::new();
@@ -95,9 +93,8 @@ impl MagnetLink {
             match key {
                 "xt" => {
                     if let Some(hex) = value.strip_prefix("urn:btih:") {
-                        info_hash = Some(
-                            InfoHash::from_hex(hex).map_err(MagnetError::BadInfoHash)?,
-                        );
+                        info_hash =
+                            Some(InfoHash::from_hex(hex).map_err(MagnetError::BadInfoHash)?);
                     }
                 }
                 "dn" => name = Some(percent_decode(value)),
@@ -163,10 +160,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert_eq!(
-            MagnetLink::parse("http://x"),
-            Err(MagnetError::NotMagnet)
-        );
+        assert_eq!(MagnetLink::parse("http://x"), Err(MagnetError::NotMagnet));
         assert_eq!(
             MagnetLink::parse("magnet:?dn=x"),
             Err(MagnetError::MissingInfoHash)

@@ -180,12 +180,7 @@ impl Metainfo {
     /// # Panics
     ///
     /// Panics when `piece_length` is zero.
-    pub fn from_content(
-        name: &str,
-        announce: &str,
-        piece_length: u32,
-        content: &[u8],
-    ) -> Metainfo {
+    pub fn from_content(name: &str, announce: &str, piece_length: u32, content: &[u8]) -> Metainfo {
         assert!(piece_length > 0, "piece length must be positive");
         let pieces = content
             .chunks(piece_length as usize)

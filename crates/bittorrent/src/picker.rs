@@ -31,8 +31,7 @@ pub struct PickContext<'a> {
 /// returns one of the candidates.
 pub trait PiecePicker: std::fmt::Debug + Send {
     /// Chooses the next piece to begin downloading.
-    fn pick(&mut self, candidates: &[u32], ctx: &PickContext<'_>, rng: &mut SimRng)
-        -> Option<u32>;
+    fn pick(&mut self, candidates: &[u32], ctx: &PickContext<'_>, rng: &mut SimRng) -> Option<u32>;
 
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
@@ -44,12 +43,7 @@ pub trait PiecePicker: std::fmt::Debug + Send {
 pub struct RarestFirst;
 
 impl PiecePicker for RarestFirst {
-    fn pick(
-        &mut self,
-        candidates: &[u32],
-        ctx: &PickContext<'_>,
-        rng: &mut SimRng,
-    ) -> Option<u32> {
+    fn pick(&mut self, candidates: &[u32], ctx: &PickContext<'_>, rng: &mut SimRng) -> Option<u32> {
         let min_avail = candidates
             .iter()
             .map(|&p| ctx.availability.get(p as usize).copied().unwrap_or(0))
@@ -136,12 +130,7 @@ impl FixedMix {
 }
 
 impl PiecePicker for FixedMix {
-    fn pick(
-        &mut self,
-        candidates: &[u32],
-        ctx: &PickContext<'_>,
-        rng: &mut SimRng,
-    ) -> Option<u32> {
+    fn pick(&mut self, candidates: &[u32], ctx: &PickContext<'_>, rng: &mut SimRng) -> Option<u32> {
         if rng.chance(self.p_rarest) {
             self.rarest.pick(candidates, ctx, rng)
         } else {

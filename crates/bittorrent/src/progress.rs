@@ -231,10 +231,7 @@ impl TorrentProgress {
             out.push((index, b));
         }
         // Clean up empty vecs created for received blocks.
-        let to_refs: Vec<BlockRef> = out
-            .iter()
-            .map(|&(p, b)| self.block_ref(p, b))
-            .collect();
+        let to_refs: Vec<BlockRef> = out.iter().map(|&(p, b)| self.block_ref(p, b)).collect();
         to_refs
     }
 
@@ -330,14 +327,7 @@ impl TorrentProgress {
             let start = piece as u64 * self.piece_length as u64;
             let psize = ((start + self.piece_length as u64).min(self.length) - start) as u32;
             let len = (psize - offset).min(block_size);
-            expired.push((
-                c,
-                BlockRef {
-                    piece,
-                    offset,
-                    len,
-                },
-            ));
+            expired.push((c, BlockRef { piece, offset, len }));
         }
         expired
     }
@@ -440,9 +430,12 @@ mod tests {
         let mut p = progress();
         let t = SimTime::ZERO;
         let blocks = p.take_blocks(3, 1, t, 10, false);
-        assert_eq!(p.on_block(blocks[0], 1), BlockOutcome::Progress {
-            completed_piece: Some(3)
-        });
+        assert_eq!(
+            p.on_block(blocks[0], 1),
+            BlockOutcome::Progress {
+                completed_piece: Some(3)
+            }
+        );
         assert_eq!(p.on_block(blocks[0], 2), BlockOutcome::Duplicate);
         // Garbage refs are duplicates, not panics.
         assert_eq!(

@@ -5,7 +5,7 @@
 //! the client's configurable upload/download caps — the knob both the
 //! paper's Fig. 3 sweeps and wP2P's LIHD controller turn.
 
-use simnet::stats::RateMeter;
+use metrics::stats::RateMeter;
 use simnet::time::{SimDuration, SimTime};
 
 /// A windowed byte-rate estimator (20 s window, matching the granularity
@@ -173,10 +173,7 @@ mod tests {
             }
         }
         // 1000 B/s for 10 s plus the initial burst.
-        assert!(
-            (10_000..=11_200).contains(&admitted),
-            "admitted={admitted}"
-        );
+        assert!((10_000..=11_200).contains(&admitted), "admitted={admitted}");
     }
 
     #[test]

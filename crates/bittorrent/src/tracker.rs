@@ -354,9 +354,25 @@ mod tests {
         let ih = InfoHash([3; 20]);
         let id = PeerId([9; 20]);
         let t = SimTime::ZERO;
-        tr.announce(ih, id, SimAddr(1), AnnounceEvent::Started, false, t, &mut rng);
+        tr.announce(
+            ih,
+            id,
+            SimAddr(1),
+            AnnounceEvent::Started,
+            false,
+            t,
+            &mut rng,
+        );
         assert_eq!(tr.swarm_size(ih, t), 1);
-        tr.announce(ih, id, SimAddr(1), AnnounceEvent::Stopped, false, t, &mut rng);
+        tr.announce(
+            ih,
+            id,
+            SimAddr(1),
+            AnnounceEvent::Stopped,
+            false,
+            t,
+            &mut rng,
+        );
         assert_eq!(tr.swarm_size(ih, t), 0);
     }
 
@@ -398,12 +414,36 @@ mod tests {
         let old = PeerId([1; 20]);
         let new = PeerId([2; 20]);
         let t = SimTime::ZERO;
-        tr.announce(ih, old, SimAddr(10), AnnounceEvent::Started, false, t, &mut rng);
+        tr.announce(
+            ih,
+            old,
+            SimAddr(10),
+            AnnounceEvent::Started,
+            false,
+            t,
+            &mut rng,
+        );
         // Hand-off: same host, new id + addr.
-        tr.announce(ih, new, SimAddr(20), AnnounceEvent::Started, false, t, &mut rng);
+        tr.announce(
+            ih,
+            new,
+            SimAddr(20),
+            AnnounceEvent::Started,
+            false,
+            t,
+            &mut rng,
+        );
         assert_eq!(tr.swarm_size(ih, t), 2, "stale entry remains");
         // With identity retention (same id), the entry is replaced instead.
-        tr.announce(ih, old, SimAddr(30), AnnounceEvent::Started, false, t, &mut rng);
+        tr.announce(
+            ih,
+            old,
+            SimAddr(30),
+            AnnounceEvent::Started,
+            false,
+            t,
+            &mut rng,
+        );
         let resp = tr.announce(
             ih,
             new,
@@ -423,9 +463,33 @@ mod tests {
         let mut rng = SimRng::new(0);
         let ih = InfoHash([9; 20]);
         let t = SimTime::ZERO;
-        tr.announce(ih, PeerId([1; 20]), SimAddr(1), AnnounceEvent::Started, true, t, &mut rng);
-        tr.announce(ih, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Started, false, t, &mut rng);
-        tr.announce(ih, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Completed, false, t, &mut rng);
+        tr.announce(
+            ih,
+            PeerId([1; 20]),
+            SimAddr(1),
+            AnnounceEvent::Started,
+            true,
+            t,
+            &mut rng,
+        );
+        tr.announce(
+            ih,
+            PeerId([2; 20]),
+            SimAddr(2),
+            AnnounceEvent::Started,
+            false,
+            t,
+            &mut rng,
+        );
+        tr.announce(
+            ih,
+            PeerId([2; 20]),
+            SimAddr(2),
+            AnnounceEvent::Completed,
+            false,
+            t,
+            &mut rng,
+        );
         let s = tr.scrape(ih, t);
         assert_eq!(s.complete, 2);
         assert_eq!(s.incomplete, 0);
@@ -448,10 +512,8 @@ mod tests {
         let wire = resp.to_bencode().encode();
         // Spot-check the raw bencode shape.
         assert!(wire.starts_with(b"d8:completei3e"));
-        let back = AnnounceResponse::from_bencode(
-            &crate::bencode::Value::decode(&wire).unwrap(),
-        )
-        .unwrap();
+        let back =
+            AnnounceResponse::from_bencode(&crate::bencode::Value::decode(&wire).unwrap()).unwrap();
         assert_eq!(back.interval, resp.interval);
         assert_eq!(back.complete, 3);
         assert_eq!(back.incomplete, 7);

@@ -266,9 +266,8 @@ pub fn decode(buf: &[u8], num_pieces: u32) -> Result<Option<Decoded>, WireError>
     }
     let id = buf[4];
     let body = &buf[5..4 + len];
-    let read_u32 = |b: &[u8], at: usize| {
-        u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
-    };
+    let read_u32 =
+        |b: &[u8], at: usize| u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]);
     let need = |n: usize| -> Result<(), WireError> {
         if body.len() != n {
             Err(WireError::BadLength {

@@ -17,6 +17,8 @@
 //!   one of every four DUPACKs so that after fast retransmit the number of
 //!   packets in transit actually halves, as congestion control intends.
 
+use metrics::handle::MetricsHandle;
+use metrics::registry::Counter;
 use sim_tcp::segment::Segment;
 use sim_tcp::seq::SeqNum;
 use simnet::time::{SimDuration, SimTime};
@@ -118,6 +120,8 @@ pub struct AgeFilter {
     last_ack: Option<SeqNum>,
     dupack_run: u64,
     stats: AmStats,
+    m_decoupled: Counter,
+    m_dupacks_dropped: Counter,
 }
 
 impl AgeFilter {
@@ -131,7 +135,17 @@ impl AgeFilter {
             last_ack: None,
             dupack_run: 0,
             stats: AmStats::default(),
+            m_decoupled: Counter::default(),
+            m_dupacks_dropped: Counter::default(),
         }
+    }
+
+    /// Wires this filter's manipulation counters into `handle` under
+    /// `am.<label>.decoupled` and `am.<label>.dupacks_dropped`. Inert
+    /// when the handle is disabled.
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle, label: &str) {
+        self.m_decoupled = handle.counter(&format!("am.{label}.decoupled"));
+        self.m_dupacks_dropped = handle.counter(&format!("am.{label}.dupacks_dropped"));
     }
 
     /// The filter's counters.
@@ -182,8 +196,13 @@ impl AgeFilter {
         if seg.is_pure_ack() && self.last_ack == Some(seg.ack) {
             self.dupack_run += 1;
             self.stats.dupacks_seen += 1;
-            if age == Age::Mature && self.dupack_run.is_multiple_of(self.config.dupack_drop_modulo) {
+            if age == Age::Mature
+                && self
+                    .dupack_run
+                    .is_multiple_of(self.config.dupack_drop_modulo)
+            {
                 self.stats.dupacks_dropped += 1;
+                self.m_dupacks_dropped.inc();
                 return AmOutput::Drop;
             }
             return AmOutput::Pass(seg);
@@ -204,6 +223,7 @@ impl AgeFilter {
         // retransmits.
         if seg.is_piggybacked() && age == Age::Young && new_ack_value {
             self.stats.decoupled += 1;
+            self.m_decoupled.inc();
             let pure_ack = Segment {
                 seq: seg.seq,
                 ack: seg.ack,

@@ -14,6 +14,9 @@
 
 use bittorrent::metainfo::InfoHash;
 use bittorrent::peer_id::PeerId;
+use metrics::handle::MetricsHandle;
+use metrics::recorder::Series;
+use metrics::registry::Counter;
 use simnet::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -70,6 +73,8 @@ pub struct Lihd {
     udec_cnt: u32,
     last_update: Option<SimTime>,
     updates: u64,
+    m_steps: Counter,
+    m_limit: Series,
 }
 
 impl Lihd {
@@ -89,7 +94,18 @@ impl Lihd {
             udec_cnt: 0,
             last_update: None,
             updates: 0,
+            m_steps: Counter::default(),
+            m_limit: Series::default(),
         }
+    }
+
+    /// Wires the controller's observables into `handle`: a
+    /// `lihd.<label>.steps` counter and a `lihd.<label>.upload_limit`
+    /// series recording the cap after every control decision. Inert
+    /// when the handle is disabled.
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle, label: &str) {
+        self.m_steps = handle.counter(&format!("lihd.{label}.steps"));
+        self.m_limit = handle.series(&format!("lihd.{label}.upload_limit"));
     }
 
     /// The current upload limit in bytes/second.
@@ -131,6 +147,8 @@ impl Lihd {
         }
         self.u_cur = self.u_cur.clamp(self.config.u_min, self.config.u_max);
         self.d_prev = d_cur;
+        self.m_steps.inc();
+        self.m_limit.record(now, self.u_cur);
         self.u_cur
     }
 }

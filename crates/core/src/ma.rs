@@ -131,12 +131,7 @@ impl MobilityAwarePicker {
 }
 
 impl PiecePicker for MobilityAwarePicker {
-    fn pick(
-        &mut self,
-        candidates: &[u32],
-        ctx: &PickContext<'_>,
-        rng: &mut SimRng,
-    ) -> Option<u32> {
+    fn pick(&mut self, candidates: &[u32], ctx: &PickContext<'_>, rng: &mut SimRng) -> Option<u32> {
         self.last_pr = self.schedule.p_rarest(ctx);
         if rng.chance(self.last_pr) {
             self.rarest_picks += 1;
@@ -246,7 +241,11 @@ mod tests {
         // 0% downloaded -> pure sequential.
         for _ in 0..20 {
             let p = picker
-                .pick(&[0, 1, 2, 3], &ctx(&avail, 0.0, SimDuration::ZERO), &mut rng)
+                .pick(
+                    &[0, 1, 2, 3],
+                    &ctx(&avail, 0.0, SimDuration::ZERO),
+                    &mut rng,
+                )
                 .unwrap();
             assert_eq!(p, 0);
         }
@@ -262,13 +261,20 @@ mod tests {
         let mut rare = 0;
         for _ in 0..1000 {
             let p = picker
-                .pick(&[0, 1, 2, 3], &ctx(&avail, 0.95, SimDuration::ZERO), &mut rng)
+                .pick(
+                    &[0, 1, 2, 3],
+                    &ctx(&avail, 0.95, SimDuration::ZERO),
+                    &mut rng,
+                )
                 .unwrap();
             if p == 3 {
                 rare += 1;
             }
         }
-        assert!(rare > 900, "95% downloaded -> ~95% rarest picks, got {rare}");
+        assert!(
+            rare > 900,
+            "95% downloaded -> ~95% rarest picks, got {rare}"
+        );
         assert!((picker.last_pr() - 0.95).abs() < 1e-9);
     }
 
@@ -281,7 +287,11 @@ mod tests {
         let mut rare = 0;
         for _ in 0..2000 {
             match picker
-                .pick(&[0, 1, 2, 3], &ctx(&avail, 0.4, SimDuration::ZERO), &mut rng)
+                .pick(
+                    &[0, 1, 2, 3],
+                    &ctx(&avail, 0.4, SimDuration::ZERO),
+                    &mut rng,
+                )
                 .unwrap()
             {
                 0 => seq += 1,

@@ -1,0 +1,193 @@
+//! Lock-free instruments: counters, gauges, and fixed-bucket histograms.
+//!
+//! Instruments are resolved by name once (taking a short registry lock)
+//! and then updated through plain atomics — no locks, no allocation on
+//! the hot path. A handle resolved from a disabled
+//! [`crate::handle::MetricsHandle`] carries `None` and every update is
+//! an inlined no-op, so instrumented code costs nothing when metrics
+//! are off.
+//!
+//! Counter and histogram updates are commutative (atomic adds), so
+//! totals are deterministic even when cells of a parallel sweep update
+//! the same instrument from different worker threads. Gauges are
+//! last-writer-wins: give each sweep cell its own gauge name when the
+//! final value must be reproducible under parallel execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count (retransmits, rechokes,
+/// pieces completed, …).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter. No-op when metrics are disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter. No-op when metrics are disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-writer-wins instantaneous value (current upload limit, swarm
+/// size, …). Stored as `f64` bits in an atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// Sets the gauge. No-op when metrics are disabled.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(c) = &self.cell {
+            c.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0.0 when disabled or never set).
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared storage for a fixed-bucket histogram.
+#[derive(Debug)]
+pub struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing. A value
+    /// `v` lands in the first bucket with `v <= bound`; values above
+    /// the last bound land in the implicit overflow bucket.
+    pub bounds: Vec<f64>,
+    /// One count per finite bucket plus the trailing overflow bucket.
+    pub counts: Vec<AtomicU64>,
+    /// Sum of all observed values, as `f64` bits accumulated via CAS.
+    pub sum_bits: AtomicU64,
+    /// Total number of observations.
+    pub total: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram (hand-off latencies, piece times, …).
+///
+/// Bucket bounds are fixed at creation; recording is a single atomic
+/// add on the matching bucket.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// Records one observation. No-op when metrics are disabled.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        let Some(core) = &self.core else { return };
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.total.fetch_add(1, Ordering::Relaxed);
+        // Accumulate the sum via CAS on the f64 bit pattern. Note the
+        // sum (unlike the bucket counts) is order-sensitive in the last
+        // few ULPs, so dumps derive statistics from counts, not sum.
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.total.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts including the trailing overflow bucket (empty
+    /// when disabled).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core.as_ref().map_or_else(Vec::new, |c| {
+            c.counts.iter().map(|n| n.load(Ordering::Relaxed)).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instruments_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+        assert!(h.bucket_counts().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram {
+            core: Some(Arc::new(HistogramCore::new(&[1.0, 10.0]))),
+        };
+        h.record(0.5); // bucket 0
+        h.record(1.0); // bucket 0 (inclusive upper bound)
+        h.record(5.0); // bucket 1
+        h.record(100.0); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        HistogramCore::new(&[2.0, 1.0]);
+    }
+}

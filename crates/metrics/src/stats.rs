@@ -4,7 +4,7 @@
 //! meters operating on *virtual* time, so results are independent of the
 //! wall-clock speed of the simulator.
 
-use crate::time::{SimDuration, SimTime};
+use simnet::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// Sliding-window byte-rate meter.

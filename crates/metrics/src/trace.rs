@@ -7,7 +7,7 @@
 //!
 //! Tracing is opt-in per world and costs one branch when disabled.
 
-use crate::time::SimTime;
+use simnet::time::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -196,7 +196,11 @@ mod tests {
     fn render_is_line_per_entry() {
         let mut t = Trace::new(4);
         t.set_enabled(true);
-        t.record(SimTime::from_millis(1500), TraceKind::Choke, "unchoked peer 3");
+        t.record(
+            SimTime::from_millis(1500),
+            TraceKind::Choke,
+            "unchoked peer 3",
+        );
         let s = t.render();
         assert!(s.contains("1.500000s"));
         assert!(s.contains("choke"));

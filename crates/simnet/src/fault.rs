@@ -103,7 +103,11 @@ impl fmt::Display for FaultKind {
                 ber,
                 duration,
             } => {
-                write!(f, "loss-burst node={} ber={:e} for {}", node.0, ber, duration)
+                write!(
+                    f,
+                    "loss-burst node={} ber={:e} for {}",
+                    node.0, ber, duration
+                )
             }
             FaultKind::LinkBlackhole { node, duration } => {
                 write!(f, "blackhole node={} for {}", node.0, duration)

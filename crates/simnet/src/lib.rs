@@ -20,8 +20,11 @@
 //!   black-holes, address churn, tracker outages, bandwidth squeezes,
 //!   crash/restart) replayed into any world implementing
 //!   [`fault::FaultHooks`].
-//! * [`stats`] — virtual-time rate meters, time series, run summaries.
-//! * [`trace`] — opt-in bounded event tracing for debugging worlds.
+//!
+//! Statistics helpers and the bounded event trace formerly at
+//! `simnet::stats` / `simnet::trace` moved to the `metrics` crate,
+//! which unifies them with counters, gauges, histograms, and the
+//! series recorder behind one `MetricsHandle`.
 //!
 //! ## Example
 //!
@@ -51,9 +54,7 @@ pub mod link;
 pub mod mobility;
 pub mod rng;
 pub mod sim;
-pub mod stats;
 pub mod time;
-pub mod trace;
 pub mod wireless;
 
 /// Convenient glob-import of the commonly used types.
@@ -67,8 +68,6 @@ pub mod prelude {
     pub use crate::mobility::{Handoff, MobilityProcess};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Simulator, Step};
-    pub use crate::stats::{Ewma, RateMeter, RunSummary, TimeSeries};
-    pub use crate::trace::{Trace, TraceEntry, TraceKind};
     pub use crate::time::{transmission_delay, SimDuration, SimTime};
     pub use crate::wireless::{Direction, DirectionStats, WirelessChannel, WirelessConfig};
 }

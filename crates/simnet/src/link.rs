@@ -134,7 +134,10 @@ impl Link {
     /// Panics if `bandwidth_bps` is zero or `queue_packets` is zero.
     pub fn new(config: LinkConfig) -> Self {
         assert!(config.bandwidth_bps > 0, "link bandwidth must be positive");
-        assert!(config.queue_packets > 0, "queue must hold at least 1 packet");
+        assert!(
+            config.queue_packets > 0,
+            "queue must hold at least 1 packet"
+        );
         assert!(
             (0.0..1.0).contains(&config.ber),
             "BER must be in [0, 1): {}",
@@ -266,8 +269,14 @@ mod tests {
     fn back_to_back_packets_serialize() {
         let mut link = quiet_link(8_000_000, 10);
         let mut rng = SimRng::new(0);
-        let a = link.send(SimTime::ZERO, 1000, &mut rng).delivered_at().unwrap();
-        let b = link.send(SimTime::ZERO, 1000, &mut rng).delivered_at().unwrap();
+        let a = link
+            .send(SimTime::ZERO, 1000, &mut rng)
+            .delivered_at()
+            .unwrap();
+        let b = link
+            .send(SimTime::ZERO, 1000, &mut rng)
+            .delivered_at()
+            .unwrap();
         assert_eq!(b - a, SimDuration::from_micros(1000));
     }
 

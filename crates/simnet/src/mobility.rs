@@ -103,10 +103,7 @@ mod tests {
 
     #[test]
     fn periodic_schedule() {
-        let mut m = MobilityProcess::periodic(
-            SimDuration::from_mins(2),
-            SimDuration::from_secs(3),
-        );
+        let mut m = MobilityProcess::periodic(SimDuration::from_mins(2), SimDuration::from_secs(3));
         let mut rng = SimRng::new(0);
         let h1 = m.next_handoff(&mut rng).unwrap();
         let h2 = m.next_handoff(&mut rng).unwrap();
@@ -125,11 +122,8 @@ mod tests {
 
     #[test]
     fn jitter_bounds_intervals() {
-        let mut m = MobilityProcess::with_jitter(
-            SimDuration::from_secs(100),
-            SimDuration::ZERO,
-            0.2,
-        );
+        let mut m =
+            MobilityProcess::with_jitter(SimDuration::from_secs(100), SimDuration::ZERO, 0.2);
         let mut rng = SimRng::new(9);
         let mut prev_end = SimTime::ZERO;
         for _ in 0..200 {

@@ -103,7 +103,10 @@ impl WirelessChannel {
     ///
     /// Panics on zero bandwidth, zero queue, or BER outside `[0, 1)`.
     pub fn new(config: WirelessConfig) -> Self {
-        assert!(config.bandwidth_bps > 0, "channel bandwidth must be positive");
+        assert!(
+            config.bandwidth_bps > 0,
+            "channel bandwidth must be positive"
+        );
         assert!(config.queue_frames > 0, "queue must hold at least 1 frame");
         assert!((0.0..1.0).contains(&config.ber), "BER must be in [0, 1)");
         WirelessChannel {

@@ -12,13 +12,14 @@
 //!   by a mobile *seed* so its uploads do not strangle the host's
 //!   foreground (non-P2P) downloads.
 
-use super::common::{populate_swarm, rate, synthetic_torrent, SwarmSetup};
-use super::fig8::Fig8aParams;
-use super::playability::{run_playability, PlayabilityParams};
+use super::common::{populate_swarm, synthetic_torrent, SwarmSetup};
+use super::fig8::{Fig8aParams, FIG8A_SEED};
+use super::playability::{run_playability_with, PlayabilityParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::harness::SweepRunner;
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
+use metrics::handle::MetricsHandle;
 use simnet::time::{SimDuration, SimTime};
 use wp2p::am::AmConfig;
 use wp2p::config::WP2pConfig;
@@ -67,7 +68,7 @@ pub fn ablate_mf_schedules(params: &PlayabilityParams, seed: u64) -> Vec<MfArm> 
     ];
     arms.into_iter()
         .map(|(label, schedule)| {
-            let curve = run_playability(params, schedule, seed);
+            let curve = run_playability_with(params, schedule, &MetricsHandle::disabled(), seed);
             MfArm {
                 label,
                 playable_at_half: curve.playable_at(0.5),
@@ -137,12 +138,20 @@ pub fn ablate_am(params: &Fig8aParams) -> Vec<AmArm> {
     let point_list: Vec<(usize, f64)> = (0..arms.len())
         .flat_map(|a| params.bers.iter().map(move |&ber| (a, ber)))
         .collect();
-    let cells = SweepRunner::new("ablate_am", 0xF8A).run(
+    let cells = SweepRunner::new("ablate_am", FIG8A_SEED).run(
         &point_list,
         params.runs as usize,
-        |&(a, ber), cell| super::fig8::run_8a_once(params, arms[a].1, ber, cell.run_seed),
+        |&(a, ber), cell| {
+            super::fig8::run_8a_once(
+                params,
+                arms[a].1,
+                ber,
+                &MetricsHandle::disabled(),
+                cell.run_seed,
+            )
+        },
     );
-    let means: Vec<f64> = cells.iter().map(|xs| simnet::stats::mean(xs)).collect();
+    let means: Vec<f64> = cells.iter().map(|xs| metrics::stats::mean(xs)).collect();
     arms.into_iter()
         .enumerate()
         .map(|(a, (label, _))| AmArm {
@@ -191,10 +200,14 @@ pub fn ablate_delack(base: &super::fig2::Fig2aParams) -> Vec<DelackArm> {
                 delayed_ack,
                 ..base.clone()
             };
-            let points = super::fig2::run_fig2a(&params)
-                .into_iter()
-                .map(|p| (p.ber, p.bi.mean, p.uni.mean))
-                .collect();
+            let points = super::fig2::run_fig2a_with(
+                &params,
+                &MetricsHandle::disabled(),
+                super::fig2::FIG2A_SEED,
+            )
+            .into_iter()
+            .map(|p| (p.ber, p.bi.mean, p.uni.mean))
+            .collect();
             DelackArm {
                 delayed_ack,
                 points,
@@ -210,7 +223,12 @@ pub fn delack_table(arms: &[DelackArm]) -> Table {
     for a in arms {
         for &(ber, bi, uni) in &a.points {
             t.row([
-                if a.delayed_ack { "delack on" } else { "delack off" }.to_string(),
+                if a.delayed_ack {
+                    "delack on"
+                } else {
+                    "delack off"
+                }
+                .to_string(),
                 format!("{ber:.0e}"),
                 kbps(bi),
                 kbps(uni),
@@ -284,7 +302,7 @@ pub fn ablate_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<LihdA
             LihdArm {
                 alpha,
                 beta,
-                download: rate(w.downloaded_bytes(task), duration),
+                download: w.downloaded_bytes(task) as f64 / duration.as_secs_f64(),
             }
         })
         .into_iter()
@@ -413,13 +431,11 @@ pub fn ablate_seed_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<
                 let u = ctl.update(now, fg_rate);
                 w.set_task_upload_limit(seeding_task, Some(u));
             });
+            let secs = duration.as_secs_f64();
             SeedLihdArm {
                 lihd,
-                foreground_download: rate(
-                    w.downloaded_bytes(foreground_task) - fg0,
-                    duration,
-                ),
-                seed_upload: rate(w.delivered_up_bytes(seeding_task) - up0, duration),
+                foreground_download: (w.downloaded_bytes(foreground_task) - fg0) as f64 / secs,
+                seed_upload: (w.delivered_up_bytes(seeding_task) - up0) as f64 / secs,
             }
         })
         .into_iter()
@@ -429,9 +445,8 @@ pub fn ablate_seed_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<
 
 /// Renders the seed-LIHD experiment.
 pub fn seed_lihd_table(arms: &[SeedLihdArm]) -> Table {
-    let mut t = Table::new(
-        "Future work (paper §4.2): seed-mode LIHD protecting a foreground download",
-    );
+    let mut t =
+        Table::new("Future work (paper §4.2): seed-mode LIHD protecting a foreground download");
     t.headers(["arm", "foreground download (KBps)", "seed upload (KBps)"]);
     for a in arms {
         t.row([

@@ -1,9 +1,7 @@
 //! Shared scaffolding for the per-figure experiment drivers.
 
 use crate::flow::{Access, FlowWorld, TaskKey, TaskSpec, TorrentSpec};
-use bittorrent::client::ClientConfig;
 use bittorrent::metainfo::Metainfo;
-use simnet::time::SimDuration;
 
 /// Builds a [`TorrentSpec`] for a synthetic file. Flow transfers use
 /// 64 KB blocks: coarse enough to bound event counts at swarm scale, fine
@@ -69,26 +67,4 @@ pub fn populate_swarm(
         leeches.push(world.add_task(spec));
     }
     (seeds, leeches)
-}
-
-/// A client configuration with an upload cap.
-pub fn capped_config(upload_limit: Option<f64>) -> Box<dyn Fn() -> ClientConfig> {
-    Box::new(move || ClientConfig {
-        upload_limit,
-        ..ClientConfig::default()
-    })
-}
-
-/// Average rate in bytes/second over a duration.
-pub fn rate(bytes: u64, duration: SimDuration) -> f64 {
-    if duration.is_zero() {
-        0.0
-    } else {
-        bytes as f64 / duration.as_secs_f64()
-    }
-}
-
-/// Mean of a sample; 0 when empty.
-pub fn mean(xs: &[f64]) -> f64 {
-    simnet::stats::mean(xs)
 }

@@ -12,6 +12,7 @@ use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::invariants::InvariantChecker;
 use crate::packet::{PacketConfig, PacketWorld};
 use crate::report::Table;
+use metrics::handle::MetricsHandle;
 use simnet::addr::NodeId;
 use simnet::fault::{FaultInjector, FaultPlan, FaultPlanConfig};
 use simnet::time::{SimDuration, SimTime};
@@ -38,8 +39,16 @@ pub struct FlowReplay {
 ///
 /// Panics if any invariant is violated during the run.
 pub fn replay_flow(seed: u64, horizon: SimDuration) -> FlowReplay {
+    replay_flow_with(seed, horizon, &MetricsHandle::disabled())
+}
+
+/// [`replay_flow`] with the world wired into `handle` (fault events,
+/// hand-off latency, per-task series). Pass a disabled handle for the
+/// plain replay.
+pub fn replay_flow_with(seed: u64, horizon: SimDuration, handle: &MetricsHandle) -> FlowReplay {
     let torrent = synthetic_torrent("faults.bin", 256 * 1024, 4 * 1024 * 1024, seed);
     let mut w = FlowWorld::new(FlowConfig::default(), seed);
+    w.set_metrics(handle);
     let (_seeds, mut tasks) = populate_swarm(&mut w, torrent, &SwarmSetup::small());
     let mobile = w.add_node(Access::Wireless {
         capacity: 2_000_000.0 / 8.0,
@@ -89,7 +98,15 @@ pub struct PacketReplay {
 ///
 /// Panics if any invariant is violated during the run.
 pub fn replay_packet(seed: u64, horizon: SimDuration) -> PacketReplay {
+    replay_packet_with(seed, horizon, &MetricsHandle::disabled())
+}
+
+/// [`replay_packet`] with the world wired into `handle` (fault events
+/// plus per-endpoint TCP series). Pass a disabled handle for the plain
+/// replay.
+pub fn replay_packet_with(seed: u64, horizon: SimDuration, handle: &MetricsHandle) -> PacketReplay {
     let mut w = PacketWorld::new(PacketConfig::default(), seed);
+    w.set_metrics(handle);
     let a = w.add_node(None);
     let b = w.add_node(Some(WirelessConfig::wlan_80211g()));
     let conn = w.open_tcp(a, b);

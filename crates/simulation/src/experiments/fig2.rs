@@ -11,12 +11,19 @@
 //!   working); the bi-directional one stays roughly flat because its
 //!   DUPACKs are sent as extra pure packets.
 
+use super::params::{builder_setters, ExperimentParams};
 use crate::harness::SweepRunner;
 use crate::packet::{PacketConfig, PacketWorld};
 use crate::report::{kbps, Table};
-use simnet::stats::RunSummary;
+use metrics::handle::MetricsHandle;
+use metrics::stats::RunSummary;
 use simnet::time::{SimDuration, SimTime};
 use simnet::wireless::{Direction, WirelessConfig};
+
+/// Base seed of the Fig. 2(a) sweep (pinned by shape-regression tests).
+pub const FIG2A_SEED: u64 = 0xF2A;
+/// Seed of the Fig. 2(b,c) paired traces.
+pub const FIG2BC_SEED: u64 = 0x2BC;
 
 /// Parameters for Fig. 2(a).
 #[derive(Clone, Debug)]
@@ -56,7 +63,38 @@ impl Fig2aParams {
             delayed_ack: false,
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_list("bers", &self.bers);
+        p.set_num("runs", self.runs as f64);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("channel_bytes_per_sec", self.channel_bytes_per_sec as f64);
+        p.set_bool("delayed_ack", self.delayed_ack);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig2aParams {
+            bers: p.list_or("bers", &base.bers),
+            runs: p.u64_or("runs", base.runs),
+            duration: p.dur_or("duration_s", base.duration),
+            channel_bytes_per_sec: p.u64_or("channel_bytes_per_sec", base.channel_bytes_per_sec),
+            delayed_ack: p.bool_or("delayed_ack", base.delayed_ack),
+        }
+    }
 }
+
+builder_setters!(Fig2aParams {
+    bers: Vec<f64>,
+    runs: u64,
+    duration: SimDuration,
+    channel_bytes_per_sec: u64,
+    delayed_ack: bool,
+});
 
 /// One row of Fig. 2(a): throughput per arm at one BER.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +125,7 @@ fn run_once(
     duration: SimDuration,
     cap: u64,
     delayed_ack: bool,
+    metrics: &MetricsHandle,
     seed: u64,
 ) -> f64 {
     // Modest receive windows, as on the paper's testbed: the narrow
@@ -97,6 +136,7 @@ fn run_once(
     cfg.tcp.recv_window = 32 * 1024;
     cfg.tcp.delayed_ack = delayed_ack;
     let mut w = PacketWorld::new(cfg, seed);
+    w.set_metrics(metrics);
     let mobile = w.add_node(Some(channel(cap, ber, 100)));
     let fixed = w.add_node(None);
     let conn = w.open_tcp(mobile, fixed);
@@ -106,33 +146,63 @@ fn run_once(
     if bidirectional {
         w.tcp_write(conn, true, backlog); // simultaneous upload
     }
-    w.run_until(SimTime::ZERO + duration, |_| {});
+    if metrics.is_enabled() {
+        // Sample the mobile host's download throughput once per sim
+        // second so the dump carries the series the figure plots.
+        let thr = metrics.series("fig2a.throughput_Bps");
+        let mut next = SimTime::from_secs(1);
+        let mut last = 0u64;
+        w.run_until(SimTime::ZERO + duration, |w| {
+            while w.now() >= next {
+                let delivered = w.tcp_delivered(conn, true);
+                thr.record(next, (delivered - last) as f64);
+                last = delivered;
+                next += SimDuration::from_secs(1);
+            }
+        });
+    } else {
+        w.run_until(SimTime::ZERO + duration, |_| {});
+    }
     w.tcp_delivered(conn, true) as f64 / duration.as_secs_f64()
 }
 
 /// Runs the Fig. 2(a) sweep. Cells (one per BER × run) execute in
 /// parallel on the sweep harness; both arms share a cell (and therefore a
 /// seed) so the bi/uni comparison uses common random numbers.
-pub fn run_fig2a(params: &Fig2aParams) -> Vec<Fig2aPoint> {
-    let cells = SweepRunner::new("fig2a", 0xF2A).run(
-        &params.bers,
-        params.runs as usize,
-        |&ber, cell| {
+///
+/// One probe cell — the first BER, run 0, bi-directional arm — is wired
+/// into `metrics` (TCP cwnd/ssthresh/RTT series per endpoint, plus the
+/// per-second throughput series). A single writer per series keeps the
+/// dump deterministic under any worker count.
+pub fn run_fig2a_with(
+    params: &Fig2aParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig2aPoint> {
+    let cells = SweepRunner::new("fig2a", base_seed)
+        .with_metrics(metrics)
+        .run(&params.bers, params.runs as usize, |&ber, cell| {
             cell.add_virtual_secs(2.0 * params.duration.as_secs_f64());
+            let probe = cell.point == 0 && cell.run == 0;
             let seed = cell.run_seed;
             let one = |bi: bool| {
+                let handle = if probe && bi {
+                    metrics.clone()
+                } else {
+                    MetricsHandle::disabled()
+                };
                 run_once(
                     ber,
                     bi,
                     params.duration,
                     params.channel_bytes_per_sec,
                     params.delayed_ack,
+                    &handle,
                     seed,
                 )
             };
             (one(true), one(false))
-        },
-    );
+        });
     params
         .bers
         .iter()
@@ -149,11 +219,15 @@ pub fn run_fig2a(params: &Fig2aParams) -> Vec<Fig2aPoint> {
         .collect()
 }
 
+/// Plain Fig. 2(a) run at the canonical sweep seed, without metrics.
+#[deprecated(note = "use `run_fig2a_with` or the `fig2a` registry experiment")]
+pub fn run_fig2a(params: &Fig2aParams) -> Vec<Fig2aPoint> {
+    run_fig2a_with(params, &MetricsHandle::disabled(), FIG2A_SEED)
+}
+
 /// Renders Fig. 2(a) as a table.
 pub fn fig2a_table(points: &[Fig2aPoint]) -> Table {
-    let mut t = Table::new(
-        "Figure 2(a): Downloading throughput (KBps) vs BER — bi-TCP vs uni-TCP",
-    );
+    let mut t = Table::new("Figure 2(a): Downloading throughput (KBps) vs BER — bi-TCP vs uni-TCP");
     t.headers(["BER", "Bi-TCP", "Uni-TCP", "bi/uni"]);
     for p in points {
         t.row([
@@ -195,7 +269,35 @@ impl Fig2bcParams {
     pub fn quick() -> Self {
         Self::paper()
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_dur("duration_s", self.duration);
+        p.set_dur("bucket_s", self.bucket);
+        p.set_num("channel_bytes_per_sec", self.channel_bytes_per_sec as f64);
+        p.set_num("queue_frames", self.queue_frames as f64);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig2bcParams {
+            duration: p.dur_or("duration_s", base.duration),
+            bucket: p.dur_or("bucket_s", base.bucket),
+            channel_bytes_per_sec: p.u64_or("channel_bytes_per_sec", base.channel_bytes_per_sec),
+            queue_frames: p.usize_or("queue_frames", base.queue_frames),
+        }
+    }
 }
+
+builder_setters!(Fig2bcParams {
+    duration: SimDuration,
+    bucket: SimDuration,
+    channel_bytes_per_sec: u64,
+    queue_frames: usize,
+});
 
 /// Result of one Fig. 2(b)/(c) trace.
 #[derive(Clone, Debug)]
@@ -219,7 +321,7 @@ impl Fig2bcTrace {
             .filter(|&&(t, _)| t > t0)
             .map(|&(_, n)| n as f64)
             .collect();
-        simnet::stats::mean(&after)
+        metrics::stats::mean(&after)
     }
 
     /// Mean client packet count per bucket before the first drop.
@@ -233,13 +335,26 @@ impl Fig2bcTrace {
             .filter(|&&(t, _)| t <= t0)
             .map(|&(_, n)| n as f64)
             .collect();
-        simnet::stats::mean(&before)
+        metrics::stats::mean(&before)
     }
 }
 
 /// Runs one Fig. 2(b)/(c) trace (`bidirectional` selects the panel).
+#[deprecated(note = "use `run_fig2bc_with` or the `fig2bc` registry experiment")]
 pub fn run_fig2bc(params: &Fig2bcParams, bidirectional: bool, seed: u64) -> Fig2bcTrace {
+    run_fig2bc_with(params, bidirectional, &MetricsHandle::disabled(), seed)
+}
+
+/// [`run_fig2bc`] with the world wired into `metrics` (per-endpoint TCP
+/// series, fault counters). Pass a disabled handle for a plain run.
+pub fn run_fig2bc_with(
+    params: &Fig2bcParams,
+    bidirectional: bool,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> Fig2bcTrace {
     let mut w = PacketWorld::new(PacketConfig::default(), seed);
+    w.set_metrics(metrics);
     let mobile = w.add_node(Some(channel(
         params.channel_bytes_per_sec,
         0.0,
@@ -285,13 +400,31 @@ pub fn run_fig2bc(params: &Fig2bcParams, bidirectional: bool, seed: u64) -> Fig2
 
 /// Runs both Fig. 2(b)/(c) traces (uni, bi) as a two-point sweep on the
 /// harness; both panels use the same `seed`, as the serial pair of
-/// [`run_fig2bc`] calls did.
+/// [`run_fig2bc_with`] calls did.
+#[deprecated(note = "use `run_fig2bc_pair_with` or the `fig2bc` registry experiment")]
 pub fn run_fig2bc_pair(params: &Fig2bcParams, seed: u64) -> (Fig2bcTrace, Fig2bcTrace) {
+    run_fig2bc_pair_with(params, &MetricsHandle::disabled(), seed)
+}
+
+/// [`run_fig2bc_pair`] with metrics: the uni-directional arm's world is
+/// wired into `metrics` (single writer per series, so the dump stays
+/// deterministic under any worker count).
+pub fn run_fig2bc_pair_with(
+    params: &Fig2bcParams,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> (Fig2bcTrace, Fig2bcTrace) {
     let dur = params.duration.as_secs_f64();
     let mut traces = SweepRunner::new("fig2bc", seed)
+        .with_metrics(metrics)
         .run(&[false, true], 1, |&bidirectional, cell| {
             cell.add_virtual_secs(dur);
-            run_fig2bc(params, bidirectional, seed)
+            let handle = if bidirectional {
+                MetricsHandle::disabled()
+            } else {
+                metrics.clone()
+            };
+            run_fig2bc_with(params, bidirectional, &handle, seed)
         })
         .into_iter()
         .flatten();
@@ -302,9 +435,8 @@ pub fn run_fig2bc_pair(params: &Fig2bcParams, seed: u64) -> (Fig2bcTrace, Fig2bc
 
 /// Renders a Fig. 2(b)/(c) trace as a table.
 pub fn fig2bc_table(uni: &Fig2bcTrace, bi: &Fig2bcTrace) -> Table {
-    let mut t = Table::new(
-        "Figure 2(b,c): Packets sent from client per 250 ms on the wireless leg",
-    );
+    let mut t =
+        Table::new("Figure 2(b,c): Packets sent from client per 250 ms on the wireless leg");
     t.headers(["t (s)", "uni", "bi"]);
     for (i, &(ts, n_uni)) in uni.packets.iter().enumerate() {
         let n_bi = bi.packets.get(i).map(|&(_, n)| n).unwrap_or(0);
@@ -312,11 +444,19 @@ pub fn fig2bc_table(uni: &Fig2bcTrace, bi: &Fig2bcTrace) -> Table {
     }
     t.note(&format!(
         "uni drops at: {:?}",
-        uni.drops.iter().take(5).map(|d| (d * 100.0).round() / 100.0).collect::<Vec<_>>()
+        uni.drops
+            .iter()
+            .take(5)
+            .map(|d| (d * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     ));
     t.note(&format!(
         "bi drops at: {:?}",
-        bi.drops.iter().take(5).map(|d| (d * 100.0).round() / 100.0).collect::<Vec<_>>()
+        bi.drops
+            .iter()
+            .take(5)
+            .map(|d| (d * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     ));
     t.note("paper: after a buffer drop, uni packet count falls; bi stays flat");
     t
@@ -326,16 +466,21 @@ pub fn fig2bc_table(uni: &Fig2bcTrace, bi: &Fig2bcTrace) -> Table {
 mod tests {
     use super::*;
 
+    fn run_fig2a_plain(params: &Fig2aParams) -> Vec<Fig2aPoint> {
+        run_fig2a_with(params, &MetricsHandle::disabled(), FIG2A_SEED)
+    }
+
+    fn run_fig2bc_plain(params: &Fig2bcParams, bidirectional: bool, seed: u64) -> Fig2bcTrace {
+        run_fig2bc_with(params, bidirectional, &MetricsHandle::disabled(), seed)
+    }
+
     #[test]
     fn fig2a_uni_beats_bi_and_ber_hurts() {
-        let params = Fig2aParams {
-            bers: vec![0.0, 2.0e-5],
-            runs: 2,
-            duration: SimDuration::from_secs(20),
-            channel_bytes_per_sec: 50_000,
-            delayed_ack: false,
-        };
-        let pts = run_fig2a(&params);
+        let params = Fig2aParams::quick()
+            .bers(vec![0.0, 2.0e-5])
+            .runs(2)
+            .duration(SimDuration::from_secs(20));
+        let pts = run_fig2a_plain(&params);
         assert_eq!(pts.len(), 2);
         for p in &pts {
             assert!(
@@ -353,7 +498,7 @@ mod tests {
 
     #[test]
     fn fig2bc_congestion_events_occur() {
-        let trace = run_fig2bc(&Fig2bcParams::quick(), false, 7);
+        let trace = run_fig2bc_plain(&Fig2bcParams::quick(), false, 7);
         assert!(!trace.drops.is_empty(), "no congestion drops in the trace");
         assert!(trace.packets.iter().any(|&(_, n)| n > 0));
     }
@@ -361,8 +506,8 @@ mod tests {
     #[test]
     fn fig2bc_bi_keeps_wireless_leg_busier_after_drop() {
         let params = Fig2bcParams::quick();
-        let uni = run_fig2bc(&params, false, 3);
-        let bi = run_fig2bc(&params, true, 3);
+        let uni = run_fig2bc_plain(&params, false, 3);
+        let bi = run_fig2bc_plain(&params, true, 3);
         assert!(!uni.drops.is_empty() && !bi.drops.is_empty());
         // The paper's observation, as a ratio: uni reduces its wireless-leg
         // packet count after congestion more than bi does.
@@ -376,18 +521,52 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let params = Fig2aParams {
-            bers: vec![0.0],
-            runs: 1,
-            duration: SimDuration::from_secs(5),
-            channel_bytes_per_sec: 50_000,
-            delayed_ack: false,
-        };
-        let pts = run_fig2a(&params);
+        let params = Fig2aParams::quick()
+            .bers(vec![0.0])
+            .runs(1)
+            .duration(SimDuration::from_secs(5));
+        let pts = run_fig2a_plain(&params);
         let t = fig2a_table(&pts);
         assert_eq!(t.len(), 1);
-        let tr = run_fig2bc(&Fig2bcParams::quick(), false, 1);
-        let tb = run_fig2bc(&Fig2bcParams::quick(), true, 1);
+        let tr = run_fig2bc_plain(&Fig2bcParams::quick(), false, 1);
+        let tb = run_fig2bc_plain(&Fig2bcParams::quick(), true, 1);
         assert!(!fig2bc_table(&tr, &tb).is_empty());
+    }
+
+    #[test]
+    fn fig2_params_round_trip() {
+        let p = Fig2aParams::paper();
+        let q = Fig2aParams::from_params(&p.to_params());
+        assert_eq!(p.to_params(), q.to_params());
+        let p = Fig2bcParams::paper();
+        let q = Fig2bcParams::from_params(&p.to_params());
+        assert_eq!(p.to_params(), q.to_params());
+    }
+
+    #[test]
+    fn fig2a_metrics_dump_is_byte_identical_across_runs() {
+        // The --metrics-out acceptance pin: two identically-seeded runs
+        // must emit byte-identical JSON and CSV dumps, worker count
+        // notwithstanding, and carry cwnd/RTT/throughput series.
+        let params = Fig2aParams::quick()
+            .bers(vec![1.0e-5])
+            .runs(1)
+            .duration(SimDuration::from_secs(10));
+        let dump = || {
+            let h = MetricsHandle::enabled(FIG2A_SEED);
+            run_fig2a_with(&params, &h, FIG2A_SEED);
+            (h.to_json(), h.series_csv())
+        };
+        let (json_a, csv_a) = dump();
+        let (json_b, csv_b) = dump();
+        assert_eq!(json_a, json_b, "metrics JSON dump not deterministic");
+        assert_eq!(csv_a, csv_b, "series CSV dump not deterministic");
+        for needle in [
+            "tcp.conn0.a.cwnd",
+            "tcp.conn0.a.srtt_us",
+            "fig2a.throughput_Bps",
+        ] {
+            assert!(json_a.contains(needle), "dump missing series {needle}");
+        }
     }
 }

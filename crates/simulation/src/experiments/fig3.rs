@@ -13,14 +13,22 @@
 //!   periodically regenerated peer-id voids accumulated credit and the
 //!   two mobility arms collapse together.
 
-use super::common::{capped_config, populate_swarm, rate, synthetic_torrent, SwarmSetup};
+use super::common::{populate_swarm, synthetic_torrent, SwarmSetup};
+use super::params::{builder_setters, ExperimentParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::harness::SweepRunner;
 use crate::report::{kbps, mb, Table};
+use bittorrent::client::ClientConfig;
+use metrics::handle::MetricsHandle;
+use metrics::stats::TimeSeries;
 use simnet::mobility::MobilityProcess;
-use simnet::stats::TimeSeries;
 use simnet::time::{SimDuration, SimTime};
 use wp2p::config::WP2pConfig;
+
+/// Base seed of the Fig. 3(a)/(b) sweeps (pinned by shape tests).
+pub const FIG3AB_SEED: u64 = 0xF3A;
+/// Seed of the Fig. 3(c) four-arm comparison.
+pub const FIG3C_SEED: u64 = 0x3C;
 
 /// Parameters for Fig. 3(a) and 3(b).
 #[derive(Clone, Debug)]
@@ -88,7 +96,44 @@ impl Fig3abParams {
             runs: 3,
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_list("fractions", &self.fractions);
+        p.set_num("tasks", self.tasks as f64);
+        p.set_num("file_size", self.file_size as f64);
+        p.set_num("piece_length", self.piece_length as f64);
+        p.set_swarm("swarm", &self.swarm);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("runs", self.runs as f64);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig3abParams {
+            fractions: p.list_or("fractions", &base.fractions),
+            tasks: p.usize_or("tasks", base.tasks),
+            file_size: p.u64_or("file_size", base.file_size),
+            piece_length: p.u32_or("piece_length", base.piece_length),
+            swarm: p.swarm_or("swarm", &base.swarm),
+            duration: p.dur_or("duration_s", base.duration),
+            runs: p.u64_or("runs", base.runs),
+        }
+    }
 }
+
+builder_setters!(Fig3abParams {
+    fractions: Vec<f64>,
+    tasks: usize,
+    file_size: u64,
+    piece_length: u32,
+    swarm: SwarmSetup,
+    duration: SimDuration,
+    runs: u64,
+});
 
 /// One point of Fig. 3(a)/(b).
 #[derive(Clone, Copy, Debug)]
@@ -99,13 +144,20 @@ pub struct Fig3abPoint {
     pub download: f64,
 }
 
-fn run_3ab_once(params: &Fig3abParams, access: Access, fraction: f64, seed: u64) -> f64 {
+fn run_3ab_once(
+    params: &Fig3abParams,
+    access: Access,
+    fraction: f64,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> f64 {
     let physical_up = match access {
         Access::Wired { up, .. } => up,
         Access::Wireless { capacity } => capacity,
     };
     let per_task_limit = fraction * physical_up / params.tasks as f64;
     let mut w = FlowWorld::new(FlowConfig::default(), seed);
+    w.set_metrics(metrics);
     let our_node = w.add_node(access);
     let mut our_tasks = Vec::new();
     for i in 0..params.tasks {
@@ -125,30 +177,50 @@ fn run_3ab_once(params: &Fig3abParams, access: Access, fraction: f64, seed: u64)
             // the paper's had): it owns a random quarter of the pieces,
             // so its upload capacity is actually in demand.
             start_fraction: Some(0.25),
-            make_config: capped_config(Some(per_task_limit.max(512.0))),
+            make_config: {
+                let limit = per_task_limit.max(512.0);
+                Box::new(move || ClientConfig {
+                    upload_limit: Some(limit),
+                    ..ClientConfig::default()
+                })
+            },
             wp2p: WP2pConfig::default_client(),
         }));
     }
     w.start();
     w.run_for(params.duration, |_| {});
     let total: u64 = our_tasks.iter().map(|&t| w.downloaded_bytes(t)).sum();
+    let secs = params.duration.as_secs_f64();
     if std::env::var("FIG3_DEBUG").is_ok() {
         let up: u64 = our_tasks.iter().map(|&t| w.delivered_up_bytes(t)).sum();
-        eprintln!("  [debug] fraction={fraction:.1} down={:.1} up={:.1} KB/s",
-            rate(total, params.duration) / 1024.0,
-            rate(up, params.duration) / 1024.0);
+        eprintln!(
+            "  [debug] fraction={fraction:.1} down={:.1} up={:.1} KB/s",
+            total as f64 / secs / 1024.0,
+            up as f64 / secs / 1024.0
+        );
     }
-    rate(total, params.duration)
+    total as f64 / secs
 }
 
-fn run_3ab(name: &str, params: &Fig3abParams, access: Access) -> Vec<Fig3abPoint> {
+fn run_3ab(
+    name: &str,
+    params: &Fig3abParams,
+    access: Access,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig3abPoint> {
     let dur = params.duration.as_secs_f64();
-    let cells = SweepRunner::new(name, 0xF3A).run(
+    let cells = SweepRunner::new(name, base_seed).with_metrics(metrics).run(
         &params.fractions,
         params.runs as usize,
         |&fraction, cell| {
             cell.add_virtual_secs(dur);
-            run_3ab_once(params, access, fraction, cell.run_seed)
+            let handle = if cell.point == 0 && cell.run == 0 {
+                metrics.clone()
+            } else {
+                MetricsHandle::disabled()
+            };
+            run_3ab_once(params, access, fraction, &handle, cell.run_seed)
         },
     );
     params
@@ -157,28 +229,71 @@ fn run_3ab(name: &str, params: &Fig3abParams, access: Access) -> Vec<Fig3abPoint
         .zip(cells)
         .map(|(&fraction, xs)| Fig3abPoint {
             fraction,
-            download: simnet::stats::mean(&xs),
+            download: metrics::stats::mean(&xs),
         })
         .collect()
 }
 
 /// Runs Fig. 3(a): wired asymmetric access.
+#[deprecated(note = "use `run_fig3a_with` or the `fig3ab` registry experiment")]
 pub fn run_fig3a(params: &Fig3abParams) -> Vec<Fig3abPoint> {
-    run_3ab("fig3a", params, Access::residential())
+    run_fig3a_with(params, &MetricsHandle::disabled(), FIG3AB_SEED)
+}
+
+/// [`run_fig3a`] on an explicit metrics handle and sweep base seed. The
+/// first cell's world is wired into `metrics`.
+pub fn run_fig3a_with(
+    params: &Fig3abParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig3abPoint> {
+    run_3ab("fig3a", params, Access::residential(), metrics, base_seed)
 }
 
 /// Runs Fig. 3(b): wireless shared channel. The default capacity mirrors
 /// a throttled WLAN comparable to the attainable swarm download rate, so
 /// the sweep covers the contention regime (a channel far faster than the
 /// swarm supply would never self-contend).
+#[deprecated(note = "use `run_fig3b_with` or the `fig3ab` registry experiment")]
 pub fn run_fig3b(params: &Fig3abParams) -> Vec<Fig3abPoint> {
-    run_3b_custom(params, 80_000.0)
+    run_fig3b_with(params, &MetricsHandle::disabled(), FIG3AB_SEED)
+}
+
+/// [`run_fig3b`] on an explicit metrics handle and sweep base seed.
+pub fn run_fig3b_with(
+    params: &Fig3abParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig3abPoint> {
+    run_fig3b_custom_with(params, 80_000.0, metrics, base_seed)
 }
 
 /// Runs the Fig. 3(b) sweep at an explicit wireless capacity
 /// (bytes/second).
+pub fn run_fig3b_custom(params: &Fig3abParams, capacity: f64) -> Vec<Fig3abPoint> {
+    run_fig3b_custom_with(params, capacity, &MetricsHandle::disabled(), FIG3AB_SEED)
+}
+
+/// [`run_fig3b_custom`] on an explicit metrics handle and base seed.
+pub fn run_fig3b_custom_with(
+    params: &Fig3abParams,
+    capacity: f64,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig3abPoint> {
+    run_3ab(
+        "fig3b",
+        params,
+        Access::Wireless { capacity },
+        metrics,
+        base_seed,
+    )
+}
+
+/// Former name of [`run_fig3b_custom`].
+#[deprecated(note = "renamed to `run_fig3b_custom`")]
 pub fn run_3b_custom(params: &Fig3abParams, capacity: f64) -> Vec<Fig3abPoint> {
-    run_3ab("fig3b", params, Access::Wireless { capacity })
+    run_fig3b_custom(params, capacity)
 }
 
 /// Renders a Fig. 3(a)/(b) sweep.
@@ -255,7 +370,44 @@ impl Fig3cParams {
             wireless_capacity: 250_000.0,
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_num("file_size", self.file_size as f64);
+        p.set_num("piece_length", self.piece_length as f64);
+        p.set_dur("duration_s", self.duration);
+        p.set_dur("mobility_period_s", self.mobility_period);
+        p.set_dur("outage_s", self.outage);
+        p.set_swarm("swarm", &self.swarm);
+        p.set_num("wireless_capacity", self.wireless_capacity);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig3cParams {
+            file_size: p.u64_or("file_size", base.file_size),
+            piece_length: p.u32_or("piece_length", base.piece_length),
+            duration: p.dur_or("duration_s", base.duration),
+            mobility_period: p.dur_or("mobility_period_s", base.mobility_period),
+            outage: p.dur_or("outage_s", base.outage),
+            swarm: p.swarm_or("swarm", &base.swarm),
+            wireless_capacity: p.num_or("wireless_capacity", base.wireless_capacity),
+        }
+    }
 }
+
+builder_setters!(Fig3cParams {
+    file_size: u64,
+    piece_length: u32,
+    duration: SimDuration,
+    mobility_period: SimDuration,
+    outage: SimDuration,
+    swarm: SwarmSetup,
+    wireless_capacity: f64,
+});
 
 /// The four arms of Fig. 3(c).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -293,7 +445,11 @@ impl Fig3cArm {
     pub fn label(&self) -> String {
         format!(
             "{}, {}",
-            if self.mobility { "Mobility" } else { "No Mobility" },
+            if self.mobility {
+                "Mobility"
+            } else {
+                "No Mobility"
+            },
             if self.uploading {
                 "Uploading"
             } else {
@@ -315,10 +471,22 @@ pub struct Fig3cResult {
 }
 
 /// Runs one arm of Fig. 3(c).
+#[deprecated(note = "use `run_fig3c_arm_with` or the `fig3c` registry experiment")]
 pub fn run_fig3c_arm(params: &Fig3cParams, arm: Fig3cArm, seed: u64) -> Fig3cResult {
+    run_fig3c_arm_with(params, arm, &MetricsHandle::disabled(), seed)
+}
+
+/// [`run_fig3c_arm`] with the world wired into `metrics`.
+pub fn run_fig3c_arm_with(
+    params: &Fig3cParams,
+    arm: Fig3cArm,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> Fig3cResult {
     let mut cfg = FlowConfig::default();
     cfg.tracker.announce_interval = SimDuration::from_mins(5);
     let mut w = FlowWorld::new(cfg, seed);
+    w.set_metrics(metrics);
     let torrent = synthetic_torrent("fig3c.bin", params.piece_length, params.file_size, seed);
     populate_swarm(&mut w, torrent, &params.swarm);
     let node = w.add_node(Access::Wireless {
@@ -354,13 +522,31 @@ pub fn run_fig3c_arm(params: &Fig3cParams, arm: Fig3cArm, seed: u64) -> Fig3cRes
 /// Runs all four arms in parallel. Each arm is a sweep point with one
 /// run; every arm gets the same `seed` so the comparison is paired, as in
 /// the serial implementation.
+#[deprecated(note = "use `run_fig3c_with` or the `fig3c` registry experiment")]
 pub fn run_fig3c(params: &Fig3cParams, seed: u64) -> Vec<Fig3cResult> {
+    run_fig3c_with(params, &MetricsHandle::disabled(), seed)
+}
+
+/// [`run_fig3c`] with metrics: the first arm (no-mobility, uploading) is
+/// wired into `metrics` — one world per handle keeps every series
+/// single-writer and the dump deterministic.
+pub fn run_fig3c_with(
+    params: &Fig3cParams,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> Vec<Fig3cResult> {
     let arms = Fig3cArm::all();
     let dur = params.duration.as_secs_f64();
     SweepRunner::new("fig3c", seed)
+        .with_metrics(metrics)
         .run(&arms, 1, |&arm, cell| {
             cell.add_virtual_secs(dur);
-            run_fig3c_arm(params, arm, seed)
+            let handle = if cell.point == 0 {
+                metrics.clone()
+            } else {
+                MetricsHandle::disabled()
+            };
+            run_fig3c_arm_with(params, arm, &handle, seed)
         })
         .into_iter()
         .flatten()
@@ -396,16 +582,20 @@ mod tests {
     use super::*;
 
     fn tiny_3ab() -> Fig3abParams {
-        Fig3abParams {
-            fractions: vec![0.1, 0.9],
-            runs: 1,
-            ..Fig3abParams::quick()
-        }
+        Fig3abParams::quick().fractions(vec![0.1, 0.9]).runs(1)
+    }
+
+    fn run_fig3a_plain(params: &Fig3abParams) -> Vec<Fig3abPoint> {
+        run_fig3a_with(params, &MetricsHandle::disabled(), FIG3AB_SEED)
+    }
+
+    fn run_fig3b_plain(params: &Fig3abParams) -> Vec<Fig3abPoint> {
+        run_fig3b_with(params, &MetricsHandle::disabled(), FIG3AB_SEED)
     }
 
     #[test]
     fn fig3a_download_grows_with_upload_limit() {
-        let pts = run_fig3a(&tiny_3ab());
+        let pts = run_fig3a_plain(&tiny_3ab());
         assert_eq!(pts.len(), 2);
         assert!(
             pts[1].download > pts[0].download,
@@ -417,7 +607,7 @@ mod tests {
     #[test]
     fn fig3b_wireless_upload_hurts_at_the_top() {
         let p = tiny_3ab();
-        let pts = run_fig3b(&p);
+        let pts = run_fig3b_plain(&p);
         // On a shared channel, cranking upload to 90% of capacity must
         // cost download throughput (self-contention).
         assert!(
@@ -427,7 +617,7 @@ mod tests {
         );
         // ... while the same sweep on wired helps (checked above); the
         // *contrast* is the paper's point.
-        let wired = run_fig3a(&p);
+        let wired = run_fig3a_plain(&p);
         let wireless_gain = pts[1].download / pts[0].download.max(1.0);
         let wired_gain = wired[1].download / wired[0].download.max(1.0);
         assert!(wireless_gain < wired_gain);
@@ -445,7 +635,7 @@ mod tests {
         // seeds are per-cell, so trimming the sweep would change every
         // cell's seed and measure a different trace than the one
         // EXPERIMENTS.md reports.
-        let pts = run_fig3b(&Fig3abParams::quick());
+        let pts = run_fig3b_plain(&Fig3abParams::quick());
         let peak_at = pts
             .iter()
             .enumerate()
@@ -469,14 +659,20 @@ mod tests {
     }
 
     #[test]
+    fn fig3c_params_round_trip() {
+        let p = Fig3cParams::paper();
+        let q = Fig3cParams::from_params(&p.to_params());
+        assert_eq!(p.to_params(), q.to_params());
+        let p = Fig3abParams::paper();
+        let q = Fig3abParams::from_params(&p.to_params());
+        assert_eq!(p.to_params(), q.to_params());
+    }
+
+    #[test]
     fn fig3c_arms_order_correctly() {
-        let params = Fig3cParams {
-            file_size: 64 * 1024 * 1024,
-            piece_length: 256 * 1024,
-            duration: SimDuration::from_mins(6),
-            mobility_period: SimDuration::from_secs(60),
-            outage: SimDuration::from_secs(8),
-            swarm: SwarmSetup {
+        let params = Fig3cParams::quick()
+            .duration(SimDuration::from_mins(6))
+            .swarm(SwarmSetup {
                 seeds: 1,
                 seed_access: Access::Wired {
                     up: 60_000.0,
@@ -485,10 +681,9 @@ mod tests {
                 leeches: 4,
                 leech_access: Access::residential(),
                 leech_head_start: 0.5,
-            },
-            wireless_capacity: 120_000.0,
-        };
-        let results = run_fig3c(&params, 3);
+            })
+            .wireless_capacity(120_000.0);
+        let results = run_fig3c_with(&params, &MetricsHandle::disabled(), 3);
         let get = |mob: bool, up: bool| {
             results
                 .iter()

@@ -11,19 +11,28 @@
 //!   rarest-first for a 5 MB and a 100 MB file (see
 //!   [`super::playability`]).
 
-use super::common::{rate, synthetic_torrent};
+use super::common::synthetic_torrent;
+use super::params::{builder_setters, decode_opt_periods, encode_opt_periods, ExperimentParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::harness::SweepRunner;
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
 use bittorrent::tracker::TrackerConfig;
+use metrics::handle::MetricsHandle;
+use metrics::stats::RunSummary;
 use simnet::mobility::MobilityProcess;
-use simnet::stats::RunSummary;
 use simnet::time::SimDuration;
 use wp2p::config::WP2pConfig;
 
+/// Base seed of the Fig. 4(a) sweep.
+pub const FIG4A_SEED: u64 = 0xF4A;
+/// Seed of the Fig. 4(b) panel ((c) uses the successor).
+pub const FIG4BC_SEED: u64 = 0x4B;
+
+#[allow(deprecated)]
+pub use super::playability::run_playability;
 pub use super::playability::{
-    playability_table, run_playability, PlayabilityCurve, PlayabilityParams,
+    playability_table, run_playability_with, PlayabilityCurve, PlayabilityParams,
 };
 
 /// Parameters for Fig. 4(a).
@@ -82,7 +91,47 @@ impl Fig4aParams {
             tracker_interval: SimDuration::from_secs(120),
         }
     }
+
+    /// Converts to the registry's untyped parameter map (`None` periods
+    /// encode as `-1`).
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_list("periods_s", &encode_opt_periods(&self.periods));
+        p.set_num("seeds", self.seeds as f64);
+        p.set_num("seed_capacity", self.seed_capacity);
+        p.set_dur("outage_s", self.outage);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("runs", self.runs as f64);
+        p.set_dur("tracker_interval_s", self.tracker_interval);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig4aParams {
+            periods: decode_opt_periods(
+                &p.list_or("periods_s", &encode_opt_periods(&base.periods)),
+            ),
+            seeds: p.usize_or("seeds", base.seeds),
+            seed_capacity: p.num_or("seed_capacity", base.seed_capacity),
+            outage: p.dur_or("outage_s", base.outage),
+            duration: p.dur_or("duration_s", base.duration),
+            runs: p.u64_or("runs", base.runs),
+            tracker_interval: p.dur_or("tracker_interval_s", base.tracker_interval),
+        }
+    }
 }
+
+builder_setters!(Fig4aParams {
+    periods: Vec<Option<SimDuration>>,
+    seeds: usize,
+    seed_capacity: f64,
+    outage: SimDuration,
+    duration: SimDuration,
+    runs: u64,
+    tracker_interval: SimDuration,
+});
 
 /// One point of Fig. 4(a).
 #[derive(Clone, Copy, Debug)]
@@ -99,6 +148,7 @@ fn run_4a_once(
     params: &Fig4aParams,
     period: Option<SimDuration>,
     mobile_seeds: usize,
+    metrics: &MetricsHandle,
     seed: u64,
 ) -> f64 {
     let cfg = FlowConfig {
@@ -109,13 +159,9 @@ fn run_4a_once(
         ..FlowConfig::default()
     };
     let mut w = FlowWorld::new(cfg, seed);
+    w.set_metrics(metrics);
     // Large enough that the download never completes within the run.
-    let torrent = synthetic_torrent(
-        "big.iso",
-        256 * 1024,
-        4 * 1024 * 1024 * 1024,
-        seed,
-    );
+    let torrent = synthetic_torrent("big.iso", 256 * 1024, 4 * 1024 * 1024 * 1024, seed);
     for i in 0..params.seeds {
         let node = w.add_node(Access::Wireless {
             capacity: params.seed_capacity,
@@ -138,25 +184,45 @@ fn run_4a_once(
     });
     w.start();
     w.run_for(params.duration, |_| {});
-    rate(w.downloaded_bytes(task), params.duration)
+    w.downloaded_bytes(task) as f64 / params.duration.as_secs_f64()
 }
 
 /// Runs the Fig. 4(a) sweep on the harness. Both arms (one/all mobile)
 /// share a cell and its point-invariant seed, preserving the paired
 /// comparison of the serial driver.
+#[deprecated(note = "use `run_fig4a_with` or the `fig4a` registry experiment")]
 pub fn run_fig4a(params: &Fig4aParams) -> Vec<Fig4aPoint> {
+    run_fig4a_with(params, &MetricsHandle::disabled(), FIG4A_SEED)
+}
+
+/// [`run_fig4a`] with metrics: the first cell's one-mobile world is
+/// wired into `metrics` (hand-off counters/latency histogram included).
+pub fn run_fig4a_with(
+    params: &Fig4aParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig4aPoint> {
     let dur = params.duration.as_secs_f64();
-    let cells = SweepRunner::new("fig4a", 0xF4A).run(
-        &params.periods,
-        params.runs as usize,
-        |&period, cell| {
+    let cells = SweepRunner::new("fig4a", base_seed)
+        .with_metrics(metrics)
+        .run(&params.periods, params.runs as usize, |&period, cell| {
             cell.add_virtual_secs(2.0 * dur);
+            let handle = if cell.point == 0 && cell.run == 0 {
+                metrics.clone()
+            } else {
+                MetricsHandle::disabled()
+            };
             (
-                run_4a_once(params, period, 1, cell.run_seed),
-                run_4a_once(params, period, params.seeds, cell.run_seed),
+                run_4a_once(params, period, 1, &handle, cell.run_seed),
+                run_4a_once(
+                    params,
+                    period,
+                    params.seeds,
+                    &MetricsHandle::disabled(),
+                    cell.run_seed,
+                ),
             )
-        },
-    );
+        });
     params
         .periods
         .iter()
@@ -194,16 +260,10 @@ mod tests {
 
     #[test]
     fn fig4a_mobility_degrades_fixed_peer_throughput() {
-        let params = Fig4aParams {
-            periods: vec![None, Some(SimDuration::from_secs(45))],
-            seeds: 3,
-            seed_capacity: 200_000.0,
-            outage: SimDuration::from_secs(5),
-            duration: SimDuration::from_mins(8),
-            runs: 1,
-            tracker_interval: SimDuration::from_secs(120),
-        };
-        let pts = run_fig4a(&params);
+        let params = Fig4aParams::quick()
+            .periods(vec![None, Some(SimDuration::from_secs(45))])
+            .duration(SimDuration::from_mins(8));
+        let pts = run_fig4a_with(&params, &MetricsHandle::disabled(), FIG4A_SEED);
         let baseline = pts[0].all_mobile.mean;
         let fast_one = pts[1].one_mobile.mean;
         let fast_all = pts[1].all_mobile.mean;
@@ -217,5 +277,14 @@ mod tests {
         );
         let t = fig4a_table(&pts);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fig4a_params_round_trip() {
+        let p = Fig4aParams::paper();
+        let q = Fig4aParams::from_params(
+            &ExperimentParams::from_json(&p.to_params().to_json()).unwrap(),
+        );
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
     }
 }

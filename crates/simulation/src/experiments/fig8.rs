@@ -17,7 +17,8 @@
 //!   default's uploads strangle its own downloads; LIHD finds a better
 //!   operating point (paper: up to +70% at 200 KB/s).
 
-use super::common::{populate_swarm, rate, synthetic_torrent, SwarmSetup};
+use super::common::{populate_swarm, synthetic_torrent, SwarmSetup};
+use super::params::{builder_setters, ExperimentParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::harness::{run_seed, SweepRunner};
 use crate::packet::{PacketConfig, PacketWorld};
@@ -25,13 +26,21 @@ use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
 use bittorrent::metainfo::Metainfo;
 use bittorrent::progress::TorrentProgress;
+use metrics::handle::MetricsHandle;
+use metrics::stats::{RunSummary, TimeSeries};
 use simnet::mobility::MobilityProcess;
-use simnet::stats::{RunSummary, TimeSeries};
 use simnet::time::{SimDuration, SimTime};
 use simnet::wireless::WirelessConfig;
 use wp2p::am::AmConfig;
 use wp2p::config::WP2pConfig;
 use wp2p::ia::LihdConfig;
+
+/// Base seed of the Fig. 8(a) sweep.
+pub const FIG8A_SEED: u64 = 0xF8A;
+/// Seed of the Fig. 8(b) trace.
+pub const FIG8B_SEED: u64 = 0x8B;
+/// Base seed of the Fig. 8(c) sweep.
+pub const FIG8C_SEED: u64 = 0xF8C;
 
 // ---------------------------------------------------------------------
 // Fig. 8(a): Age-based Manipulation
@@ -78,7 +87,41 @@ impl Fig8aParams {
             runs: 5,
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_list("bers", &self.bers);
+        p.set_num("file_size", self.file_size as f64);
+        p.set_num("piece_length", self.piece_length as f64);
+        p.set_num("channel_bytes_per_sec", self.channel_bytes_per_sec as f64);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("runs", self.runs as f64);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig8aParams {
+            bers: p.list_or("bers", &base.bers),
+            file_size: p.u64_or("file_size", base.file_size),
+            piece_length: p.u32_or("piece_length", base.piece_length),
+            channel_bytes_per_sec: p.u64_or("channel_bytes_per_sec", base.channel_bytes_per_sec),
+            duration: p.dur_or("duration_s", base.duration),
+            runs: p.u64_or("runs", base.runs),
+        }
+    }
 }
+
+builder_setters!(Fig8aParams {
+    bers: Vec<f64>,
+    file_size: u64,
+    piece_length: u32,
+    channel_bytes_per_sec: u64,
+    duration: SimDuration,
+    runs: u64,
+});
 
 /// One Fig. 8(a) point.
 #[derive(Clone, Copy, Debug)]
@@ -91,12 +134,19 @@ pub struct Fig8aPoint {
     pub wp2p: RunSummary,
 }
 
-pub(crate) fn run_8a_once(params: &Fig8aParams, am: Option<AmConfig>, ber: f64, seed: u64) -> f64 {
+pub(crate) fn run_8a_once(
+    params: &Fig8aParams,
+    am: Option<AmConfig>,
+    ber: f64,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> f64 {
     let meta = Metainfo::synthetic("fig8a.bin", "tr", params.piece_length, params.file_size, 1);
     let ih = meta.info.info_hash();
     let mut cfg = PacketConfig::default();
     cfg.tcp.recv_window = 32 * 1024;
     let mut w = PacketWorld::new(cfg, seed);
+    w.set_metrics(metrics);
     // Like the paper's ns-2 emulation, the channel is a bandwidth/BER
     // model without per-frame MAC cost, so AM's extra 40-byte pure ACKs
     // cost their byte share (~3%), not a frame-time multiple.
@@ -115,11 +165,8 @@ pub(crate) fn run_8a_once(params: &Fig8aParams, am: Option<AmConfig>, ber: f64, 
     }
     // Complementary halves, as after the removed seed.
     let mk = |even: bool| -> TorrentProgress {
-        let mut p = TorrentProgress::with_block_size(
-            meta.info.piece_length,
-            meta.info.length,
-            16 * 1024,
-        );
+        let mut p =
+            TorrentProgress::with_block_size(meta.info.piece_length, meta.info.length, 16 * 1024);
         for piece in 0..meta.info.num_pieces() {
             if (piece % 2 == 0) == even {
                 p.mark_piece_complete(piece);
@@ -132,25 +179,45 @@ pub(crate) fn run_8a_once(params: &Fig8aParams, am: Option<AmConfig>, ber: f64, 
     w.start_clients();
     w.run_until(SimTime::ZERO + params.duration, |_| {});
     let total = w.delivered_down(l1) + w.delivered_down(l2);
-    rate(total, params.duration) / 2.0
+    total as f64 / params.duration.as_secs_f64() / 2.0
 }
 
 /// Runs the Fig. 8(a) sweep on the harness. Both arms (default / AM)
 /// share a cell, and [`run_fig8a_point`] reuses the same per-run seeds,
 /// so the ablation stays comparable with the figure.
+#[deprecated(note = "use `run_fig8a_with` or the `fig8a` registry experiment")]
 pub fn run_fig8a(params: &Fig8aParams) -> Vec<Fig8aPoint> {
+    run_fig8a_with(params, &MetricsHandle::disabled(), FIG8A_SEED)
+}
+
+/// [`run_fig8a`] with metrics: the first cell's default-client world is
+/// wired into `metrics` (per-connection TCP and AM instruments included).
+pub fn run_fig8a_with(
+    params: &Fig8aParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig8aPoint> {
     let dur = params.duration.as_secs_f64();
-    let cells = SweepRunner::new("fig8a", 0xF8A).run(
-        &params.bers,
-        params.runs as usize,
-        |&ber, cell| {
+    let cells = SweepRunner::new("fig8a", base_seed)
+        .with_metrics(metrics)
+        .run(&params.bers, params.runs as usize, |&ber, cell| {
             cell.add_virtual_secs(2.0 * dur);
+            let handle = if cell.point == 0 && cell.run == 0 {
+                metrics.clone()
+            } else {
+                MetricsHandle::disabled()
+            };
             (
-                run_8a_once(params, None, ber, cell.run_seed),
-                run_8a_once(params, Some(AmConfig::default()), ber, cell.run_seed),
+                run_8a_once(params, None, ber, &handle, cell.run_seed),
+                run_8a_once(
+                    params,
+                    Some(AmConfig::default()),
+                    ber,
+                    &MetricsHandle::disabled(),
+                    cell.run_seed,
+                ),
             )
-        },
-    );
+        });
     params
         .bers
         .iter()
@@ -171,23 +238,28 @@ pub fn run_fig8a(params: &Fig8aParams) -> Vec<Fig8aPoint> {
 /// (`None` = default client); averaged over the params' run count. Used
 /// by the AM component ablation. Seeds match [`run_fig8a`]'s.
 pub fn run_fig8a_point(params: &Fig8aParams, am: Option<AmConfig>, ber: f64) -> f64 {
+    let disabled = MetricsHandle::disabled();
     let xs: Vec<f64> = (0..params.runs)
-        .map(|r| run_8a_once(params, am, ber, run_seed(0xF8A, r as usize)))
+        .map(|r| run_8a_once(params, am, ber, &disabled, run_seed(FIG8A_SEED, r as usize)))
         .collect();
-    simnet::stats::mean(&xs)
+    metrics::stats::mean(&xs)
 }
 
 /// Renders Fig. 8(a).
 pub fn fig8a_table(points: &[Fig8aPoint]) -> Table {
-    let mut t =
-        Table::new("Figure 8(a): Throughput (KBps) vs BER — default vs wP2P (age-based manipulation)");
+    let mut t = Table::new(
+        "Figure 8(a): Throughput (KBps) vs BER — default vs wP2P (age-based manipulation)",
+    );
     t.headers(["BER", "default", "wP2P", "gain"]);
     for p in points {
         t.row([
             format!("{:.1e}", p.ber),
             kbps(p.default.mean),
             kbps(p.wp2p.mean),
-            format!("{:+.0}%", (p.wp2p.mean / p.default.mean.max(1.0) - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (p.wp2p.mean / p.default.mean.max(1.0) - 1.0) * 100.0
+            ),
         ]);
     }
     t.note("paper: wP2P ≈ +20% at every BER");
@@ -266,7 +338,44 @@ impl Fig8bParams {
             wireless_capacity: 500_000.0,
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_num("file_size", self.file_size as f64);
+        p.set_num("piece_length", self.piece_length as f64);
+        p.set_swarm("swarm", &self.swarm);
+        p.set_dur("mobility_period_s", self.mobility_period);
+        p.set_dur("outage_s", self.outage);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("wireless_capacity", self.wireless_capacity);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig8bParams {
+            file_size: p.u64_or("file_size", base.file_size),
+            piece_length: p.u32_or("piece_length", base.piece_length),
+            swarm: p.swarm_or("swarm", &base.swarm),
+            mobility_period: p.dur_or("mobility_period_s", base.mobility_period),
+            outage: p.dur_or("outage_s", base.outage),
+            duration: p.dur_or("duration_s", base.duration),
+            wireless_capacity: p.num_or("wireless_capacity", base.wireless_capacity),
+        }
+    }
 }
+
+builder_setters!(Fig8bParams {
+    file_size: u64,
+    piece_length: u32,
+    swarm: SwarmSetup,
+    mobility_period: SimDuration,
+    outage: SimDuration,
+    duration: SimDuration,
+    wireless_capacity: f64,
+});
 
 /// Result of Fig. 8(b): series for both clients (single typical run, both
 /// in the same swarm, as in the paper).
@@ -284,12 +393,20 @@ pub struct Fig8bResult {
 
 /// Runs Fig. 8(b) — a single trace, wrapped as a one-cell sweep so its
 /// cost lands in the harness stats alongside the real sweeps.
+#[deprecated(note = "use `run_fig8b_with` or the `fig8b` registry experiment")]
 pub fn run_fig8b(params: &Fig8bParams, seed: u64) -> Fig8bResult {
+    run_fig8b_with(params, &MetricsHandle::disabled(), seed)
+}
+
+/// [`run_fig8b`] with metrics: the (single) trace world is wired into
+/// `metrics`, so the hand-off and retention dynamics are observable.
+pub fn run_fig8b_with(params: &Fig8bParams, metrics: &MetricsHandle, seed: u64) -> Fig8bResult {
     let dur = params.duration.as_secs_f64();
     SweepRunner::new("fig8b", seed)
+        .with_metrics(metrics)
         .run(&[()], 1, |_, cell| {
             cell.add_virtual_secs(dur);
-            run_fig8b_once(params, seed)
+            run_fig8b_once(params, metrics, seed)
         })
         .into_iter()
         .flatten()
@@ -297,10 +414,11 @@ pub fn run_fig8b(params: &Fig8bParams, seed: u64) -> Fig8bResult {
         .expect("fig8b trace")
 }
 
-fn run_fig8b_once(params: &Fig8bParams, seed: u64) -> Fig8bResult {
+fn run_fig8b_once(params: &Fig8bParams, metrics: &MetricsHandle, seed: u64) -> Fig8bResult {
     let mut cfg = FlowConfig::default();
     cfg.tracker.announce_interval = SimDuration::from_mins(5);
     let mut w = FlowWorld::new(cfg, seed);
+    w.set_metrics(metrics);
     let torrent = synthetic_torrent(
         "Fedora-7-KDE-Live-i686.iso",
         params.piece_length,
@@ -412,12 +530,7 @@ impl Fig8cParams {
     /// Paper-scale preset.
     pub fn paper() -> Self {
         Fig8cParams {
-            capacities: vec![
-                40.0 * 1024.0,
-                60.0 * 1024.0,
-                80.0 * 1024.0,
-                120.0 * 1024.0,
-            ],
+            capacities: vec![40.0 * 1024.0, 60.0 * 1024.0, 80.0 * 1024.0, 120.0 * 1024.0],
             file_size: 192 * 1024 * 1024,
             piece_length: 256 * 1024,
             swarm: SwarmSetup {
@@ -434,7 +547,41 @@ impl Fig8cParams {
             runs: 10,
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_list("capacities", &self.capacities);
+        p.set_num("file_size", self.file_size as f64);
+        p.set_num("piece_length", self.piece_length as f64);
+        p.set_swarm("swarm", &self.swarm);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("runs", self.runs as f64);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig8cParams {
+            capacities: p.list_or("capacities", &base.capacities),
+            file_size: p.u64_or("file_size", base.file_size),
+            piece_length: p.u32_or("piece_length", base.piece_length),
+            swarm: p.swarm_or("swarm", &base.swarm),
+            duration: p.dur_or("duration_s", base.duration),
+            runs: p.u64_or("runs", base.runs),
+        }
+    }
 }
+
+builder_setters!(Fig8cParams {
+    capacities: Vec<f64>,
+    file_size: u64,
+    piece_length: u32,
+    swarm: SwarmSetup,
+    duration: SimDuration,
+    runs: u64,
+});
 
 /// One Fig. 8(c) point.
 #[derive(Clone, Copy, Debug)]
@@ -447,8 +594,15 @@ pub struct Fig8cPoint {
     pub wp2p: RunSummary,
 }
 
-fn run_8c_once(params: &Fig8cParams, lihd: bool, capacity: f64, seed: u64) -> f64 {
+fn run_8c_once(
+    params: &Fig8cParams,
+    lihd: bool,
+    capacity: f64,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> f64 {
     let mut w = FlowWorld::new(FlowConfig::default(), seed);
+    w.set_metrics(metrics);
     let torrent = synthetic_torrent("fig8c.bin", params.piece_length, params.file_size, seed);
     populate_swarm(&mut w, torrent, &params.swarm);
     let node = w.add_node(Access::Wireless { capacity });
@@ -469,24 +623,48 @@ fn run_8c_once(params: &Fig8cParams, lihd: bool, capacity: f64, seed: u64) -> f6
     });
     w.start();
     w.run_for(params.duration, |_| {});
-    rate(w.downloaded_bytes(task), params.duration)
+    w.downloaded_bytes(task) as f64 / params.duration.as_secs_f64()
 }
 
 /// Runs the Fig. 8(c) sweep on the harness; default and LIHD arms share
 /// a cell (common random numbers).
+#[deprecated(note = "use `run_fig8c_with` or the `fig8c` registry experiment")]
 pub fn run_fig8c(params: &Fig8cParams) -> Vec<Fig8cPoint> {
+    run_fig8c_with(params, &MetricsHandle::disabled(), FIG8C_SEED)
+}
+
+/// [`run_fig8c`] with metrics: the first cell's LIHD world is wired into
+/// `metrics` (per-client LIHD step instruments included).
+pub fn run_fig8c_with(
+    params: &Fig8cParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig8cPoint> {
     let dur = params.duration.as_secs_f64();
-    let cells = SweepRunner::new("fig8c", 0xF8C).run(
-        &params.capacities,
-        params.runs as usize,
-        |&capacity, cell| {
-            cell.add_virtual_secs(2.0 * dur);
-            (
-                run_8c_once(params, false, capacity, cell.run_seed),
-                run_8c_once(params, true, capacity, cell.run_seed),
-            )
-        },
-    );
+    let cells = SweepRunner::new("fig8c", base_seed)
+        .with_metrics(metrics)
+        .run(
+            &params.capacities,
+            params.runs as usize,
+            |&capacity, cell| {
+                cell.add_virtual_secs(2.0 * dur);
+                let handle = if cell.point == 0 && cell.run == 0 {
+                    metrics.clone()
+                } else {
+                    MetricsHandle::disabled()
+                };
+                (
+                    run_8c_once(
+                        params,
+                        false,
+                        capacity,
+                        &MetricsHandle::disabled(),
+                        cell.run_seed,
+                    ),
+                    run_8c_once(params, true, capacity, &handle, cell.run_seed),
+                )
+            },
+        );
     params
         .capacities
         .iter()
@@ -514,7 +692,10 @@ pub fn fig8c_table(points: &[Fig8cPoint]) -> Table {
             format!("{:.0}", p.capacity / 1024.0),
             kbps(p.default.mean),
             kbps(p.wp2p.mean),
-            format!("{:+.0}%", (p.wp2p.mean / p.default.mean.max(1.0) - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (p.wp2p.mean / p.default.mean.max(1.0) - 1.0) * 100.0
+            ),
         ]);
     }
     t.note("paper: the gap widens with capacity, up to ≈ +70% at 200 KBps");
@@ -537,7 +718,7 @@ mod tests {
         // pins that down both ways — no large harm, no phantom gain —
         // within the noise of two quick runs.
         let params = Fig8aParams::quick();
-        let pts = run_fig8a(&params);
+        let pts = run_fig8a_with(&params, &MetricsHandle::disabled(), FIG8A_SEED);
         for p in &pts {
             let ratio = p.wp2p.mean / p.default.mean.max(1.0);
             assert!(
@@ -550,10 +731,10 @@ mod tests {
 
     #[test]
     fn fig8b_retention_downloads_at_least_as_much() {
-        let mut p = Fig8bParams::quick();
-        p.duration = SimDuration::from_mins(8);
-        p.file_size = 48 * 1024 * 1024;
-        let r = run_fig8b(&p, 5);
+        let p = Fig8bParams::quick()
+            .duration(SimDuration::from_mins(8))
+            .file_size(48 * 1024 * 1024);
+        let r = run_fig8b_with(&p, &MetricsHandle::disabled(), 5);
         assert!(r.wp2p_bytes > 0 && r.default_bytes > 0);
         assert!(
             r.wp2p_bytes as f64 >= 0.9 * r.default_bytes as f64,
@@ -571,7 +752,7 @@ mod tests {
         // client leads at every sampled time and finishes the 12-minute
         // window far ahead (reported: 46.1 vs 25.6 MB, +80%).
         let p = Fig8bParams::quick();
-        let r = run_fig8b(&p, 0x8B);
+        let r = run_fig8b_with(&p, &MetricsHandle::disabled(), FIG8B_SEED);
         for q in 1..=4u64 {
             let ts = SimTime::from_micros(p.duration.as_micros() * q / 4);
             let d = r.default_series.value_at(ts).unwrap_or(0.0);
@@ -593,7 +774,7 @@ mod tests {
     #[test]
     fn fig8c_lihd_beats_default_where_the_channel_binds() {
         let params = Fig8cParams::quick();
-        let pts = run_fig8c(&params);
+        let pts = run_fig8c_with(&params, &MetricsHandle::disabled(), FIG8C_SEED);
         // The tightest channel of the sweep is contention-bound: LIHD's
         // upload cap buys real download capacity there.
         let tight = &pts[0];
@@ -604,5 +785,24 @@ mod tests {
             tight.wp2p.mean,
             tight.default.mean
         );
+    }
+
+    #[test]
+    fn fig8_params_round_trip() {
+        let a = Fig8aParams::paper();
+        let a2 = Fig8aParams::from_params(
+            &ExperimentParams::from_json(&a.to_params().to_json()).unwrap(),
+        );
+        assert_eq!(format!("{a:?}"), format!("{a2:?}"));
+        let b = Fig8bParams::paper();
+        let b2 = Fig8bParams::from_params(
+            &ExperimentParams::from_json(&b.to_params().to_json()).unwrap(),
+        );
+        assert_eq!(format!("{b:?}"), format!("{b2:?}"));
+        let c = Fig8cParams::paper();
+        let c2 = Fig8cParams::from_params(
+            &ExperimentParams::from_json(&c.to_params().to_json()).unwrap(),
+        );
+        assert_eq!(format!("{c:?}"), format!("{c2:?}"));
     }
 }

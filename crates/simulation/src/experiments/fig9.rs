@@ -10,18 +10,25 @@
 //!   until leeches re-poll the tracker; a role-reversing seed dials its
 //!   stored peers the moment it reconnects.
 
-use super::common::{rate, synthetic_torrent, SwarmSetup};
-use super::playability::{run_playability, PlayabilityCurve, PlayabilityParams};
+use super::common::{synthetic_torrent, SwarmSetup};
+use super::params::{builder_setters, decode_periods, encode_periods, ExperimentParams};
+use super::playability::{run_playability_with, PlayabilityCurve, PlayabilityParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::harness::SweepRunner;
 use crate::report::{kbps, Table};
 use bittorrent::client::ClientConfig;
 use bittorrent::tracker::TrackerConfig;
+use metrics::handle::MetricsHandle;
+use metrics::stats::RunSummary;
 use simnet::mobility::MobilityProcess;
-use simnet::stats::RunSummary;
 use simnet::time::SimDuration;
 use wp2p::config::WP2pConfig;
 use wp2p::ma::PrSchedule;
+
+/// Seed of the Fig. 9(a) panel ((b) uses the successor).
+pub const FIG9AB_SEED: u64 = 0x9A;
+/// Base seed of the Fig. 9(c) sweep.
+pub const FIG9C_SEED: u64 = 0xF9C;
 
 // ---------------------------------------------------------------------
 // Fig. 9(a, b): mobility-aware fetching
@@ -38,20 +45,32 @@ pub struct Fig9abResult {
 
 /// Runs one Fig. 9(a)/(b) panel with the paper's `p_r = downloaded
 /// fraction` schedule.
+#[deprecated(note = "use `run_fig9ab_with` or the `fig9ab` registry experiment")]
 pub fn run_fig9ab(params: &PlayabilityParams, seed: u64) -> Fig9abResult {
+    run_fig9ab_with(params, &MetricsHandle::disabled(), seed)
+}
+
+/// [`run_fig9ab`] with metrics: only the default arm is wired into
+/// `metrics` (the series writers must stay single-run deterministic).
+pub fn run_fig9ab_with(
+    params: &PlayabilityParams,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> Fig9abResult {
     Fig9abResult {
-        default_curve: run_playability(params, None, seed),
-        wp2p_curve: run_playability(params, Some(PrSchedule::DownloadedFraction), seed),
+        default_curve: run_playability_with(params, None, metrics, seed),
+        wp2p_curve: run_playability_with(
+            params,
+            Some(PrSchedule::DownloadedFraction),
+            &MetricsHandle::disabled(),
+            seed,
+        ),
     }
 }
 
 /// Renders a Fig. 9(a)/(b) panel.
 pub fn fig9ab_table(title: &str, result: &Fig9abResult) -> Table {
-    super::playability::playability_table(
-        title,
-        &result.default_curve,
-        Some(&result.wp2p_curve),
-    )
+    super::playability::playability_table(title, &result.default_curve, Some(&result.wp2p_curve))
 }
 
 // ---------------------------------------------------------------------
@@ -134,7 +153,50 @@ impl Fig9cParams {
             tracker_interval: SimDuration::from_secs(150),
         }
     }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        p.set_list("periods_s", &encode_periods(&self.periods));
+        p.set_num("file_size", self.file_size as f64);
+        p.set_num("piece_length", self.piece_length as f64);
+        p.set_swarm("swarm", &self.swarm);
+        p.set_num("seed_capacity", self.seed_capacity);
+        p.set_dur("outage_s", self.outage);
+        p.set_dur("duration_s", self.duration);
+        p.set_num("runs", self.runs as f64);
+        p.set_dur("tracker_interval_s", self.tracker_interval);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        let base = Self::quick();
+        Fig9cParams {
+            periods: decode_periods(&p.list_or("periods_s", &encode_periods(&base.periods))),
+            file_size: p.u64_or("file_size", base.file_size),
+            piece_length: p.u32_or("piece_length", base.piece_length),
+            swarm: p.swarm_or("swarm", &base.swarm),
+            seed_capacity: p.num_or("seed_capacity", base.seed_capacity),
+            outage: p.dur_or("outage_s", base.outage),
+            duration: p.dur_or("duration_s", base.duration),
+            runs: p.u64_or("runs", base.runs),
+            tracker_interval: p.dur_or("tracker_interval_s", base.tracker_interval),
+        }
+    }
 }
+
+builder_setters!(Fig9cParams {
+    periods: Vec<SimDuration>,
+    file_size: u64,
+    piece_length: u32,
+    swarm: SwarmSetup,
+    seed_capacity: f64,
+    outage: SimDuration,
+    duration: SimDuration,
+    runs: u64,
+    tracker_interval: SimDuration,
+});
 
 /// One Fig. 9(c) point.
 #[derive(Clone, Copy, Debug)]
@@ -147,7 +209,13 @@ pub struct Fig9cPoint {
     pub wp2p: RunSummary,
 }
 
-fn run_9c_once(params: &Fig9cParams, rr: bool, period: SimDuration, seed: u64) -> f64 {
+fn run_9c_once(
+    params: &Fig9cParams,
+    rr: bool,
+    period: SimDuration,
+    metrics: &MetricsHandle,
+    seed: u64,
+) -> f64 {
     let cfg = FlowConfig {
         tracker: TrackerConfig {
             announce_interval: params.tracker_interval,
@@ -156,6 +224,7 @@ fn run_9c_once(params: &Fig9cParams, rr: bool, period: SimDuration, seed: u64) -
         ..FlowConfig::default()
     };
     let mut w = FlowWorld::new(cfg, seed);
+    w.set_metrics(metrics);
     let torrent = synthetic_torrent("fig9c.iso", params.piece_length, params.file_size, seed);
     super::common::populate_swarm(&mut w, torrent, &params.swarm);
     let mut tasks = Vec::new();
@@ -175,30 +244,53 @@ fn run_9c_once(params: &Fig9cParams, rr: bool, period: SimDuration, seed: u64) -
                 WP2pConfig::default_client()
             },
         });
-        w.set_mobility(node, MobilityProcess::with_jitter(period, params.outage, 0.1));
+        w.set_mobility(
+            node,
+            MobilityProcess::with_jitter(period, params.outage, 0.1),
+        );
         tasks.push(task);
     }
     w.start();
     w.run_for(params.duration, |_| {});
     let total: u64 = tasks.iter().map(|&t| w.delivered_up_bytes(t)).sum();
-    rate(total, params.duration) / 2.0
+    total as f64 / params.duration.as_secs_f64() / 2.0
 }
 
 /// Runs the Fig. 9(c) sweep on the harness; default and role-reversal
 /// arms share a cell (common random numbers).
+#[deprecated(note = "use `run_fig9c_with` or the `fig9c` registry experiment")]
 pub fn run_fig9c(params: &Fig9cParams) -> Vec<Fig9cPoint> {
+    run_fig9c_with(params, &MetricsHandle::disabled(), FIG9C_SEED)
+}
+
+/// [`run_fig9c`] with metrics: the first cell's role-reversal world is
+/// wired into `metrics`.
+pub fn run_fig9c_with(
+    params: &Fig9cParams,
+    metrics: &MetricsHandle,
+    base_seed: u64,
+) -> Vec<Fig9cPoint> {
     let dur = params.duration.as_secs_f64();
-    let cells = SweepRunner::new("fig9c", 0xF9C).run(
-        &params.periods,
-        params.runs as usize,
-        |&period, cell| {
+    let cells = SweepRunner::new("fig9c", base_seed)
+        .with_metrics(metrics)
+        .run(&params.periods, params.runs as usize, |&period, cell| {
             cell.add_virtual_secs(2.0 * dur);
+            let handle = if cell.point == 0 && cell.run == 0 {
+                metrics.clone()
+            } else {
+                MetricsHandle::disabled()
+            };
             (
-                run_9c_once(params, false, period, cell.run_seed),
-                run_9c_once(params, true, period, cell.run_seed),
+                run_9c_once(
+                    params,
+                    false,
+                    period,
+                    &MetricsHandle::disabled(),
+                    cell.run_seed,
+                ),
+                run_9c_once(params, true, period, &handle, cell.run_seed),
             )
-        },
-    );
+        });
     params
         .periods
         .iter()
@@ -226,7 +318,10 @@ pub fn fig9c_table(points: &[Fig9cPoint]) -> Table {
             format!("every {:.0} min", p.period.as_secs_f64() / 60.0),
             kbps(p.default.mean),
             kbps(p.wp2p.mean),
-            format!("{:+.0}%", (p.wp2p.mean / p.default.mean.max(1.0) - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (p.wp2p.mean / p.default.mean.max(1.0) - 1.0) * 100.0
+            ),
         ]);
     }
     t.note("paper: both fall with mobility; wP2P's advantage grows, ≈ +50% at 2 min");
@@ -239,12 +334,10 @@ mod tests {
 
     #[test]
     fn fig9c_role_reversal_restores_upload_throughput() {
-        let params = Fig9cParams {
-            periods: vec![SimDuration::from_secs(90)],
-            duration: SimDuration::from_mins(8),
-            ..Fig9cParams::quick()
-        };
-        let pts = run_fig9c(&params);
+        let params = Fig9cParams::quick()
+            .periods(vec![SimDuration::from_secs(90)])
+            .duration(SimDuration::from_mins(8));
+        let pts = run_fig9c_with(&params, &MetricsHandle::disabled(), FIG9C_SEED);
         let p = &pts[0];
         assert!(
             p.wp2p.mean > p.default.mean,
@@ -258,11 +351,8 @@ mod tests {
 
     #[test]
     fn fig9ab_quick_panel_shapes() {
-        let params = PlayabilityParams {
-            runs: 2,
-            ..PlayabilityParams::quick_5mb()
-        };
-        let r = run_fig9ab(&params, 0x9AB);
+        let params = PlayabilityParams::quick_5mb().runs(2);
+        let r = run_fig9ab_with(&params, &MetricsHandle::disabled(), 0x9AB);
         let d50 = r.default_curve.playable_at(0.5);
         let w50 = r.wp2p_curve.playable_at(0.5);
         assert!(
@@ -270,5 +360,14 @@ mod tests {
             "MF must beat rarest-first at 50%: mf={w50} default={d50}"
         );
         assert!(fig9ab_table("t", &r).len() == params.grid);
+    }
+
+    #[test]
+    fn fig9c_params_round_trip() {
+        let p = Fig9cParams::paper();
+        let q = Fig9cParams::from_params(
+            &ExperimentParams::from_json(&p.to_params().to_json()).unwrap(),
+        );
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
     }
 }

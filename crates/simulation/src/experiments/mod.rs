@@ -5,12 +5,14 @@
 //! parameter, and returns the series the paper plots. Every driver has a
 //! `quick` preset (CI-sized) and a `paper` preset (full scale).
 
+pub mod ablations;
 pub mod common;
 pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig8;
-pub mod ablations;
 pub mod fig9;
+pub mod params;
 pub mod playability;
+pub mod registry;

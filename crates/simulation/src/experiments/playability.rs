@@ -4,11 +4,13 @@
 //! fraction.
 
 use super::common::{populate_swarm, synthetic_torrent, SwarmSetup};
+use super::params::{builder_setters, ExperimentParams};
 use crate::flow::{Access, FlowConfig, FlowWorld, TaskSpec};
 use crate::harness::SweepRunner;
 use crate::report::Table;
 use bittorrent::client::ClientConfig;
 use media_model::playable_fraction;
+use metrics::handle::MetricsHandle;
 use simnet::time::{SimDuration, SimTime};
 use wp2p::config::WP2pConfig;
 use wp2p::ma::PrSchedule;
@@ -81,7 +83,55 @@ impl PlayabilityParams {
             ..Self::quick_large()
         }
     }
+
+    /// Converts to the registry's untyped parameter map, prefixing every
+    /// key with `prefix` (two panels share one map).
+    pub fn to_params_prefixed(&self, prefix: &str, p: &mut ExperimentParams) {
+        p.set_num(&format!("{prefix}file_size"), self.file_size as f64);
+        p.set_num(&format!("{prefix}piece_length"), self.piece_length as f64);
+        p.set_swarm(&format!("{prefix}swarm"), &self.swarm);
+        p.set_access(&format!("{prefix}client_access"), self.client_access);
+        p.set_num(&format!("{prefix}runs"), self.runs as f64);
+        p.set_num(&format!("{prefix}grid"), self.grid as f64);
+        p.set_dur(&format!("{prefix}timeout_s"), self.timeout);
+    }
+
+    /// Converts to the registry's untyped parameter map.
+    pub fn to_params(&self) -> ExperimentParams {
+        let mut p = ExperimentParams::new();
+        self.to_params_prefixed("", &mut p);
+        p
+    }
+
+    /// Builds from an untyped map, filling gaps from `base`; reads the
+    /// keys written by [`Self::to_params_prefixed`].
+    pub fn from_params_prefixed(p: &ExperimentParams, prefix: &str, base: Self) -> Self {
+        PlayabilityParams {
+            file_size: p.u64_or(&format!("{prefix}file_size"), base.file_size),
+            piece_length: p.u32_or(&format!("{prefix}piece_length"), base.piece_length),
+            swarm: p.swarm_or(&format!("{prefix}swarm"), &base.swarm),
+            client_access: p.access_or(&format!("{prefix}client_access"), base.client_access),
+            runs: p.u64_or(&format!("{prefix}runs"), base.runs),
+            grid: p.usize_or(&format!("{prefix}grid"), base.grid),
+            timeout: p.dur_or(&format!("{prefix}timeout_s"), base.timeout),
+        }
+    }
+
+    /// Builds from an untyped map, filling gaps from [`Self::quick_5mb`].
+    pub fn from_params(p: &ExperimentParams) -> Self {
+        Self::from_params_prefixed(p, "", Self::quick_5mb())
+    }
 }
+
+builder_setters!(PlayabilityParams {
+    file_size: u64,
+    piece_length: u32,
+    swarm: SwarmSetup,
+    client_access: Access,
+    runs: u64,
+    grid: usize,
+    timeout: SimDuration,
+});
 
 /// A playability curve: `playable[i]` is the playable fraction when
 /// `downloaded ≈ (i+1)/grid`.
@@ -107,21 +157,39 @@ impl PlayabilityCurve {
 
 /// Runs one playability measurement; `fetching` selects the wP2P
 /// mobility-aware schedule (`None` = default rarest-first).
+#[deprecated(note = "use `run_playability_with` or a registry experiment")]
 pub fn run_playability(
     params: &PlayabilityParams,
     fetching: Option<PrSchedule>,
+    base_seed: u64,
+) -> PlayabilityCurve {
+    run_playability_with(params, fetching, &MetricsHandle::disabled(), base_seed)
+}
+
+/// [`run_playability`] with metrics: the first run's world is wired into
+/// `metrics`, and the measured client's playable fraction is recorded as
+/// the `playability.playable` series.
+pub fn run_playability_with(
+    params: &PlayabilityParams,
+    fetching: Option<PrSchedule>,
+    metrics: &MetricsHandle,
     base_seed: u64,
 ) -> PlayabilityCurve {
     let grid = params.grid;
     // One sweep point, `runs` cells: each run simulates independently in
     // parallel and returns its forward-filled per-bin curve; the curves
     // are then averaged in cell order.
-    let per_run_curves = SweepRunner::new("playability", base_seed).run(
-        &[()],
-        params.runs as usize,
-        |_, cell| {
+    let per_run_curves = SweepRunner::new("playability", base_seed)
+        .with_metrics(metrics)
+        .run(&[()], params.runs as usize, |_, cell| {
+            let handle = if cell.run == 0 {
+                metrics.clone()
+            } else {
+                MetricsHandle::disabled()
+            };
             let seed = cell.run_seed;
             let mut w = FlowWorld::new(FlowConfig::default(), seed);
+            w.set_metrics(&handle);
             let torrent =
                 synthetic_torrent("media.mpg", params.piece_length, params.file_size, seed);
             populate_swarm(&mut w, torrent, &params.swarm);
@@ -145,6 +213,7 @@ pub fn run_playability(
             let piece_length = params.piece_length;
             let file_size = params.file_size;
             let deadline = SimTime::ZERO + params.timeout;
+            let s_play = handle.series("playability.playable");
             w.run_until(deadline, |w| {
                 let f = w.progress_fraction(task);
                 if f <= 0.0 {
@@ -153,6 +222,7 @@ pub fn run_playability(
                 let p = w.with_progress(task, |pr| {
                     playable_fraction(pr.have(), piece_length, file_size)
                 });
+                s_play.record(w.now(), p);
                 let bin = ((f * grid as f64).ceil() as usize).clamp(1, grid) - 1;
                 per_run[bin] = Some(p);
             });
@@ -167,8 +237,7 @@ pub fn run_playability(
                     last
                 })
                 .collect::<Vec<f64>>()
-        },
-    );
+        });
     let mut sums = vec![0.0f64; grid];
     let mut counts = vec![0u64; grid];
     for curve in per_run_curves.into_iter().flatten() {
@@ -217,22 +286,28 @@ mod tests {
     use super::*;
 
     fn tiny() -> PlayabilityParams {
-        PlayabilityParams {
-            file_size: 4 * 1024 * 1024,
-            piece_length: 128 * 1024,
-            swarm: SwarmSetup::small(),
-            client_access: Access::Wireless {
+        PlayabilityParams::quick_5mb()
+            .file_size(4 * 1024 * 1024)
+            .piece_length(128 * 1024)
+            .client_access(Access::Wireless {
                 capacity: 300_000.0,
-            },
-            runs: 2,
-            grid: 10,
-            timeout: SimDuration::from_mins(8),
-        }
+            })
+            .runs(2)
+            .grid(10)
+            .timeout(SimDuration::from_mins(8))
+    }
+
+    fn run_plain(
+        params: &PlayabilityParams,
+        fetching: Option<PrSchedule>,
+        seed: u64,
+    ) -> PlayabilityCurve {
+        run_playability_with(params, fetching, &MetricsHandle::disabled(), seed)
     }
 
     #[test]
     fn rarest_first_leaves_prefix_unplayable() {
-        let curve = run_playability(&tiny(), None, 0xBEEF);
+        let curve = run_plain(&tiny(), None, 0xBEEF);
         // At half the download, the playable prefix is a small fraction.
         let mid = curve.playable_at(0.5);
         assert!(
@@ -247,12 +322,8 @@ mod tests {
     #[test]
     fn mobility_aware_fetching_keeps_prefix_playable() {
         let params = tiny();
-        let default_curve = run_playability(&params, None, 0xAB);
-        let mf_curve = run_playability(
-            &params,
-            Some(PrSchedule::DownloadedFraction),
-            0xAB,
-        );
+        let default_curve = run_plain(&params, None, 0xAB);
+        let mf_curve = run_plain(&params, Some(PrSchedule::DownloadedFraction), 0xAB);
         let d_mid = default_curve.playable_at(0.5);
         let m_mid = mf_curve.playable_at(0.5);
         assert!(
@@ -265,7 +336,7 @@ mod tests {
 
     #[test]
     fn curves_are_monotone_nondecreasing() {
-        let curve = run_playability(&tiny(), Some(PrSchedule::DownloadedFraction), 7);
+        let curve = run_plain(&tiny(), Some(PrSchedule::DownloadedFraction), 7);
         for w in curve.playable.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-9,
@@ -277,13 +348,19 @@ mod tests {
 
     #[test]
     fn table_renders_both_arms() {
-        let params = PlayabilityParams {
-            runs: 1,
-            ..tiny()
-        };
-        let a = run_playability(&params, None, 1);
-        let b = run_playability(&params, Some(PrSchedule::DownloadedFraction), 1);
+        let params = tiny().runs(1);
+        let a = run_plain(&params, None, 1);
+        let b = run_plain(&params, Some(PrSchedule::DownloadedFraction), 1);
         let t = playability_table("demo", &a, Some(&b));
         assert_eq!(t.len(), params.grid);
+    }
+
+    #[test]
+    fn playability_params_round_trip() {
+        let p = PlayabilityParams::paper_large();
+        let q = PlayabilityParams::from_params(
+            &ExperimentParams::from_json(&p.to_params().to_json()).unwrap(),
+        );
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
     }
 }

@@ -1,0 +1,507 @@
+//! Registry-based experiment API.
+//!
+//! Every figure of the paper's evaluation is exposed as an [`Experiment`]:
+//! a named object with untyped default/paper parameters
+//! ([`ExperimentParams`]), a canonical seed, and a uniform
+//! `run(&params, &metrics, seed) -> Report` entry point. The bench
+//! drivers (`all_figures`, the per-figure bins) consume the registry
+//! instead of calling per-figure free functions, so `--only`, `--paper`,
+//! and `--metrics-out` behave identically across figures.
+//!
+//! The registry is static: [`all`] returns every experiment in the order
+//! `all_figures` runs them, [`find`] resolves an exact name, and
+//! [`matching`] implements `--only`'s substring filter.
+
+use super::fig2::{self, FIG2A_SEED, FIG2BC_SEED};
+use super::fig3::{self, FIG3AB_SEED, FIG3C_SEED};
+use super::fig4::{self, FIG4A_SEED, FIG4BC_SEED};
+use super::fig8::{self, FIG8A_SEED, FIG8B_SEED, FIG8C_SEED};
+use super::fig9::{self, FIG9AB_SEED, FIG9C_SEED};
+use super::params::ExperimentParams;
+use super::playability::{self, PlayabilityParams};
+use crate::report::Table;
+use metrics::handle::MetricsHandle;
+
+/// What an experiment returns: the tables the figure prints.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Rendered tables, one per panel.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// A single-table report.
+    pub fn single(table: Table) -> Self {
+        Report {
+            tables: vec![table],
+        }
+    }
+
+    /// Prints every table, blank-line separated, exactly as the serial
+    /// drivers did.
+    pub fn print(&self) {
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            t.print();
+        }
+    }
+}
+
+/// One registered figure experiment.
+pub trait Experiment: Sync {
+    /// Registry name (`fig2a`, `fig8c`, …) — what `--only` matches.
+    fn name(&self) -> &'static str;
+
+    /// One-line human description of the figure.
+    fn title(&self) -> &'static str;
+
+    /// CI-sized parameters (the `quick` preset).
+    fn default_params(&self) -> ExperimentParams;
+
+    /// Paper-scale parameters.
+    fn paper_params(&self) -> ExperimentParams;
+
+    /// The canonical seed the bench drivers use; pinned by the
+    /// shape-regression tests.
+    fn default_seed(&self) -> u64;
+
+    /// Runs the experiment. Pass [`MetricsHandle::disabled`] for a plain
+    /// run; an enabled handle additionally collects the figure's probe
+    /// instrumentation (single-writer, deterministic under any worker
+    /// count).
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report;
+}
+
+// ---------------------------------------------------------------------
+// Per-figure implementations
+// ---------------------------------------------------------------------
+
+struct Fig2a;
+
+impl Experiment for Fig2a {
+    fn name(&self) -> &'static str {
+        "fig2a"
+    }
+    fn title(&self) -> &'static str {
+        "Downloading throughput vs BER — bi-TCP vs uni-TCP"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig2::Fig2aParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig2::Fig2aParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG2A_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig2::Fig2aParams::from_params(params);
+        Report::single(fig2::fig2a_table(&fig2::run_fig2a_with(&p, metrics, seed)))
+    }
+}
+
+struct Fig2bc;
+
+impl Experiment for Fig2bc {
+    fn name(&self) -> &'static str {
+        "fig2bc"
+    }
+    fn title(&self) -> &'static str {
+        "Packets sent from client on the wireless leg over time"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig2::Fig2bcParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig2::Fig2bcParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG2BC_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig2::Fig2bcParams::from_params(params);
+        let (uni, bi) = fig2::run_fig2bc_pair_with(&p, metrics, seed);
+        Report::single(fig2::fig2bc_table(&uni, &bi))
+    }
+}
+
+struct Fig3ab;
+
+impl Experiment for Fig3ab {
+    fn name(&self) -> &'static str {
+        "fig3ab"
+    }
+    fn title(&self) -> &'static str {
+        "Aggregate download vs upload limit — wired and wireless"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig3::Fig3abParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig3::Fig3abParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG3AB_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig3::Fig3abParams::from_params(params);
+        // Only panel (a) gets the live handle: the panels share series
+        // names, and a series must keep a single writer.
+        Report {
+            tables: vec![
+                fig3::fig3ab_table(
+                    "Figure 3(a): Aggregate download (KBps) vs upload limit — wired",
+                    &fig3::run_fig3a_with(&p, metrics, seed),
+                    "paper: monotonically increasing",
+                ),
+                fig3::fig3ab_table(
+                    "Figure 3(b): Aggregate download (KBps) vs upload limit — wireless",
+                    &fig3::run_fig3b_with(&p, &MetricsHandle::disabled(), seed),
+                    "paper: rises, peaks early, falls",
+                ),
+            ],
+        }
+    }
+}
+
+struct Fig3c;
+
+impl Experiment for Fig3c {
+    fn name(&self) -> &'static str {
+        "fig3c"
+    }
+    fn title(&self) -> &'static str {
+        "Downloaded size vs time — incentive & mobility arms"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig3::Fig3cParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig3::Fig3cParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG3C_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig3::Fig3cParams::from_params(params);
+        Report::single(fig3::fig3c_table(
+            &fig3::run_fig3c_with(&p, metrics, seed),
+            10,
+        ))
+    }
+}
+
+struct Fig4a;
+
+impl Experiment for Fig4a {
+    fn name(&self) -> &'static str {
+        "fig4a"
+    }
+    fn title(&self) -> &'static str {
+        "Fixed-peer throughput vs server mobility rate"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig4::Fig4aParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig4::Fig4aParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG4A_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig4::Fig4aParams::from_params(params);
+        Report::single(fig4::fig4a_table(&fig4::run_fig4a_with(&p, metrics, seed)))
+    }
+}
+
+/// Encodes the two playability panels of Figs. 4(b,c)/9(a,b) under
+/// `small.*` / `large.*` key prefixes.
+fn panel_params(small: &PlayabilityParams, large: &PlayabilityParams) -> ExperimentParams {
+    let mut p = ExperimentParams::new();
+    small.to_params_prefixed("small.", &mut p);
+    large.to_params_prefixed("large.", &mut p);
+    p
+}
+
+/// Decodes [`panel_params`], filling gaps from the quick presets.
+fn panels_from(p: &ExperimentParams) -> (PlayabilityParams, PlayabilityParams) {
+    (
+        PlayabilityParams::from_params_prefixed(p, "small.", PlayabilityParams::quick_5mb()),
+        PlayabilityParams::from_params_prefixed(p, "large.", PlayabilityParams::quick_large()),
+    )
+}
+
+struct Fig4bc;
+
+impl Experiment for Fig4bc {
+    fn name(&self) -> &'static str {
+        "fig4bc"
+    }
+    fn title(&self) -> &'static str {
+        "Playable vs downloaded fraction under rarest-first"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        panel_params(
+            &PlayabilityParams::quick_5mb(),
+            &PlayabilityParams::quick_large(),
+        )
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        panel_params(
+            &PlayabilityParams::paper_5mb(),
+            &PlayabilityParams::paper_large(),
+        )
+    }
+    fn default_seed(&self) -> u64 {
+        FIG4BC_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let (small, large) = panels_from(params);
+        // Panel (c) reuses panel (b)'s seed successor, preserving the
+        // serial drivers' 0x4B/0x4C pair; only panel (b) gets the live
+        // handle (shared series names, single writer).
+        Report {
+            tables: vec![
+                playability::playability_table(
+                    "Figure 4(b): Playable % vs downloaded % — 5 MB, rarest-first",
+                    &playability::run_playability_with(&small, None, metrics, seed),
+                    None,
+                ),
+                playability::playability_table(
+                    "Figure 4(c): Playable % vs downloaded % — large file, rarest-first",
+                    &playability::run_playability_with(
+                        &large,
+                        None,
+                        &MetricsHandle::disabled(),
+                        seed + 1,
+                    ),
+                    None,
+                ),
+            ],
+        }
+    }
+}
+
+struct Fig8a;
+
+impl Experiment for Fig8a {
+    fn name(&self) -> &'static str {
+        "fig8a"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput vs BER — default vs wP2P (age-based manipulation)"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig8::Fig8aParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig8::Fig8aParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG8A_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig8::Fig8aParams::from_params(params);
+        Report::single(fig8::fig8a_table(&fig8::run_fig8a_with(&p, metrics, seed)))
+    }
+}
+
+struct Fig8b;
+
+impl Experiment for Fig8b {
+    fn name(&self) -> &'static str {
+        "fig8b"
+    }
+    fn title(&self) -> &'static str {
+        "Downloaded size vs time — identity retention under hand-offs"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig8::Fig8bParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig8::Fig8bParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG8B_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig8::Fig8bParams::from_params(params);
+        Report::single(fig8::fig8b_table(
+            &fig8::run_fig8b_with(&p, metrics, seed),
+            10,
+        ))
+    }
+}
+
+struct Fig8c;
+
+impl Experiment for Fig8c {
+    fn name(&self) -> &'static str {
+        "fig8c"
+    }
+    fn title(&self) -> &'static str {
+        "Download throughput vs wireless capacity — default vs wP2P (LIHD)"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig8::Fig8cParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig8::Fig8cParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG8C_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig8::Fig8cParams::from_params(params);
+        Report::single(fig8::fig8c_table(&fig8::run_fig8c_with(&p, metrics, seed)))
+    }
+}
+
+struct Fig9ab;
+
+impl Experiment for Fig9ab {
+    fn name(&self) -> &'static str {
+        "fig9ab"
+    }
+    fn title(&self) -> &'static str {
+        "Playable vs downloaded fraction — rarest-first vs mobility-aware"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        panel_params(
+            &PlayabilityParams::quick_5mb(),
+            &PlayabilityParams::quick_large(),
+        )
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        panel_params(
+            &PlayabilityParams::paper_5mb(),
+            &PlayabilityParams::paper_large(),
+        )
+    }
+    fn default_seed(&self) -> u64 {
+        FIG9AB_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let (small, large) = panels_from(params);
+        // Panel (b) takes the seed successor (the serial 0x9A/0x9B pair);
+        // only panel (a) gets the live handle.
+        Report {
+            tables: vec![
+                fig9::fig9ab_table(
+                    "Figure 9(a): Playable % vs downloaded % — 5 MB",
+                    &fig9::run_fig9ab_with(&small, metrics, seed),
+                ),
+                fig9::fig9ab_table(
+                    "Figure 9(b): Playable % vs downloaded % — large file",
+                    &fig9::run_fig9ab_with(&large, &MetricsHandle::disabled(), seed + 1),
+                ),
+            ],
+        }
+    }
+}
+
+struct Fig9c;
+
+impl Experiment for Fig9c {
+    fn name(&self) -> &'static str {
+        "fig9c"
+    }
+    fn title(&self) -> &'static str {
+        "Mobile-seed upload throughput vs mobility — role reversal"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        fig9::Fig9cParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        fig9::Fig9cParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        FIG9C_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = fig9::Fig9cParams::from_params(params);
+        Report::single(fig9::fig9c_table(&fig9::run_fig9c_with(&p, metrics, seed)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------
+
+static EXPERIMENTS: &[&dyn Experiment] = &[
+    &Fig2a, &Fig2bc, &Fig3ab, &Fig3c, &Fig4a, &Fig4bc, &Fig8a, &Fig8b, &Fig8c, &Fig9ab, &Fig9c,
+];
+
+/// Every registered experiment, in the order `all_figures` runs them.
+pub fn all() -> &'static [&'static dyn Experiment] {
+    EXPERIMENTS
+}
+
+/// The experiment with exactly this name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    EXPERIMENTS.iter().copied().find(|e| e.name() == name)
+}
+
+/// Experiments whose name contains `pattern` (the `--only` filter).
+pub fn matching(pattern: &str) -> Vec<&'static dyn Experiment> {
+    EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|e| e.name().contains(pattern))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names: BTreeSet<&str> = all().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), all().len(), "duplicate experiment name");
+        for e in all() {
+            let found = find(e.name()).expect("every name resolves");
+            assert_eq!(found.name(), e.name());
+            assert!(!e.title().is_empty());
+        }
+        assert!(find("fig2a").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn matching_implements_only_filter() {
+        let fig8: Vec<&str> = matching("fig8").iter().map(|e| e.name()).collect();
+        assert_eq!(fig8, vec!["fig8a", "fig8b", "fig8c"]);
+        assert_eq!(matching("").len(), all().len());
+        assert!(matching("zzz").is_empty());
+    }
+
+    #[test]
+    fn params_json_round_trip_for_every_experiment() {
+        for e in all() {
+            for params in [e.default_params(), e.paper_params()] {
+                let text = params.to_json();
+                let back = ExperimentParams::from_json(&text)
+                    .unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+                assert_eq!(params, back, "{} params round trip", e.name());
+                assert!(!params.is_empty(), "{} has no params", e.name());
+            }
+        }
+    }
+
+    #[test]
+    fn registry_runs_fig2bc_end_to_end() {
+        let e = find("fig2bc").expect("fig2bc registered");
+        let report = e.run(
+            &e.default_params(),
+            &MetricsHandle::disabled(),
+            e.default_seed(),
+        );
+        assert_eq!(report.tables.len(), 1);
+        assert!(!report.tables[0].is_empty());
+    }
+}

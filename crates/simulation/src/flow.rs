@@ -33,13 +33,15 @@ use bittorrent::progress::TorrentProgress;
 use bittorrent::rate::RateEstimator;
 use bittorrent::tracker::{AnnounceEvent, AnnounceResponse, Tracker, TrackerConfig};
 use bittorrent::wire::Message;
+use metrics::handle::MetricsHandle;
+use metrics::registry::{Counter, Histogram};
+use metrics::stats::TimeSeries;
+use metrics::trace::{Trace, TraceKind};
 use simnet::addr::{AddressBook, NodeId, SimAddr};
 use simnet::fault::FaultHooks;
 use simnet::mobility::MobilityProcess;
 use simnet::rng::SimRng;
 use simnet::sim::Simulator;
-use simnet::stats::TimeSeries;
-use simnet::trace::{Trace, TraceKind};
 use simnet::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wp2p::config::WP2pConfig;
@@ -343,6 +345,13 @@ pub struct FlowWorld {
     last_advance: SimTime,
     next_metrics: SimTime,
     trace: Trace,
+    metrics: MetricsHandle,
+    m_handoffs: Counter,
+    m_handoff_latency: Histogram,
+    m_fault_events: Counter,
+    /// When each node's current hand-off outage began, for the latency
+    /// histogram.
+    handoff_down_since: BTreeMap<NodeKey, SimTime>,
     /// Set whenever the rate problem's inputs change (topology, queue
     /// emptiness, node liveness, upload caps); cleared by a solve. While
     /// clean, `recompute_rates` is a no-op — the previous allocation is
@@ -398,6 +407,11 @@ impl FlowWorld {
             last_advance: SimTime::ZERO,
             next_metrics: SimTime::ZERO,
             trace: Trace::new(4096),
+            metrics: MetricsHandle::disabled(),
+            m_handoffs: Counter::default(),
+            m_handoff_latency: Histogram::default(),
+            m_fault_events: Counter::default(),
+            handoff_down_since: BTreeMap::new(),
             rates_dirty: true,
             rate_solves: 0,
             rate_skips: 0,
@@ -430,6 +444,39 @@ impl FlowWorld {
     /// Turns on event tracing (connection lifecycle, mobility, tracker).
     pub fn enable_trace(&mut self) {
         self.trace.set_enabled(true);
+    }
+
+    /// Wires the world's observables into `handle`: `flow.handoffs` /
+    /// `flow.fault_events` counters, a `flow.handoff_latency_s`
+    /// histogram, `flow.utilization` plus per-task
+    /// `flow.task<t>.{down,up}_bytes` series at the metrics interval,
+    /// and a copy of every trace event into the handle's structured
+    /// sink. Clients and LIHD controllers spawned afterwards attach
+    /// their own instruments under the same handle. Call before
+    /// [`FlowWorld::start`]; inert when the handle is disabled.
+    pub fn set_metrics(&mut self, handle: &MetricsHandle) {
+        self.metrics = handle.clone();
+        self.m_handoffs = handle.counter("flow.handoffs");
+        self.m_handoff_latency = handle.histogram(
+            "flow.handoff_latency_s",
+            &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0],
+        );
+        self.m_fault_events = handle.counter("flow.fault_events");
+    }
+
+    /// Records into both the world's own ring trace and the metrics
+    /// handle's structured sink.
+    fn note(&mut self, at: SimTime, kind: TraceKind, message: String) {
+        if self.metrics.is_enabled() {
+            self.metrics.trace_event(at, kind, message.clone());
+        }
+        self.trace.record(at, kind, message);
+    }
+
+    /// A fault-injection hook fired: count it and trace it.
+    fn fault_note(&mut self, at: SimTime, message: String) {
+        self.m_fault_events.inc();
+        self.note(at, TraceKind::Other, message);
     }
 
     /// The recorded trace (empty unless [`FlowWorld::enable_trace`] ran).
@@ -507,14 +554,15 @@ impl FlowWorld {
     }
 
     fn schedule_next_handoff(&mut self, node: NodeKey) {
-        let mut rng = self.rng.fork(5000 + node as u64 + self.sim.now().as_micros());
+        let mut rng = self
+            .rng
+            .fork(5000 + node as u64 + self.sim.now().as_micros());
         if let Some(m) = self.nodes[node].mobility.as_mut() {
             if let Some(h) = m.next_handoff(&mut rng) {
-                self.sim
-                    .schedule_at(h.starts.max(self.sim.now()), Ev::HandoffStart {
-                        node,
-                        ends: h.ends,
-                    });
+                self.sim.schedule_at(
+                    h.starts.max(self.sim.now()),
+                    Ev::HandoffStart { node, ends: h.ends },
+                );
             }
         }
     }
@@ -567,6 +615,12 @@ impl FlowWorld {
             task.rng.fork(task.generation as u64),
         );
         client.mark_stable(now);
+        if self.metrics.is_enabled() {
+            client.attach_metrics(&self.metrics, &format!("task{t}"));
+            if let Some(l) = task.lihd.as_mut() {
+                l.attach_metrics(&self.metrics, &format!("task{t}"));
+            }
+        }
         if let Some(l) = &task.lihd {
             client.set_upload_limit(Some(l.upload_limit()));
         }
@@ -826,6 +880,19 @@ impl FlowWorld {
                 let up = self.tasks[t].delivered_up as f64;
                 self.tasks[t].series_down.push(now, down);
                 self.tasks[t].series_up.push(now, up);
+                if self.metrics.is_enabled() {
+                    self.metrics
+                        .series(&format!("flow.task{t}.down_bytes"))
+                        .record(now, down);
+                    self.metrics
+                        .series(&format!("flow.task{t}.up_bytes"))
+                        .record(now, up);
+                }
+            }
+            if self.metrics.is_enabled() {
+                self.metrics
+                    .series("flow.utilization")
+                    .record(now, self.utilization());
             }
         }
         // 7. Invariants: in debug/test builds every tick is a checked
@@ -836,6 +903,38 @@ impl FlowWorld {
             ck.check_flow(self);
             self.checker = ck;
         }
+    }
+
+    /// Allocated transfer rate as a fraction of the live access
+    /// capacity. Each flowing byte transits two access links (sender
+    /// uplink, receiver downlink), hence the factor of two.
+    fn utilization(&self) -> f64 {
+        let mut cap = 0.0;
+        for n in &self.nodes {
+            if !n.alive {
+                continue;
+            }
+            cap += match n.access {
+                Access::Wired { up, down } => up + down,
+                Access::Wireless { capacity } => capacity,
+            };
+        }
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        let mut used = 0.0;
+        for conn in self.conns.values() {
+            if conn.dead_since.is_some() {
+                continue;
+            }
+            if !conn.ab.queue.is_empty() {
+                used += conn.ab.rate;
+            }
+            if !conn.ba.queue.is_empty() {
+                used += conn.ba.rate;
+            }
+        }
+        (2.0 * used / cap).clamp(0.0, 1.0)
     }
 
     fn advance_flows(&mut self, now: SimTime, elapsed: f64) {
@@ -958,8 +1057,7 @@ impl FlowWorld {
         loop {
             let mut progressed = false;
             for t in 0..self.tasks.len() {
-                while let Some(action) =
-                    self.tasks[t].client.as_mut().and_then(|c| c.poll_action())
+                while let Some(action) = self.tasks[t].client.as_mut().and_then(|c| c.poll_action())
                 {
                     progressed = true;
                     self.handle_action(t, action, now);
@@ -1104,7 +1202,7 @@ impl FlowWorld {
         self.index.insert((t, key), (cid, true));
         self.index.insert((tt, b_key), (cid, false));
         self.rates_dirty = true;
-        self.trace.record(
+        self.note(
             now,
             TraceKind::Connection,
             format!("task {t} connected to task {tt} (conn {cid})"),
@@ -1131,7 +1229,7 @@ impl FlowWorld {
             // The request times out: nothing is registered, no peers are
             // learned, and the client backs off briefly before retrying
             // (real clients re-announce after a failure timeout).
-            self.trace.record(
+            self.note(
                 now,
                 TraceKind::Tracker,
                 format!("task {t} announce {event:?} failed: tracker outage"),
@@ -1153,7 +1251,7 @@ impl FlowWorld {
         let resp = self
             .tracker
             .announce(ih, pid, addr, event, seed, now, &mut rng);
-        self.trace.record(
+        self.note(
             now,
             TraceKind::Tracker,
             format!(
@@ -1174,8 +1272,13 @@ impl FlowWorld {
         if !self.nodes[node].alive {
             return;
         }
-        self.trace
-            .record(now, TraceKind::Mobility, format!("node {node} hand-off: down"));
+        self.note(
+            now,
+            TraceKind::Mobility,
+            format!("node {node} hand-off: down"),
+        );
+        self.m_handoffs.inc();
+        self.handoff_down_since.insert(node, now);
         self.nodes[node].alive = false;
         self.rates_dirty = true;
         let tasks: Vec<TaskKey> = (0..self.tasks.len())
@@ -1188,11 +1291,15 @@ impl FlowWorld {
 
     fn handoff_end(&mut self, node: NodeKey, now: SimTime) {
         let addr = self.book.reassign(simnet::addr::NodeId(node as u32));
-        self.trace.record(
+        self.note(
             now,
             TraceKind::Mobility,
             format!("node {node} back at {addr}"),
         );
+        if let Some(down_at) = self.handoff_down_since.remove(&node) {
+            self.m_handoff_latency
+                .record(now.saturating_since(down_at).as_secs_f64());
+        }
         self.nodes[node].addr = addr;
         self.nodes[node].alive = true;
         self.rates_dirty = true;
@@ -1272,10 +1379,8 @@ impl FlowWorld {
                 continue;
             }
             if !conn.ab.queue.is_empty() {
-                let mut d = FlowDemand::new(
-                    self.node_resources(node_a).0,
-                    self.node_resources(node_b).1,
-                );
+                let mut d =
+                    FlowDemand::new(self.node_resources(node_a).0, self.node_resources(node_b).1);
                 if let Some(r) = s.task_cap_res[conn.a.task] {
                     d = d.with_cap(r);
                 }
@@ -1283,10 +1388,8 @@ impl FlowWorld {
                 s.refs.push((cid, true));
             }
             if !conn.ba.queue.is_empty() {
-                let mut d = FlowDemand::new(
-                    self.node_resources(node_b).0,
-                    self.node_resources(node_a).1,
-                );
+                let mut d =
+                    FlowDemand::new(self.node_resources(node_b).0, self.node_resources(node_a).1);
                 if let Some(r) = s.task_cap_res[conn.b.task] {
                     d = d.with_cap(r);
                 }
@@ -1475,9 +1578,8 @@ impl FaultHooks for FlowWorld {
         let factor = (1.0 - ber).powi(12_000).clamp(0.01, 1.0);
         self.lossy_factor.insert(n, factor);
         self.apply_access_faults(n);
-        self.trace.record(
+        self.fault_note(
             self.sim.now(),
-            TraceKind::Other,
             format!("fault: node {n} loss burst (capacity x{factor:.3})"),
         );
     }
@@ -1486,8 +1588,7 @@ impl FaultHooks for FlowWorld {
         let n = node.0 as usize;
         if self.lossy_factor.remove(&n).is_some() {
             self.apply_access_faults(n);
-            self.trace
-                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} loss burst over"));
+            self.fault_note(self.sim.now(), format!("fault: node {n} loss burst over"));
         }
     }
 
@@ -1498,8 +1599,7 @@ impl FaultHooks for FlowWorld {
         }
         if self.blackholed.insert(n) {
             self.rates_dirty = true;
-            self.trace
-                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} black-holed"));
+            self.fault_note(self.sim.now(), format!("fault: node {n} black-holed"));
         }
     }
 
@@ -1507,8 +1607,7 @@ impl FaultHooks for FlowWorld {
         let n = node.0 as usize;
         if self.blackholed.remove(&n) {
             self.rates_dirty = true;
-            self.trace
-                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} black-hole over"));
+            self.fault_note(self.sim.now(), format!("fault: node {n} black-hole over"));
         }
     }
 
@@ -1518,8 +1617,7 @@ impl FaultHooks for FlowWorld {
             return;
         }
         let now = self.sim.now();
-        self.trace
-            .record(now, TraceKind::Other, format!("fault: node {n} address churn"));
+        self.fault_note(now, format!("fault: node {n} address churn"));
         if self.nodes[n].alive {
             self.handoff_start(n, now);
         }
@@ -1528,14 +1626,12 @@ impl FaultHooks for FlowWorld {
 
     fn begin_tracker_outage(&mut self) {
         self.tracker_down = true;
-        self.trace
-            .record(self.sim.now(), TraceKind::Other, "fault: tracker outage".to_string());
+        self.fault_note(self.sim.now(), "fault: tracker outage".to_string());
     }
 
     fn end_tracker_outage(&mut self) {
         self.tracker_down = false;
-        self.trace
-            .record(self.sim.now(), TraceKind::Other, "fault: tracker back".to_string());
+        self.fault_note(self.sim.now(), "fault: tracker back".to_string());
     }
 
     fn begin_bandwidth_squeeze(&mut self, node: NodeId, factor: f64) {
@@ -1545,9 +1641,8 @@ impl FaultHooks for FlowWorld {
         }
         self.squeeze_factor.insert(n, factor.clamp(0.001, 1.0));
         self.apply_access_faults(n);
-        self.trace.record(
+        self.fault_note(
             self.sim.now(),
-            TraceKind::Other,
             format!("fault: node {n} bandwidth squeeze x{factor:.3}"),
         );
     }
@@ -1556,8 +1651,7 @@ impl FaultHooks for FlowWorld {
         let n = node.0 as usize;
         if self.squeeze_factor.remove(&n).is_some() {
             self.apply_access_faults(n);
-            self.trace
-                .record(self.sim.now(), TraceKind::Other, format!("fault: node {n} squeeze over"));
+            self.fault_note(self.sim.now(), format!("fault: node {n} squeeze over"));
         }
     }
 
@@ -1567,8 +1661,7 @@ impl FaultHooks for FlowWorld {
             return;
         }
         let now = self.sim.now();
-        self.trace
-            .record(now, TraceKind::Other, format!("fault: node {n} crashed"));
+        self.fault_note(now, format!("fault: node {n} crashed"));
         self.nodes[n].alive = false;
         self.rates_dirty = true;
         let tasks: Vec<TaskKey> = (0..self.tasks.len())
@@ -1585,8 +1678,7 @@ impl FaultHooks for FlowWorld {
             return;
         }
         let now = self.sim.now();
-        self.trace
-            .record(now, TraceKind::Other, format!("fault: node {n} restarted"));
+        self.fault_note(now, format!("fault: node {n} restarted"));
         self.nodes[n].alive = true;
         self.rates_dirty = true;
         let tasks: Vec<TaskKey> = (0..self.tasks.len())

@@ -21,6 +21,7 @@
 //! registry; the `all_figures` binary drains it into
 //! `BENCH_sweeps.json` so the repo has a perf trajectory.
 
+use metrics::handle::MetricsHandle;
 use simnet::rng::SimRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -138,6 +139,7 @@ pub struct SweepRunner {
     name: String,
     base_seed: u64,
     threads: usize,
+    metrics: MetricsHandle,
 }
 
 impl SweepRunner {
@@ -148,12 +150,23 @@ impl SweepRunner {
             name: name.into(),
             base_seed,
             threads: worker_threads(),
+            metrics: MetricsHandle::disabled(),
         }
     }
 
     /// Overrides the worker count (tests; forced-serial comparisons).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a metrics handle. After each sweep the runner records
+    /// `sweep.<name>.cells` (counter) and `sweep.<name>.virtual_secs`
+    /// (gauge). Only worker-count-independent quantities are recorded —
+    /// wall-clock timings stay out of the handle so dumps remain
+    /// deterministic.
+    pub fn with_metrics(mut self, handle: &MetricsHandle) -> Self {
+        self.metrics = handle.clone();
         self
     }
 
@@ -223,6 +236,14 @@ impl SweepRunner {
             cell_wall += wall;
             virtual_secs += vsecs;
             grouped[idx / runs].push(result);
+        }
+        if self.metrics.is_enabled() {
+            self.metrics
+                .counter(&format!("sweep.{}.cells", self.name))
+                .add(cells as u64);
+            self.metrics
+                .gauge(&format!("sweep.{}.virtual_secs", self.name))
+                .set(virtual_secs);
         }
         record_stats(SweepStats {
             name: self.name.clone(),

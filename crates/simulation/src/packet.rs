@@ -21,6 +21,9 @@ use bittorrent::peer_id::{PeerId, PeerIdStyle};
 use bittorrent::progress::TorrentProgress;
 use bittorrent::tracker::{AnnounceEvent, Tracker, TrackerConfig};
 use bittorrent::wire::Message;
+use metrics::handle::MetricsHandle;
+use metrics::registry::Counter;
+use metrics::trace::TraceKind;
 use sim_tcp::endpoint::{Endpoint, TcpConfig};
 use sim_tcp::segment::Segment;
 use sim_tcp::seq::SeqNum;
@@ -117,10 +120,7 @@ enum PEv {
         seg: Segment,
     },
     /// Retransmission timer for one endpoint.
-    Timer {
-        conn: PConnKey,
-        a_side: bool,
-    },
+    Timer { conn: PConnKey, a_side: bool },
     /// BitTorrent overlay housekeeping.
     ClientTick,
 }
@@ -148,6 +148,8 @@ pub struct PacketWorld {
     bw_baseline: BTreeMap<PNodeKey, u64>,
     tracker_down: bool,
     checker: crate::invariants::InvariantChecker,
+    metrics: MetricsHandle,
+    m_fault_events: Counter,
 }
 
 impl PacketWorld {
@@ -170,7 +172,28 @@ impl PacketWorld {
             bw_baseline: BTreeMap::new(),
             tracker_down: false,
             checker: crate::invariants::InvariantChecker::new(),
+            metrics: MetricsHandle::disabled(),
+            m_fault_events: Counter::default(),
         }
+    }
+
+    /// Wires the world's observables into `handle`: a
+    /// `packet.fault_events` counter plus fault trace events, and —
+    /// for every connection or client created afterwards — per-endpoint
+    /// TCP instruments (`tcp.conn<k>.{a,b}.*`), AM filter counters
+    /// (`am.conn<k>.{a,b}.*`), and per-node client swarm counters
+    /// (`bt.node<n>.*`). Call before building the topology; inert when
+    /// the handle is disabled.
+    pub fn set_metrics(&mut self, handle: &MetricsHandle) {
+        self.metrics = handle.clone();
+        self.m_fault_events = handle.counter("packet.fault_events");
+    }
+
+    /// A fault-injection hook fired: count it and trace it.
+    fn fault_note(&mut self, message: String) {
+        self.m_fault_events.inc();
+        self.metrics
+            .trace_event(self.sim.now(), TraceKind::Other, message);
     }
 
     /// Current virtual time.
@@ -247,8 +270,18 @@ impl PacketWorld {
         eb.listen();
         ea.connect(now);
         let conn = self.conns.len();
-        let a_filter = self.nodes[a].am.map(AgeFilter::new);
-        let b_filter = self.nodes[b].am.map(AgeFilter::new);
+        let mut a_filter = self.nodes[a].am.map(AgeFilter::new);
+        let mut b_filter = self.nodes[b].am.map(AgeFilter::new);
+        if self.metrics.is_enabled() {
+            ea.attach_metrics(&self.metrics, &format!("conn{conn}.a"));
+            eb.attach_metrics(&self.metrics, &format!("conn{conn}.b"));
+            if let Some(f) = a_filter.as_mut() {
+                f.attach_metrics(&self.metrics, &format!("conn{conn}.a"));
+            }
+            if let Some(f) = b_filter.as_mut() {
+                f.attach_metrics(&self.metrics, &format!("conn{conn}.b"));
+            }
+        }
         self.conns.push(Some(PConn {
             a_node: a,
             b_node: b,
@@ -340,8 +373,17 @@ impl PacketWorld {
     /// AM filter diagnostic: (age estimate bytes, srtt seconds) per side.
     pub fn am_diag(&self, conn: PConnKey, a_side: bool) -> Option<(u32, f64)> {
         self.conns[conn].as_ref().and_then(|c| {
-            let (f, ep) = if a_side { (c.a_filter.as_ref(), &c.a) } else { (c.b_filter.as_ref(), &c.b) };
-            f.map(|f| (f.cwnd_estimate(), ep.srtt().map(|d| d.as_secs_f64()).unwrap_or(0.0)))
+            let (f, ep) = if a_side {
+                (c.a_filter.as_ref(), &c.a)
+            } else {
+                (c.b_filter.as_ref(), &c.b)
+            };
+            f.map(|f| {
+                (
+                    f.cwnd_estimate(),
+                    ep.srtt().map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                )
+            })
         })
     }
 
@@ -380,7 +422,10 @@ impl PacketWorld {
         } else {
             TorrentProgress::with_block_size(piece_length, length, block_size)
         };
-        let client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
+        let mut client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
+        if self.metrics.is_enabled() {
+            client.attach_metrics(&self.metrics, &format!("node{node}"));
+        }
         self.nodes[node].client = Some(client);
     }
 
@@ -396,7 +441,10 @@ impl PacketWorld {
         let addr = self.nodes[node].addr;
         let mut rng = self.rng.fork(300 + node as u64);
         let peer_id = PeerId::generate(PeerIdStyle::Random, addr, &mut rng);
-        let client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
+        let mut client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
+        if self.metrics.is_enabled() {
+            client.attach_metrics(&self.metrics, &format!("node{node}"));
+        }
         self.nodes[node].client = Some(client);
     }
 
@@ -524,8 +572,10 @@ impl PacketWorld {
             },
             None => now,
         };
-        self.sim
-            .schedule_at(hop_at + self.cfg.backbone_delay, PEv::Hop { conn, to_a, seg });
+        self.sim.schedule_at(
+            hop_at + self.cfg.backbone_delay,
+            PEv::Hop { conn, to_a, seg },
+        );
     }
 
     fn on_hop(&mut self, conn: PConnKey, to_a: bool, seg: Segment, now: SimTime) {
@@ -614,7 +664,11 @@ impl PacketWorld {
             let (a_node, key, b_addr) = {
                 let c = self.conns[conn].as_mut().expect("checked");
                 c.a_up = false;
-                (c.a_node, c.a_key.expect("checked"), self.nodes[c.b_node].addr)
+                (
+                    c.a_node,
+                    c.a_key.expect("checked"),
+                    self.nodes[c.b_node].addr,
+                )
             };
             self.ckeys.insert((a_node, key), conn);
             if let Some(client) = self.nodes[a_node].client.as_mut() {
@@ -729,8 +783,7 @@ impl PacketWorld {
         loop {
             let mut progressed = false;
             for n in 0..self.nodes.len() {
-                while let Some(action) =
-                    self.nodes[n].client.as_mut().and_then(|c| c.poll_action())
+                while let Some(action) = self.nodes[n].client.as_mut().and_then(|c| c.poll_action())
                 {
                     progressed = true;
                     self.handle_action(n, action, now);
@@ -902,6 +955,7 @@ impl FaultHooks for PacketWorld {
         };
         self.ber_baseline.entry(n).or_insert(ch.config().ber);
         ch.set_ber(ber);
+        self.fault_note(format!("fault loss-burst on node {n} ber={ber:e}"));
     }
 
     fn end_loss_burst(&mut self, node: NodeId) {
@@ -910,6 +964,7 @@ impl FaultHooks for PacketWorld {
             if let Some(ch) = self.nodes[n].channel.as_mut() {
                 ch.set_ber(base);
             }
+            self.fault_note(format!("fault loss-burst off node {n}"));
         }
     }
 
@@ -917,11 +972,15 @@ impl FaultHooks for PacketWorld {
         let n = node.0 as usize;
         if n < self.nodes.len() {
             self.blackholed.insert(n);
+            self.fault_note(format!("fault blackhole on node {n}"));
         }
     }
 
     fn end_blackhole(&mut self, node: NodeId) {
-        self.blackholed.remove(&(node.0 as usize));
+        let n = node.0 as usize;
+        if self.blackholed.remove(&n) {
+            self.fault_note(format!("fault blackhole off node {n}"));
+        }
     }
 
     fn churn_address(&mut self, node: NodeId) {
@@ -944,15 +1003,18 @@ impl FaultHooks for PacketWorld {
                 self.teardown_conn(conn, now);
             }
         }
+        self.fault_note(format!("fault churn node {n} -> {addr:?}"));
         self.pump_actions(now);
     }
 
     fn begin_tracker_outage(&mut self) {
         self.tracker_down = true;
+        self.fault_note("fault tracker outage".to_string());
     }
 
     fn end_tracker_outage(&mut self) {
         self.tracker_down = false;
+        self.fault_note("fault tracker back".to_string());
     }
 
     fn begin_bandwidth_squeeze(&mut self, node: NodeId, factor: f64) {
@@ -960,9 +1022,13 @@ impl FaultHooks for PacketWorld {
         let Some(ch) = self.nodes.get_mut(n).and_then(|nd| nd.channel.as_mut()) else {
             return;
         };
-        let base = *self.bw_baseline.entry(n).or_insert(ch.config().bandwidth_bps);
+        let base = *self
+            .bw_baseline
+            .entry(n)
+            .or_insert(ch.config().bandwidth_bps);
         let squeezed = ((base as f64 * factor.clamp(0.001, 1.0)) as u64).max(1);
         ch.set_bandwidth(squeezed);
+        self.fault_note(format!("fault squeeze on node {n} x{factor}"));
     }
 
     fn end_bandwidth_squeeze(&mut self, node: NodeId) {
@@ -971,6 +1037,7 @@ impl FaultHooks for PacketWorld {
             if let Some(ch) = self.nodes[n].channel.as_mut() {
                 ch.set_bandwidth(base);
             }
+            self.fault_note(format!("fault squeeze off node {n}"));
         }
     }
 
@@ -978,10 +1045,14 @@ impl FaultHooks for PacketWorld {
         let n = node.0 as usize;
         if n < self.nodes.len() {
             self.crashed.insert(n);
+            self.fault_note(format!("fault crash node {n}"));
         }
     }
 
     fn restart_peer(&mut self, node: NodeId) {
-        self.crashed.remove(&(node.0 as usize));
+        let n = node.0 as usize;
+        if self.crashed.remove(&n) {
+            self.fault_note(format!("fault restart node {n}"));
+        }
     }
 }

@@ -34,15 +34,27 @@ impl FlowDemand {
     /// A flow crossing two distinct resources (deduplicated).
     pub fn new(a: ResourceId, b: ResourceId) -> Self {
         if a == b {
-            FlowDemand { r1: a, r2: None, r3: None }
+            FlowDemand {
+                r1: a,
+                r2: None,
+                r3: None,
+            }
         } else {
-            FlowDemand { r1: a, r2: Some(b), r3: None }
+            FlowDemand {
+                r1: a,
+                r2: Some(b),
+                r3: None,
+            }
         }
     }
 
     /// A flow using a single resource.
     pub fn single(r: ResourceId) -> Self {
-        FlowDemand { r1: r, r2: None, r3: None }
+        FlowDemand {
+            r1: r,
+            r2: None,
+            r3: None,
+        }
     }
 
     /// Adds a third (cap) resource, deduplicated against the others.
@@ -304,7 +316,11 @@ mod tests {
         // fewer flows, zero-cap resources appearing).
         let problems: Vec<(Vec<FlowDemand>, Vec<f64>)> = vec![
             (
-                vec![FlowDemand::single(0), FlowDemand::new(0, 1), FlowDemand::single(1)],
+                vec![
+                    FlowDemand::single(0),
+                    FlowDemand::new(0, 1),
+                    FlowDemand::single(1),
+                ],
                 vec![10.0, 100.0],
             ),
             (

@@ -72,7 +72,9 @@ fn wireless_upload_contention_slows_downloads() {
         let seed_node = w.add_node(Access::campus());
         // A competing leech that will request data from our client.
         let other = w.add_node(Access::residential());
-        let wireless = w.add_node(Access::Wireless { capacity: 150_000.0 });
+        let wireless = w.add_node(Access::Wireless {
+            capacity: 150_000.0,
+        });
         let _seed = w.add_task(TaskSpec::default_client(seed_node, spec, true));
         let _competitor = w.add_task(TaskSpec::default_client(other, spec, false));
         let t = w.add_task(TaskSpec {
@@ -188,11 +190,13 @@ fn identity_retention_helps_under_mobility() {
 /// Tracing records the load-bearing events of a mobile run.
 #[test]
 fn trace_captures_mobility_and_connections() {
-    use simnet::trace::TraceKind;
+    use metrics::trace::TraceKind;
     let mut w = FlowWorld::new(FlowConfig::default(), 8);
     let spec = torrent(4 * MB);
     let s = w.add_node(Access::campus());
-    let m = w.add_node(Access::Wireless { capacity: 200_000.0 });
+    let m = w.add_node(Access::Wireless {
+        capacity: 200_000.0,
+    });
     w.add_task(TaskSpec::default_client(s, spec, true));
     w.add_task(TaskSpec::default_client(m, spec, false));
     w.set_mobility(
@@ -203,9 +207,18 @@ fn trace_captures_mobility_and_connections() {
     w.start();
     w.run_until(SimTime::from_secs(100), |_| {});
     let trace = w.trace();
-    assert!(trace.of_kind(TraceKind::Mobility).count() >= 4, "hand-offs traced");
-    assert!(trace.of_kind(TraceKind::Connection).count() >= 2, "dials traced");
-    assert!(trace.of_kind(TraceKind::Tracker).count() >= 2, "announces traced");
+    assert!(
+        trace.of_kind(TraceKind::Mobility).count() >= 4,
+        "hand-offs traced"
+    );
+    assert!(
+        trace.of_kind(TraceKind::Connection).count() >= 2,
+        "dials traced"
+    );
+    assert!(
+        trace.of_kind(TraceKind::Tracker).count() >= 2,
+        "announces traced"
+    );
     // Render sanity.
     assert!(trace.render().contains("hand-off"));
 }
@@ -311,7 +324,8 @@ fn stopping_the_only_seed_stalls_leeches() {
 /// yields bit-identical series.
 #[test]
 fn experiment_drivers_are_deterministic() {
-    use p2p_simulation::experiments::fig3::{run_fig3c_arm, Fig3cArm, Fig3cParams};
+    use metrics::handle::MetricsHandle;
+    use p2p_simulation::experiments::fig3::{run_fig3c_arm_with, Fig3cArm, Fig3cParams};
     let params = Fig3cParams {
         duration: SimDuration::from_secs(120),
         file_size: 8 * 1024 * 1024,
@@ -321,8 +335,8 @@ fn experiment_drivers_are_deterministic() {
         mobility: true,
         uploading: true,
     };
-    let a = run_fig3c_arm(&params, arm, 99);
-    let b = run_fig3c_arm(&params, arm, 99);
+    let a = run_fig3c_arm_with(&params, arm, &MetricsHandle::disabled(), 99);
+    let b = run_fig3c_arm_with(&params, arm, &MetricsHandle::disabled(), 99);
     assert_eq!(a.final_bytes, b.final_bytes);
     assert_eq!(a.series.points(), b.series.points());
 }

@@ -190,7 +190,8 @@ fn deterministic_given_seed() {
 /// Packet-level experiment drivers are deterministic too.
 #[test]
 fn fig2a_driver_is_deterministic() {
-    use p2p_simulation::experiments::fig2::{run_fig2a, Fig2aParams};
+    use metrics::handle::MetricsHandle;
+    use p2p_simulation::experiments::fig2::{run_fig2a_with, Fig2aParams, FIG2A_SEED};
     let params = Fig2aParams {
         bers: vec![1.0e-5],
         runs: 1,
@@ -198,8 +199,8 @@ fn fig2a_driver_is_deterministic() {
         channel_bytes_per_sec: 50_000,
         delayed_ack: false,
     };
-    let a = run_fig2a(&params);
-    let b = run_fig2a(&params);
+    let a = run_fig2a_with(&params, &MetricsHandle::disabled(), FIG2A_SEED);
+    let b = run_fig2a_with(&params, &MetricsHandle::disabled(), FIG2A_SEED);
     assert_eq!(a[0].bi.mean, b[0].bi.mean);
     assert_eq!(a[0].uni.mean, b[0].uni.mean);
 }

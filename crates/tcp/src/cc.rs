@@ -189,7 +189,7 @@ mod tests {
     fn congestion_avoidance_is_linear() {
         let mut cc = Congestion::new(MSS, 2);
         cc.on_timeout(10 * MSS); // ssthresh = 5 MSS, cwnd = 1 MSS
-        // Grow back to ssthresh via slow start.
+                                 // Grow back to ssthresh via slow start.
         let mut una = SeqNum::ZERO;
         while cc.in_slow_start() {
             una = una.add(MSS);

@@ -28,6 +28,9 @@ use crate::reasm::Reassembly;
 use crate::rtt::RttEstimator;
 use crate::segment::{SegFlags, Segment};
 use crate::seq::SeqNum;
+use metrics::handle::MetricsHandle;
+use metrics::recorder::Series;
+use metrics::registry::Counter;
 use simnet::time::{SimDuration, SimTime};
 
 /// Static endpoint parameters.
@@ -145,6 +148,19 @@ pub struct Endpoint {
     eof_signalled: bool,
 
     stats: TcpStats,
+    metrics: EndpointMetrics,
+}
+
+/// Instruments wired up by [`Endpoint::attach_metrics`]. All default to
+/// disabled no-ops; a cloned endpoint shares them with its original.
+#[derive(Debug, Clone, Default)]
+struct EndpointMetrics {
+    cwnd: Series,
+    ssthresh: Series,
+    srtt: Series,
+    retransmits: Counter,
+    timeouts: Counter,
+    dupacks_sent: Counter,
 }
 
 impl Endpoint {
@@ -177,7 +193,24 @@ impl Endpoint {
             delivered_unread: 0,
             eof_signalled: false,
             stats: TcpStats::default(),
+            metrics: EndpointMetrics::default(),
         }
+    }
+
+    /// Wires this endpoint's congestion/RTT observables into `handle`
+    /// under `tcp.<label>.*`: `cwnd`, `ssthresh`, and `srtt_us` series
+    /// (recorded on ACK progress), plus `retransmits`, `timeouts`, and
+    /// `dupacks_sent` counters. A disabled handle attaches inert
+    /// instruments, so this is always safe to call.
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle, label: &str) {
+        self.metrics = EndpointMetrics {
+            cwnd: handle.series(&format!("tcp.{label}.cwnd")),
+            ssthresh: handle.series(&format!("tcp.{label}.ssthresh")),
+            srtt: handle.series(&format!("tcp.{label}.srtt_us")),
+            retransmits: handle.counter(&format!("tcp.{label}.retransmits")),
+            timeouts: handle.counter(&format!("tcp.{label}.timeouts")),
+            dupacks_sent: handle.counter(&format!("tcp.{label}.dupacks_sent")),
+        };
     }
 
     /// Begins an active open: a SYN will be produced by `poll_segment`.
@@ -365,13 +398,15 @@ impl Endpoint {
                 self.arm_rtx(now);
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait
-                if (self.flight_size() > 0 || self.fin_unacked()) => {
-                    self.rtt.on_timeout();
-                    self.cc.on_timeout(self.flight_size());
-                    self.retransmit_pending = true;
-                    self.rtt_probe = None; // Karn: invalidate the sample
-                    self.arm_rtx(now);
-                }
+                if (self.flight_size() > 0 || self.fin_unacked()) =>
+            {
+                self.rtt.on_timeout();
+                self.cc.on_timeout(self.flight_size());
+                self.retransmit_pending = true;
+                self.rtt_probe = None; // Karn: invalidate the sample
+                self.arm_rtx(now);
+                self.metrics.timeouts.inc();
+            }
             _ => {}
         }
     }
@@ -441,6 +476,9 @@ impl Endpoint {
                 if seg.ack.after_eq(probe_seq) {
                     self.rtt.sample(now.saturating_since(sent_at));
                     self.rtt_probe = None;
+                    if let Some(srtt) = self.rtt.srtt() {
+                        self.metrics.srtt.record(now, srtt.as_micros() as f64);
+                    }
                 }
             }
             self.rtt.on_progress();
@@ -449,6 +487,8 @@ impl Endpoint {
                 self.retransmit_pending = true;
                 self.rtt_probe = None; // Karn
             }
+            self.metrics.cwnd.record(now, self.cc.cwnd() as f64);
+            self.metrics.ssthresh.record(now, self.cc.ssthresh() as f64);
             // Restart the timer for remaining flight; disarm when idle.
             if self.flight_size() > 0 || self.fin_unacked() {
                 self.arm_rtx(now);
@@ -498,8 +538,7 @@ impl Endpoint {
                         self.ack_deadline = None;
                         self.ack_pending = true;
                     } else if self.ack_deadline.is_none() {
-                        self.ack_deadline =
-                            Some(now + SimDuration::from_millis(200));
+                        self.ack_deadline = Some(now + SimDuration::from_millis(200));
                     }
                 } else {
                     self.ack_pending = true;
@@ -590,6 +629,7 @@ impl Endpoint {
             self.dupacks_pending -= 1;
             self.stats.pure_acks_sent += 1;
             self.stats.dupacks_sent += 1;
+            self.metrics.dupacks_sent.inc();
             return Some(self.pure_ack(rcv_nxt));
         }
 
@@ -602,6 +642,7 @@ impl Endpoint {
                 self.stats.data_segments_sent += 1;
                 self.stats.retransmissions += 1;
                 self.stats.piggybacked_acks_sent += 1;
+                self.metrics.retransmits.inc();
                 self.ack_pending = false;
                 if self.rtx_deadline.is_none() {
                     self.arm_rtx(now);
@@ -799,7 +840,11 @@ mod tests {
         while let Some(s) = a.poll_segment(now) {
             segs.push(s);
         }
-        assert!(segs.len() >= 4, "need >=4 in-flight segments, got {}", segs.len());
+        assert!(
+            segs.len() >= 4,
+            "need >=4 in-flight segments, got {}",
+            segs.len()
+        );
         // Drop the first; deliver the rest out of order.
         for s in &segs[1..] {
             b.on_segment(*s, now);

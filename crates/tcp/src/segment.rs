@@ -71,11 +71,7 @@ impl Segment {
 
     /// A pure ACK: acknowledgement with no payload and no SYN/FIN/RST.
     pub fn is_pure_ack(&self) -> bool {
-        self.flags.ack
-            && self.payload == 0
-            && !self.flags.syn
-            && !self.flags.fin
-            && !self.flags.rst
+        self.flags.ack && self.payload == 0 && !self.flags.syn && !self.flags.fin && !self.flags.rst
     }
 
     /// A data segment carrying a (piggybacked) acknowledgement.

@@ -77,7 +77,10 @@ impl Net {
                 Side::A => &mut self.ab,
                 Side::B => &mut self.ba,
             };
-            if let Some(at) = link.send(now, seg.wire_bytes(), &mut self.rng).delivered_at() {
+            if let Some(at) = link
+                .send(now, seg.wire_bytes(), &mut self.rng)
+                .delivered_at()
+            {
                 sim.schedule_at(at, Ev::Deliver(side.other(), seg));
             }
         }

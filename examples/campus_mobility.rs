@@ -58,11 +58,7 @@ fn roam(wp2p: bool) -> Outcome {
     });
     world.set_mobility(
         laptop,
-        MobilityProcess::with_jitter(
-            SimDuration::from_secs(90),
-            SimDuration::from_secs(8),
-            0.1,
-        ),
+        MobilityProcess::with_jitter(SimDuration::from_secs(90), SimDuration::from_secs(8), 0.1),
     );
 
     world.start();

@@ -85,11 +85,7 @@ fn main() {
     // 6. Verify the received piece against the metainfo's SHA-1.
     let (b, data) = received_piece.expect("piece arrived");
     assert!(meta.info.verify_piece(b.piece, &data), "hash check");
-    println!(
-        "piece {} verified: sha1 {}",
-        b.piece,
-        Sha1::digest(&data)
-    );
+    println!("piece {} verified: sha1 {}", b.piece, Sha1::digest(&data));
     println!("\nAll protocol layers round-tripped with real bytes.");
 
     let _ = bob;

@@ -50,7 +50,10 @@ fn experiment(ber: f64, bidirectional: bool, am: bool) -> (f64, u64, u64) {
 
 fn main() {
     println!("60 s transfers over a 50 KB/s wireless leg\n");
-    println!("{:>8}  {:>14}  {:>10}  {:>7}  {:>9}", "BER", "mode", "down KB/s", "rtx", "up frames");
+    println!(
+        "{:>8}  {:>14}  {:>10}  {:>7}  {:>9}",
+        "BER", "mode", "down KB/s", "rtx", "up frames"
+    );
     for &ber in &[0.0, 5e-6, 1.5e-5] {
         for (label, bi, am) in [
             ("uni", false, false),

@@ -104,7 +104,11 @@ fn wp2p_is_backward_compatible_when_stationary() {
     };
     let with_default_seed = run(false);
     let with_wp2p_seed = run(true);
-    assert_eq!(with_default_seed, 8 * MB, "default-seeded download completes");
+    assert_eq!(
+        with_default_seed,
+        8 * MB,
+        "default-seeded download completes"
+    );
     // LIHD caps the seed's upload but the channel is wired and fast; the
     // leech still completes.
     assert_eq!(with_wp2p_seed, 8 * MB, "wP2P-seeded download completes");
@@ -165,12 +169,13 @@ fn whole_world_determinism_with_all_features() {
 /// Uses the calibrated Fig. 8(c) driver across crate boundaries.
 #[test]
 fn lihd_outperforms_uncapped_on_contended_channel() {
-    use p2p_simulation::experiments::fig8::{run_fig8c, Fig8cParams};
+    use metrics::handle::MetricsHandle;
+    use p2p_simulation::experiments::fig8::{run_fig8c_with, Fig8cParams, FIG8C_SEED};
     let params = Fig8cParams {
         capacities: vec![40.0 * 1024.0],
         ..Fig8cParams::quick()
     };
-    let pts = run_fig8c(&params);
+    let pts = run_fig8c_with(&params, &MetricsHandle::disabled(), FIG8C_SEED);
     let p = &pts[0];
     assert!(
         p.wp2p.mean > 1.1 * p.default.mean,

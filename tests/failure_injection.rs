@@ -104,7 +104,11 @@ fn scenario_blackhole_stalls_then_recovers() {
     });
     let stalled = stalled_frac.expect("sampled");
     assert!(stalled < 1.0, "black-hole should stall the transfer");
-    assert_eq!(w.progress_fraction(t), 1.0, "recovers after the hole closes");
+    assert_eq!(
+        w.progress_fraction(t),
+        1.0,
+        "recovers after the hole closes"
+    );
 }
 
 /// Address churn mid-download: progress survives the re-initiation.
@@ -112,8 +116,14 @@ fn scenario_blackhole_stalls_then_recovers() {
 fn scenario_address_churn_preserves_progress() {
     let (mut w, t) = seed_leech_world(13, 4 * MB);
     let mut plan = FaultPlan::empty(13);
-    plan.push(SimTime::from_secs(30), FaultKind::AddressChurn { node: NodeId(1) });
-    plan.push(SimTime::from_secs(60), FaultKind::AddressChurn { node: NodeId(1) });
+    plan.push(
+        SimTime::from_secs(30),
+        FaultKind::AddressChurn { node: NodeId(1) },
+    );
+    plan.push(
+        SimTime::from_secs(60),
+        FaultKind::AddressChurn { node: NodeId(1) },
+    );
     run_flow_with_plan(&mut w, &plan, SimTime::from_secs(400));
     assert_eq!(w.progress_fraction(t), 1.0);
     assert!(w.task_generation(t) >= 2, "churn forces re-initiation");
@@ -194,7 +204,9 @@ fn scenario_identity_retention_survives_churn_storm() {
     let mut w = FlowWorld::new(FlowConfig::default(), 17);
     let sn = w.add_node(Access::campus());
     w.add_task(TaskSpec::default_client(sn, torrent, true));
-    let m = w.add_node(Access::Wireless { capacity: 300_000.0 });
+    let m = w.add_node(Access::Wireless {
+        capacity: 300_000.0,
+    });
     let t = w.add_task(TaskSpec {
         node: m,
         torrent,
@@ -242,7 +254,10 @@ fn scenario_overlapping_faults_compose() {
             duration: SimDuration::from_secs(40),
         },
     );
-    plan.push(SimTime::from_secs(50), FaultKind::AddressChurn { node: NodeId(1) });
+    plan.push(
+        SimTime::from_secs(50),
+        FaultKind::AddressChurn { node: NodeId(1) },
+    );
     run_flow_with_plan(&mut w, &plan, SimTime::from_secs(600));
     assert_eq!(w.progress_fraction(t), 1.0);
     assert!(w.downloaded_bytes(t) <= 4 * MB);
@@ -256,7 +271,10 @@ fn scenario_generated_plan_soak() {
     assert!(replay.applied > 0, "plan applied no faults");
     assert!(replay.checks > 100, "checker barely ran: {}", replay.checks);
     for (i, p) in replay.progress.iter().enumerate() {
-        assert!((0.0..=1.0).contains(p), "task {i} progress out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(p),
+            "task {i} progress out of range: {p}"
+        );
     }
 }
 
@@ -312,7 +330,11 @@ fn scenario_packet_loss_burst_exactly_once() {
     );
     let applied = run_packet_with_plan(&mut w, &plan, SimTime::from_secs(60));
     assert_eq!(applied, 2);
-    assert_eq!(w.tcp_delivered(conn, false), 3_000_000, "exactly-once delivery");
+    assert_eq!(
+        w.tcp_delivered(conn, false),
+        3_000_000,
+        "exactly-once delivery"
+    );
     let ep = w.endpoint(conn, true).unwrap();
     assert!(ep.stats().retransmissions > 0, "burst left no scars");
 }
@@ -335,7 +357,11 @@ fn scenario_packet_blackhole_recovers() {
         },
     );
     run_packet_with_plan(&mut w, &plan, SimTime::from_secs(120));
-    assert_eq!(w.tcp_delivered(conn, false), 1_000_000, "recovers after the hole");
+    assert_eq!(
+        w.tcp_delivered(conn, false),
+        1_000_000,
+        "recovers after the hole"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -400,7 +426,11 @@ fn tcp_survives_mid_run_ber_spike() {
         }
     });
     assert!(spiked && recovered);
-    assert_eq!(w.tcp_delivered(conn, true), 3_000_000, "exactly-once delivery");
+    assert_eq!(
+        w.tcp_delivered(conn, true),
+        3_000_000,
+        "exactly-once delivery"
+    );
     let ep = w.endpoint(conn, false).unwrap();
     assert!(ep.stats().retransmissions > 0);
 }
@@ -457,7 +487,10 @@ fn pathological_mobility_is_stable() {
     assert!(w.downloaded_bytes(t) <= 16 * MB);
     // The world survived ~20 re-initiations; the series is monotone.
     let pts = w.download_series(t).points();
-    assert!(pts.windows(2).all(|p| p[1].1 >= p[0].1), "series not monotone");
+    assert!(
+        pts.windows(2).all(|p| p[1].1 >= p[0].1),
+        "series not monotone"
+    );
 }
 
 /// Stopping a task mid-run releases its swarm slot and the rest of the

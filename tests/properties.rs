@@ -144,7 +144,7 @@ fn reassembly_survives_overlapping_chaos() {
     for_cases(0x7CB, 256, |rng| {
         let total = rng.range(1u32..50_000);
         let initial = rng.range(0..u32::MAX); // wrap point lands anywhere
-        // A covering segmentation of [0, total)...
+                                              // A covering segmentation of [0, total)...
         let mut segs: Vec<(u32, u32)> = Vec::new();
         let mut off = 0u32;
         while off < total {
