@@ -7,7 +7,7 @@
 //! they are sans-IO state machines, and only the top-level world knows how
 //! an event touches which component.
 
-use crate::event::{EventQueue, EventToken};
+use crate::event::{EventQueue, EventToken, QueueStats, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
 /// Outcome of handling one event, controlling the main loop.
@@ -48,13 +48,34 @@ impl<E> Default for Simulator<E> {
 }
 
 impl<E> Simulator<E> {
-    /// Creates a simulator at time zero with an empty agenda.
+    /// Creates a simulator at time zero with an empty agenda, using the
+    /// scheduler selected by `WP2P_SCHEDULER` (see [`Scheduler::from_env`]).
     pub fn new() -> Self {
         Simulator {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             processed: 0,
         }
+    }
+
+    /// Creates a simulator backed by an explicit event-queue scheduler.
+    pub fn with_scheduler(scheduler: Scheduler) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_scheduler(scheduler),
+            processed: 0,
+        }
+    }
+
+    /// Which scheduler backs the event queue.
+    pub fn scheduler(&self) -> Scheduler {
+        self.queue.scheduler()
+    }
+
+    /// Event-queue instrumentation counters (depth, high-water depth,
+    /// schedule/cancellation totals).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Current virtual time.
@@ -103,7 +124,7 @@ impl<E> Simulator<E> {
     }
 
     /// True when no events remain.
-    pub fn is_idle(&mut self) -> bool {
+    pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
 

@@ -16,3 +16,4 @@ pub mod fig9;
 pub mod params;
 pub mod playability;
 pub mod registry;
+pub mod scale;

@@ -19,6 +19,7 @@ use super::fig8::{self, FIG8A_SEED, FIG8B_SEED, FIG8C_SEED};
 use super::fig9::{self, FIG9AB_SEED, FIG9C_SEED};
 use super::params::ExperimentParams;
 use super::playability::{self, PlayabilityParams};
+use super::scale::{self, SCALE_SEED};
 use crate::report::Table;
 use metrics::handle::MetricsHandle;
 
@@ -427,12 +428,39 @@ impl Experiment for Fig9c {
     }
 }
 
+struct Scale;
+
+impl Experiment for Scale {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+    fn title(&self) -> &'static str {
+        "Large-swarm scale sweep — event-queue health vs swarm size"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        scale::ScaleParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        scale::ScaleParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        SCALE_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = scale::ScaleParams::from_params(params);
+        Report::single(scale::scale_table(&scale::run_scale_with(
+            &p, metrics, seed,
+        )))
+    }
+}
+
 // ---------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------
 
 static EXPERIMENTS: &[&dyn Experiment] = &[
     &Fig2a, &Fig2bc, &Fig3ab, &Fig3c, &Fig4a, &Fig4bc, &Fig8a, &Fig8b, &Fig8c, &Fig9ab, &Fig9c,
+    &Scale,
 ];
 
 /// Every registered experiment, in the order `all_figures` runs them.

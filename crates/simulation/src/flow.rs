@@ -38,6 +38,7 @@ use metrics::registry::{Counter, Histogram};
 use metrics::stats::TimeSeries;
 use metrics::trace::{Trace, TraceKind};
 use simnet::addr::{AddressBook, NodeId, SimAddr};
+use simnet::event::{EventToken, QueueStats, Scheduler};
 use simnet::fault::FaultHooks;
 use simnet::mobility::MobilityProcess;
 use simnet::rng::SimRng;
@@ -144,6 +145,16 @@ pub struct FlowConfig {
     pub announce_latency: SimDuration,
     /// Tracker behaviour.
     pub tracker: TrackerConfig,
+    /// Event-queue scheduler backing the world's simulator.
+    pub scheduler: Scheduler,
+    /// Per-connection stall watchdog: a connection with queued data that
+    /// moves no bytes for this long is aborted (both sides notified), the
+    /// flow-level analogue of a BitTorrent request timeout. The timer is
+    /// re-armed — cancel plus schedule — every tick a watched connection
+    /// makes progress, so it almost always dies unfired: the fire-rarely/
+    /// cancel-mostly timer population that dominates real network stacks.
+    /// `None` (the default) disables the watchdog entirely.
+    pub stall_timeout: Option<SimDuration>,
 }
 
 impl Default for FlowConfig {
@@ -157,6 +168,8 @@ impl Default for FlowConfig {
             dead_conn_timeout: SimDuration::from_secs(90),
             announce_latency: SimDuration::from_secs(1),
             tracker: TrackerConfig::default(),
+            scheduler: Scheduler::from_env(),
+            stall_timeout: None,
         }
     }
 }
@@ -285,6 +298,8 @@ struct Conn {
     ba: FlowQ,
     /// Set when one side silently vanished.
     dead_since: Option<SimTime>,
+    /// Armed stall-watchdog timer (see [`FlowConfig::stall_timeout`]).
+    stall: Option<EventToken>,
 }
 
 /// Events driving the flow world.
@@ -308,6 +323,12 @@ enum Ev {
     },
     HandoffEnd {
         node: NodeKey,
+    },
+    /// Stall watchdog expired for connection `cid`. Fires only when it
+    /// was never re-armed (no progress for a full timeout): every re-arm
+    /// and disarm cancels the pending token eagerly.
+    StallCheck {
+        cid: u64,
     },
 }
 
@@ -339,6 +360,27 @@ pub struct FlowWorld {
     conns: BTreeMap<u64, Conn>,
     /// `(task, client conn key)` → `(conn id, is_a_side)`.
     index: BTreeMap<(TaskKey, u64), (u64, bool)>,
+    /// Tasks hosted on each node, in task-key order — replaces the
+    /// per-dial / per-hand-off linear scans over every task.
+    node_tasks: Vec<Vec<TaskKey>>,
+    /// Connections that may carry demand (a queue went non-empty).
+    /// Superset invariant: every live conn with a non-empty queue is in
+    /// here; membership is retired lazily by `advance_flows` once both
+    /// queues drain (their rates are zeroed on the way out, so anything
+    /// outside the set flows at rate zero). Keeps the per-tick transfer
+    /// advance and the rate solve proportional to *active* connections,
+    /// not all of them.
+    active_conns: BTreeSet<u64>,
+    /// Scratch for `advance_flows` set maintenance.
+    retired_scratch: Vec<u64>,
+    /// Connections with `dead_since` set, in the order they died (their
+    /// death times are monotone), so the dead sweep pops expired ones
+    /// off the front instead of scanning every connection each tick.
+    dead_queue: VecDeque<(SimTime, u64)>,
+    /// Tasks with a client tick due at each instant. Entries are
+    /// validated against the task's `next_client_tick` when popped, so
+    /// stale entries from killed/respawned clients are harmless.
+    tick_due: BTreeMap<SimTime, Vec<TaskKey>>,
     next_conn_id: u64,
     rng: SimRng,
     started: bool,
@@ -359,6 +401,9 @@ pub struct FlowWorld {
     rates_dirty: bool,
     rate_solves: u64,
     rate_skips: u64,
+    /// Connections aborted by the stall watchdog (see
+    /// [`FlowConfig::stall_timeout`]).
+    stall_aborts: u64,
     scratch: RatesScratch,
     // --- fault-injection state (see the `FaultHooks` impl) ---
     /// Announces fail while set.
@@ -394,13 +439,18 @@ impl FlowWorld {
         let rng = SimRng::new(seed);
         FlowWorld {
             tracker: Tracker::new(cfg.tracker),
+            sim: Simulator::with_scheduler(cfg.scheduler),
             cfg,
-            sim: Simulator::new(),
             book: AddressBook::new(),
             nodes: Vec::new(),
             tasks: Vec::new(),
             conns: BTreeMap::new(),
             index: BTreeMap::new(),
+            node_tasks: Vec::new(),
+            active_conns: BTreeSet::new(),
+            retired_scratch: Vec::new(),
+            dead_queue: VecDeque::new(),
+            tick_due: BTreeMap::new(),
             next_conn_id: 1,
             rng,
             started: false,
@@ -415,6 +465,7 @@ impl FlowWorld {
             rates_dirty: true,
             rate_solves: 0,
             rate_skips: 0,
+            stall_aborts: 0,
             scratch: RatesScratch::default(),
             tracker_down: false,
             blackholed: BTreeSet::new(),
@@ -439,6 +490,26 @@ impl FlowWorld {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Simulator events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
+    }
+
+    /// Event-queue instrumentation counters (depth, cancellations).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.sim.queue_stats()
+    }
+
+    /// Connections aborted by the stall watchdog so far.
+    pub fn stall_aborts(&self) -> u64 {
+        self.stall_aborts
+    }
+
+    /// Which event-queue scheduler backs this world.
+    pub fn scheduler(&self) -> Scheduler {
+        self.sim.scheduler()
     }
 
     /// Turns on event tracing (connection lifecycle, mobility, tracker).
@@ -494,6 +565,7 @@ impl FlowWorld {
             alive: true,
             mobility: None,
         });
+        self.node_tasks.push(Vec::new());
         key
     }
 
@@ -512,6 +584,7 @@ impl FlowWorld {
         let key = self.tasks.len();
         let rng = self.rng.fork(1000 + key as u64);
         let lihd = spec.wp2p.lihd.map(Lihd::new);
+        self.node_tasks[spec.node].push(key);
         self.tasks.push(TaskState {
             spec,
             client: None,
@@ -632,6 +705,7 @@ impl FlowWorld {
         task.client = Some(client);
         task.started = true;
         task.next_client_tick = now;
+        self.tick_due.entry(now).or_default().push(t);
         // A fresh client may carry an upload cap into the rate problem.
         self.rates_dirty = true;
     }
@@ -665,6 +739,15 @@ impl FlowWorld {
             let remove_now = if let Some(conn) = self.conns.get_mut(&cid) {
                 if conn.dead_since.is_none() {
                     conn.dead_since = Some(now);
+                    // Dead flows carry no demand; retire them from the
+                    // rate problem eagerly so stale rates never linger.
+                    conn.ab.rate = 0.0;
+                    conn.ba.rate = 0.0;
+                    if let Some(tok) = conn.stall.take() {
+                        self.sim.cancel(tok);
+                    }
+                    self.active_conns.remove(&cid);
+                    self.dead_queue.push_back((now, cid));
                 }
                 // If neither side is indexed anymore, drop entirely.
                 !self.index.contains_key(&(conn.a.task, conn.a.key))
@@ -674,6 +757,7 @@ impl FlowWorld {
             };
             if remove_now {
                 self.conns.remove(&cid);
+                self.active_conns.remove(&cid);
             }
         }
     }
@@ -823,6 +907,19 @@ impl FlowWorld {
                     self.handoff_end(node, now);
                     self.schedule_next_handoff(node);
                 }
+                Ev::StallCheck { cid } => {
+                    if let Some(conn) = self.conns.get_mut(&cid) {
+                        conn.stall = None;
+                        if conn.dead_since.is_none()
+                            && !(conn.ab.queue.is_empty() && conn.ba.queue.is_empty())
+                        {
+                            // Queued data untouched for a whole timeout:
+                            // abort, as a client's request timer would.
+                            self.stall_aborts += 1;
+                            self.remove_conn(cid, now, true);
+                        }
+                    }
+                }
             }
         }
     }
@@ -860,8 +957,21 @@ impl FlowWorld {
         }
         // 2. Dead-connection sweep.
         self.sweep_dead(now);
-        // 3. Client housekeeping.
-        for t in 0..self.tasks.len() {
+        // 3. Client housekeeping. Pop the due tick buckets rather than
+        // scanning every task; bucket entries are validated against the
+        // task's live `next_client_tick`, so stale ones are harmless.
+        let mut due: Vec<TaskKey> = Vec::new();
+        while self
+            .tick_due
+            .first_key_value()
+            .is_some_and(|(&at, _)| at <= now)
+        {
+            let (_, mut batch) = self.tick_due.pop_first().expect("checked non-empty");
+            due.append(&mut batch);
+        }
+        due.sort_unstable();
+        due.dedup();
+        for t in due {
             if self.tasks[t].client.is_some() && now >= self.tasks[t].next_client_tick {
                 self.client_tick(t, now);
             }
@@ -899,6 +1009,22 @@ impl FlowWorld {
         // state, so any test that runs this world is an invariant run.
         #[cfg(debug_assertions)]
         {
+            // Active-set superset invariant: every live conn with queued
+            // bytes is indexed, and anything outside the set is rateless.
+            for (cid, conn) in &self.conns {
+                if self.active_conns.contains(cid) {
+                    continue;
+                }
+                debug_assert!(
+                    conn.dead_since.is_some()
+                        || (conn.ab.queue.is_empty() && conn.ba.queue.is_empty()),
+                    "live queued conn {cid} missing from active set"
+                );
+                debug_assert!(
+                    conn.ab.rate == 0.0 && conn.ba.rate == 0.0,
+                    "inactive conn {cid} carries a rate"
+                );
+            }
             let mut ck = std::mem::take(&mut self.checker);
             ck.check_flow(self);
             self.checker = ck;
@@ -923,7 +1049,10 @@ impl FlowWorld {
             return 0.0;
         }
         let mut used = 0.0;
-        for conn in self.conns.values() {
+        // Conns outside the active set have empty queues and zero rates,
+        // so they cannot contribute.
+        for &cid in &self.active_conns {
+            let conn = &self.conns[&cid];
             if conn.dead_since.is_some() {
                 continue;
             }
@@ -942,10 +1071,22 @@ impl FlowWorld {
         let mut deliveries: Vec<(TaskKey, u64, u32, TaskKey, Message)> = Vec::new();
         let mut scratch: Vec<Message> = Vec::new();
         let mut drained = false;
-        for conn in self.conns.values_mut() {
+        // Only the active set can carry flowing bytes: a conn outside it
+        // has both queues empty and both rates zero (the retire path
+        // below and `recompute_rates` maintain that invariant).
+        let mut retired = std::mem::take(&mut self.retired_scratch);
+        retired.clear();
+        let stall = self.cfg.stall_timeout;
+        for &cid in &self.active_conns {
+            let Some(conn) = self.conns.get_mut(&cid) else {
+                retired.push(cid);
+                continue;
+            };
             if conn.dead_since.is_some() {
+                retired.push(cid);
                 continue;
             }
+            let mut progressed = false;
             for (q, dst, src) in [
                 (&mut conn.ab, conn.b, conn.a),
                 (&mut conn.ba, conn.a, conn.b),
@@ -953,16 +1094,41 @@ impl FlowWorld {
                 if q.rate <= 0.0 || q.queue.is_empty() {
                     continue;
                 }
+                progressed = true;
                 scratch.clear();
                 q.advance(q.rate * elapsed, &mut scratch);
                 if q.queue.is_empty() {
                     drained = true; // demand leaves the rate problem
+                    q.rate = 0.0;
                 }
                 for msg in scratch.drain(..) {
                     deliveries.push((dst.task, dst.key, dst.generation, src.task, msg));
                 }
             }
+            if conn.ab.queue.is_empty() && conn.ba.queue.is_empty() {
+                conn.ab.rate = 0.0;
+                conn.ba.rate = 0.0;
+                if let Some(tok) = conn.stall.take() {
+                    // Idle is healthy: nothing queued means nothing can
+                    // stall. The timer dies unfired, as usual.
+                    self.sim.cancel(tok);
+                }
+                retired.push(cid);
+            } else if let Some(timeout) = stall {
+                // Re-arm on progress (and on first sight of a watched
+                // connection); a stalled one keeps its running timer.
+                if progressed || conn.stall.is_none() {
+                    if let Some(tok) = conn.stall.take() {
+                        self.sim.cancel(tok);
+                    }
+                    conn.stall = Some(self.sim.schedule_at(now + timeout, Ev::StallCheck { cid }));
+                }
+            }
         }
+        for cid in retired.drain(..) {
+            self.active_conns.remove(&cid);
+        }
+        self.retired_scratch = retired;
         if drained {
             self.rates_dirty = true;
         }
@@ -982,15 +1148,26 @@ impl FlowWorld {
 
     fn sweep_dead(&mut self, now: SimTime) {
         let timeout = self.cfg.dead_conn_timeout;
-        let expired: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                c.dead_since
-                    .is_some_and(|t0| now.saturating_since(t0) > timeout)
-            })
-            .map(|(&id, _)| id)
-            .collect();
+        // `dead_since` is always assigned the current time, so the queue
+        // is time-ordered and only a front prefix can have expired. An
+        // entry whose conn is already gone (both sides died before the
+        // timeout) is dropped on validation.
+        let mut expired: Vec<u64> = Vec::new();
+        while let Some(&(t0, cid)) = self.dead_queue.front() {
+            if now.saturating_since(t0) <= timeout {
+                break;
+            }
+            self.dead_queue.pop_front();
+            if self
+                .conns
+                .get(&cid)
+                .is_some_and(|c| c.dead_since == Some(t0))
+            {
+                expired.push(cid);
+            }
+        }
+        // Ascending conn-id order, as the full map scan used to produce.
+        expired.sort_unstable();
         for cid in expired {
             self.remove_conn(cid, now, true);
         }
@@ -1001,6 +1178,10 @@ impl FlowWorld {
         let Some(conn) = self.conns.remove(&cid) else {
             return;
         };
+        if let Some(tok) = conn.stall {
+            self.sim.cancel(tok);
+        }
+        self.active_conns.remove(&cid);
         self.rates_dirty = true;
         for end in [conn.a, conn.b] {
             // Client connection keys restart at 1 after task re-initiation,
@@ -1050,7 +1231,9 @@ impl FlowWorld {
                 client.set_upload_limit(Some(u));
             }
         }
-        task.next_client_tick = now + self.cfg.client_tick;
+        let due = now + self.cfg.client_tick;
+        task.next_client_tick = due;
+        self.tick_due.entry(due).or_default().push(t);
     }
 
     fn pump_actions(&mut self, now: SimTime) {
@@ -1081,10 +1264,11 @@ impl FlowWorld {
                     if !self.nodes.get(node).is_some_and(|n| n.alive) {
                         return None;
                     }
-                    self.tasks.iter().position(|task| {
-                        task.spec.node == node
-                            && task.client.is_some()
-                            && task.spec.torrent.info_hash == info_hash
+                    // `node_tasks` lists a node's tasks in creation order,
+                    // so the first hit matches the old full-scan result.
+                    self.node_tasks[node].iter().copied().find(|&tt| {
+                        self.tasks[tt].client.is_some()
+                            && self.tasks[tt].spec.torrent.info_hash == info_hash
                     })
                 });
                 let delay = if target.is_some() {
@@ -1111,6 +1295,9 @@ impl FlowWorld {
                             self.rates_dirty = true; // demand appears
                         }
                         q.push(msg);
+                        if c.dead_since.is_none() {
+                            self.active_conns.insert(cid);
+                        }
                     }
                 }
             }
@@ -1197,6 +1384,7 @@ impl FlowWorld {
                 ab: FlowQ::new(),
                 ba: FlowQ::new(),
                 dead_since: None,
+                stall: None,
             },
         );
         self.index.insert((t, key), (cid, true));
@@ -1281,8 +1469,11 @@ impl FlowWorld {
         self.handoff_down_since.insert(node, now);
         self.nodes[node].alive = false;
         self.rates_dirty = true;
-        let tasks: Vec<TaskKey> = (0..self.tasks.len())
-            .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
+        let tasks: Vec<TaskKey> = self
+            .node_tasks[node]
+            .iter()
+            .copied()
+            .filter(|&t| self.tasks[t].started)
             .collect();
         for t in tasks {
             self.kill_client(t, now);
@@ -1303,8 +1494,11 @@ impl FlowWorld {
         self.nodes[node].addr = addr;
         self.nodes[node].alive = true;
         self.rates_dirty = true;
-        let tasks: Vec<TaskKey> = (0..self.tasks.len())
-            .filter(|&t| self.tasks[t].spec.node == node && self.tasks[t].started)
+        let tasks: Vec<TaskKey> = self
+            .node_tasks[node]
+            .iter()
+            .copied()
+            .filter(|&t| self.tasks[t].started)
             .collect();
         for t in tasks {
             // A fault-injected restart may have revived the client before
@@ -1361,10 +1555,14 @@ impl FlowWorld {
                 s.caps.push(limit.max(1.0));
             }
         }
-        // Collect active flows in deterministic order.
+        // Collect active flows in deterministic order: the active set is
+        // a BTreeSet, so this walks ascending conn ids exactly like the
+        // full `conns` map scan it replaces (every conn with a non-empty
+        // queue is in the set; the extras are filtered below).
         s.demands.clear();
         s.refs.clear();
-        for (&cid, conn) in &self.conns {
+        for &cid in &self.active_conns {
+            let conn = &self.conns[&cid];
             if conn.dead_since.is_some() {
                 continue;
             }
@@ -1398,8 +1596,11 @@ impl FlowWorld {
             }
         }
         s.solver.solve(&s.demands, &s.caps, &mut s.rates);
-        // Zero everything, then set the active ones.
-        for conn in self.conns.values_mut() {
+        // Zero the active set, then assign the solved rates. Conns
+        // outside the set already carry zero rates: they are retired
+        // only with both queues empty and rates zeroed on the way out.
+        for &cid in &self.active_conns {
+            let conn = self.conns.get_mut(&cid).expect("active conn exists");
             conn.ab.rate = 0.0;
             conn.ba.rate = 0.0;
         }
@@ -1664,8 +1865,10 @@ impl FaultHooks for FlowWorld {
         self.fault_note(now, format!("fault: node {n} crashed"));
         self.nodes[n].alive = false;
         self.rates_dirty = true;
-        let tasks: Vec<TaskKey> = (0..self.tasks.len())
-            .filter(|&t| self.tasks[t].spec.node == n && self.tasks[t].started)
+        let tasks: Vec<TaskKey> = self.node_tasks[n]
+            .iter()
+            .copied()
+            .filter(|&t| self.tasks[t].started)
             .collect();
         for t in tasks {
             self.kill_client(t, now);
@@ -1681,8 +1884,10 @@ impl FaultHooks for FlowWorld {
         self.fault_note(now, format!("fault: node {n} restarted"));
         self.nodes[n].alive = true;
         self.rates_dirty = true;
-        let tasks: Vec<TaskKey> = (0..self.tasks.len())
-            .filter(|&t| self.tasks[t].spec.node == n && self.tasks[t].started)
+        let tasks: Vec<TaskKey> = self.node_tasks[n]
+            .iter()
+            .copied()
+            .filter(|&t| self.tasks[t].started)
             .collect();
         for t in tasks {
             if self.tasks[t].client.is_some() {
@@ -1776,5 +1981,53 @@ mod tests {
             w.rate_solves(),
             w.rate_skips()
         );
+    }
+
+    #[test]
+    fn stall_watchdog_aborts_stalled_transfers_only() {
+        let meta = Metainfo::synthetic("stall.bin", "tr", 64 * 1024, 4 * 1024 * 1024, 1);
+        let torrent = TorrentSpec::from_metainfo(&meta, 64 * 1024);
+        let cfg = FlowConfig {
+            stall_timeout: Some(SimDuration::from_secs(5)),
+            ..FlowConfig::default()
+        };
+        let mut w = FlowWorld::new(cfg, 42);
+        let seed_node = w.add_node(Access::campus());
+        let leech_node = w.add_node(Access::residential());
+        w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+        let leech = w.add_task(TaskSpec::default_client(leech_node, torrent, false));
+        w.start();
+        w.run_until(SimTime::from_secs(10), |_| {});
+        let progress = w.progress_fraction(leech);
+        assert!(progress > 0.0, "transfer must be in flight");
+        assert_eq!(w.stall_aborts(), 0, "healthy transfers never time out");
+        assert!(
+            w.queue_stats().cancelled > 0,
+            "every progress tick re-arms the watchdog via an eager cancel"
+        );
+        // Black-hole the seed: its links look up but nothing moves (rate
+        // zero with data still queued) — the watchdog must abort the
+        // stalled connection one timeout later.
+        w.begin_blackhole(NodeId(seed_node as u32));
+        w.run_until(SimTime::from_secs(30), |_| {});
+        assert!(w.stall_aborts() > 0, "stalled transfer was never aborted");
+    }
+
+    #[test]
+    fn stall_watchdog_defaults_off() {
+        // Without the opt-in the flow world schedules no watchdog timers:
+        // cancellation counters stay exactly zero.
+        let meta = Metainfo::synthetic("off.bin", "tr", 64 * 1024, 1024 * 1024, 1);
+        let torrent = TorrentSpec::from_metainfo(&meta, 64 * 1024);
+        let mut w = FlowWorld::new(FlowConfig::default(), 42);
+        let seed_node = w.add_node(Access::campus());
+        let leech_node = w.add_node(Access::residential());
+        w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+        w.add_task(TaskSpec::default_client(leech_node, torrent, false));
+        w.start();
+        w.run_until(SimTime::from_secs(60), |_| {});
+        let q = w.queue_stats();
+        assert_eq!(q.cancelled, 0);
+        assert_eq!(w.stall_aborts(), 0);
     }
 }

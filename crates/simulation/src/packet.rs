@@ -28,7 +28,7 @@ use sim_tcp::endpoint::{Endpoint, TcpConfig};
 use sim_tcp::segment::Segment;
 use sim_tcp::seq::SeqNum;
 use simnet::addr::{AddressBook, NodeId};
-use simnet::event::EventToken;
+use simnet::event::{EventToken, QueueStats, Scheduler};
 use simnet::fault::FaultHooks;
 use simnet::rng::SimRng;
 use simnet::sim::Simulator;
@@ -51,6 +51,8 @@ pub struct PacketConfig {
     pub tcp: TcpConfig,
     /// Client housekeeping cadence (BitTorrent overlay).
     pub client_tick: SimDuration,
+    /// Event-queue scheduler backing the simulator.
+    pub scheduler: Scheduler,
 }
 
 impl Default for PacketConfig {
@@ -59,6 +61,7 @@ impl Default for PacketConfig {
             backbone_delay: SimDuration::from_millis(20),
             tcp: TcpConfig::default(),
             client_tick: SimDuration::from_millis(500),
+            scheduler: Scheduler::from_env(),
         }
     }
 }
@@ -131,6 +134,9 @@ pub struct PacketWorld {
     sim: Simulator<PEv>,
     nodes: Vec<PNode>,
     conns: Vec<Option<PConn>>,
+    /// Per-node index of live connections, so address churn and client
+    /// teardown touch only a node's own conns instead of scanning all.
+    node_conns: Vec<BTreeSet<PConnKey>>,
     /// `(node, client conn key)` → world connection.
     ckeys: BTreeMap<(PNodeKey, u64), PConnKey>,
     tracker: Tracker,
@@ -156,10 +162,11 @@ impl PacketWorld {
     /// Creates an empty world.
     pub fn new(cfg: PacketConfig, seed: u64) -> Self {
         PacketWorld {
+            sim: Simulator::with_scheduler(cfg.scheduler),
             cfg,
-            sim: Simulator::new(),
             nodes: Vec::new(),
             conns: Vec::new(),
+            node_conns: Vec::new(),
             ckeys: BTreeMap::new(),
             tracker: Tracker::new(TrackerConfig::default()),
             book: AddressBook::new(),
@@ -201,6 +208,21 @@ impl PacketWorld {
         self.sim.now()
     }
 
+    /// Number of simulator events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
+    }
+
+    /// Event-queue instrumentation counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.sim.queue_stats()
+    }
+
+    /// Which event-queue scheduler backs this world.
+    pub fn scheduler(&self) -> Scheduler {
+        self.sim.scheduler()
+    }
+
     /// Adds a node; `channel` gives it a wireless access hop.
     pub fn add_node(&mut self, channel: Option<WirelessConfig>) -> PNodeKey {
         let key = self.nodes.len();
@@ -213,6 +235,7 @@ impl PacketWorld {
             delivered_down: 0,
             delivered_up: 0,
         });
+        self.node_conns.push(BTreeSet::new());
         key
     }
 
@@ -301,6 +324,8 @@ impl PacketWorld {
             b_up: true,
             closed: false,
         }));
+        self.node_conns[a].insert(conn);
+        self.node_conns[b].insert(conn);
         self.flush(conn, true);
         self.flush(conn, false);
         conn
@@ -482,14 +507,10 @@ impl PacketWorld {
     pub fn stop_client(&mut self, node: PNodeKey) {
         let now = self.sim.now();
         self.nodes[node].client = None;
-        for conn in 0..self.conns.len() {
-            let touches = self.conns[conn]
-                .as_ref()
-                .map(|c| c.a_node == node || c.b_node == node)
-                .unwrap_or(false);
-            if touches {
-                self.teardown_conn(conn, now);
-            }
+        // Ascending conn-key order, matching the old full scan.
+        let touched: Vec<PConnKey> = self.node_conns[node].iter().copied().collect();
+        for conn in touched {
+            self.teardown_conn(conn, now);
         }
     }
 
@@ -497,6 +518,8 @@ impl PacketWorld {
         let Some(c) = self.conns[conn].take() else {
             return;
         };
+        self.node_conns[c.a_node].remove(&conn);
+        self.node_conns[c.b_node].remove(&conn);
         if let Some((_, tok)) = c.a_timer {
             self.sim.cancel(tok);
         }
@@ -994,14 +1017,9 @@ impl FaultHooks for PacketWorld {
         if let Some(c) = self.nodes[n].client.as_mut() {
             c.set_own_addr(addr);
         }
-        for conn in 0..self.conns.len() {
-            let touches = self.conns[conn]
-                .as_ref()
-                .map(|c| c.a_node == n || c.b_node == n)
-                .unwrap_or(false);
-            if touches {
-                self.teardown_conn(conn, now);
-            }
+        let touched: Vec<PConnKey> = self.node_conns[n].iter().copied().collect();
+        for conn in touched {
+            self.teardown_conn(conn, now);
         }
         self.fault_note(format!("fault churn node {n} -> {addr:?}"));
         self.pump_actions(now);

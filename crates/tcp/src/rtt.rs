@@ -47,15 +47,19 @@ impl RttEstimator {
     pub fn sample(&mut self, rtt: SimDuration) {
         const G: u64 = 4; // 1/beta = 4
         const H: u64 = 8; // 1/alpha = 8
+        // Clock granule: RFC 6298 §2.3 requires RTTVAR never to round down
+        // to zero, else a steady link collapses RTO to SRTT and a single
+        // queueing blip fires a spurious retransmit.
+        const GRANULE: SimDuration = SimDuration::from_micros(1);
         match self.srtt {
             None => {
                 self.srtt = Some(rtt);
-                self.rttvar = rtt / 2;
+                self.rttvar = (rtt / 2).max(GRANULE);
             }
             Some(srtt) => {
                 let err = if rtt >= srtt { rtt - srtt } else { srtt - rtt };
                 // RTTVAR <- 3/4 RTTVAR + 1/4 |err|
-                self.rttvar = self.rttvar.saturating_mul(G - 1) / G + err / G;
+                self.rttvar = (self.rttvar.saturating_mul(G - 1) / G + err / G).max(GRANULE);
                 // SRTT <- 7/8 SRTT + 1/8 RTT
                 self.srtt = Some(srtt.saturating_mul(H - 1) / H + rtt / H);
             }
@@ -148,5 +152,38 @@ mod tests {
     fn initial_rto_without_samples() {
         let est = RttEstimator::linux_like();
         assert_eq!(est.rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn rttvar_never_truncates_to_zero() {
+        // Regression: with integer EWMA, a perfectly steady RTT drives
+        // rttvar to 0 in a few samples, collapsing RTO to SRTT (visible
+        // once min_rto doesn't mask it). RFC 6298 §2.3 mandates a one-
+        // granule floor.
+        let mut est = RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1), // min_rto too small to mask the bug
+            SimDuration::from_secs(60),
+        );
+        for _ in 0..100 {
+            est.sample(SimDuration::from_millis(50));
+        }
+        let srtt = est.srtt().unwrap();
+        assert!(
+            est.rto() > srtt,
+            "rto {:?} must stay above srtt {:?} (rttvar floor)",
+            est.rto(),
+            srtt
+        );
+        assert!(est.rto() >= srtt + SimDuration::from_micros(4));
+
+        // A zero-RTT first sample must not zero rttvar either.
+        let mut est = RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1),
+            SimDuration::from_secs(60),
+        );
+        est.sample(SimDuration::ZERO);
+        assert!(est.rto() >= SimDuration::from_micros(4));
     }
 }
