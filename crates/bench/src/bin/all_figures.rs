@@ -19,13 +19,17 @@
 //! seed's deterministic fault plan into both worlds with the swarm-wide
 //! invariant checker live — the harness for reproducing a failing seed
 //! from CI (same seed, byte-identical schedule and trace).
+//! `--soak <seed>` skips the figures and runs the chaos soak: every
+//! named fault scenario against an armed-resilience swarm, asserting
+//! recovery after each fault window and emitting the
+//! `soak.time_to_recover` series under `--metrics-out`.
 //! Sweeps fan out across worker threads (`WP2P_THREADS` overrides the
 //! count; `WP2P_THREADS=1` is byte-identical to the parallel output).
 //! Per-figure cell counts and timings land in `BENCH_sweeps.json`.
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{faults, registry};
+use p2p_simulation::experiments::{faults, registry, soak};
 use p2p_simulation::harness::{self, SweepStats};
 use simnet::time::SimDuration;
 use std::time::Instant;
@@ -125,6 +129,31 @@ fn main() {
         if let Some(dir) = &metrics_out {
             dump_metrics(dir, "faults_flow", &flow_handle);
             dump_metrics(dir, "faults_packet", &pkt_handle);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--soak")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--soak takes a u64 seed");
+        let params = if quick {
+            soak::SoakParams::quick()
+        } else {
+            soak::SoakParams::paper()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let points = soak::run_soak_with(&params, &handle, seed);
+        for p in &points {
+            println!("## {} — {}", p.name, p.what);
+            print!("{}", p.outcome.schedule);
+            println!();
+        }
+        soak::soak_table(&points).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "soak", &handle);
         }
         return;
     }

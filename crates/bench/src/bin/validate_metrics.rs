@@ -143,6 +143,19 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                                         "series \"{name}\" point {i}: value is not a number or null"
                                     ));
                                 }
+                                // The soak recovery series carries a hard
+                                // contract: every window recovered, so every
+                                // value is a finite non-negative number.
+                                if name == "soak.time_to_recover"
+                                    && !pair[1]
+                                        .as_num()
+                                        .is_some_and(|v| v.is_finite() && v >= 0.0)
+                                {
+                                    errors.push(format!(
+                                        "series \"{name}\" point {i}: recovery time must be a \
+finite non-negative number"
+                                    ));
+                                }
                             }
                         }
                         None => errors.push(format!("series \"{name}\": points is not an array")),
@@ -232,6 +245,34 @@ mod tests {
         s.record(simnet::time::SimTime::from_secs(1), 2.0);
         s.record(simnet::time::SimTime::from_secs(2), 3.0);
         assert_eq!(errors_for(&handle.to_json()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn enforces_the_soak_recovery_contract() {
+        // Any other series may carry nulls; the soak recovery series
+        // must be finite and non-negative at every point.
+        let good = metrics::handle::MetricsHandle::enabled(1);
+        let s = good.series("soak.time_to_recover");
+        s.record(simnet::time::SimTime::from_secs(0), 0.0);
+        s.record(simnet::time::SimTime::from_secs(1), 12.5);
+        assert_eq!(errors_for(&good.to_json()), Vec::<String>::new());
+
+        let bad = metrics::handle::MetricsHandle::enabled(1);
+        bad.series("soak.time_to_recover")
+            .record(simnet::time::SimTime::from_secs(0), -3.0);
+        let errs = errors_for(&bad.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("finite non-negative")),
+            "negative recovery time accepted: {errs:?}"
+        );
+
+        let nan = metrics::handle::MetricsHandle::enabled(1);
+        nan.series("soak.time_to_recover")
+            .record(simnet::time::SimTime::from_secs(0), f64::NAN);
+        assert!(
+            !errors_for(&nan.to_json()).is_empty(),
+            "non-finite recovery time accepted"
+        );
     }
 
     #[test]

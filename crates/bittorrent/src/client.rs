@@ -20,6 +20,7 @@
 
 use crate::bitfield::Bitfield;
 use crate::choker::{Choker, ChokerConfig, ConnKey, PeerSnapshot};
+use crate::lifecycle::{ConnState, ResilienceConfig};
 use crate::metainfo::InfoHash;
 use crate::peer_id::PeerId;
 use crate::picker::{PickContext, PiecePicker, RarestFirst};
@@ -70,6 +71,12 @@ pub struct ClientConfig {
     /// peers at all (clients poll the tracker ahead of schedule when the
     /// swarm looks empty).
     pub min_reannounce: SimDuration,
+    /// Connection-lifecycle resilience knobs. The default is unarmed:
+    /// the legacy fixed dial backoff, no keepalive or snub machinery.
+    /// [`ResilienceConfig::armed`] switches the client to seeded
+    /// exponential backoff with jitter, keepalive timeouts, and snub
+    /// detection.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ClientConfig {
@@ -87,6 +94,7 @@ impl Default for ClientConfig {
             dial_backoff: SimDuration::from_secs(30),
             dial_while_seeding: false,
             min_reannounce: SimDuration::from_secs(60),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -146,6 +154,15 @@ struct Peer {
     upload_queue: VecDeque<BlockRef>,
     download_est: RateEstimator,
     upload_est: RateEstimator,
+    /// Last time any message arrived (armed: keepalive-timeout clock).
+    last_recv: SimTime,
+    /// Last time a piece arrived (armed: snub-detection clock).
+    last_progress: SimTime,
+    /// Last time we emitted a keepalive (armed).
+    last_keepalive: SimTime,
+    /// Armed: no piece progress for the snub timeout — the pipeline is
+    /// collapsed to a single probe request until a piece arrives.
+    snubbed: bool,
 }
 
 /// Cumulative client counters.
@@ -161,6 +178,10 @@ pub struct ClientStats {
     pub dial_failures: u64,
     /// Blocks that arrived as duplicates (endgame waste).
     pub duplicate_blocks: u64,
+    /// Peers snubbed for lack of piece progress (armed lifecycle only).
+    pub snubs: u64,
+    /// Connections closed for total silence (armed lifecycle only).
+    pub keepalive_closes: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -215,6 +236,9 @@ pub struct Client {
     served: HashMap<PeerId, f64>,
     actions: VecDeque<Action>,
     rng: SimRng,
+    /// Dedicated stream for backoff jitter, forked from `rng` at
+    /// construction: arming jitter never perturbs picker/choker draws.
+    backoff_rng: SimRng,
     upload_bucket: TokenBucket,
     next_announce: SimTime,
     /// Time the network last became stable (start or reconnection) — the
@@ -288,6 +312,7 @@ impl Client {
             credit: HashMap::new(),
             served: HashMap::new(),
             actions: VecDeque::new(),
+            backoff_rng: rng.fork(0xBAC0FF),
             rng,
             upload_bucket,
             next_announce: SimTime::ZERO,
@@ -422,6 +447,61 @@ impl Client {
         self.credit.get(&id).copied().unwrap_or(0.0)
     }
 
+    /// The resilience configuration in force.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.config.resilience
+    }
+
+    /// Whether a connection is currently snubbed (armed lifecycle only).
+    pub fn is_snubbed(&self, conn: ConnKey) -> Option<bool> {
+        self.conns.get(&conn).map(|p| p.snubbed)
+    }
+
+    /// Number of currently snubbed connections.
+    pub fn snubbed_count(&self) -> usize {
+        self.conns.values().filter(|p| p.snubbed).count()
+    }
+
+    /// Lifecycle state of a known address at `now`. `None` for unknown
+    /// addresses. The soak harness's liveness assertions read this: no
+    /// address may sit in [`ConnState::BackingOff`] with an unbounded
+    /// retry time unless its budget is spent ([`ConnState::Dead`]).
+    pub fn lifecycle_of(&self, addr: SimAddr, now: SimTime) -> Option<ConnState> {
+        let res = self.config.resilience;
+        let st = self.addrs.get(&addr)?;
+        Some(if st.connected {
+            let snubbed = self.conns.values().any(|p| p.addr == addr && p.snubbed);
+            if snubbed {
+                ConnState::Snubbed
+            } else {
+                ConnState::Established
+            }
+        } else if st.next_attempt == SimTime::MAX
+            || (res.armed && st.failures >= res.max_dial_attempts)
+        {
+            ConnState::Dead
+        } else if st.next_attempt > now {
+            ConnState::BackingOff
+        } else if st.failures > 0 {
+            ConnState::Reconnecting
+        } else {
+            ConnState::Connecting
+        })
+    }
+
+    /// Dial bookkeeping snapshot, sorted by address:
+    /// `(addr, failures, next_attempt, connected)`. Deterministic — the
+    /// soak harness diffs it between replays.
+    pub fn addr_states(&self) -> Vec<(SimAddr, u32, SimTime, bool)> {
+        let mut v: Vec<(SimAddr, u32, SimTime, bool)> = self
+            .addrs
+            .iter()
+            .map(|(a, st)| (*a, st.failures, st.next_attempt, st.connected))
+            .collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
+    }
+
     /// Changes the upload cap (bytes/second); wP2P's LIHD calls this.
     pub fn set_upload_limit(&mut self, limit: Option<f64>) {
         self.config.upload_limit = limit;
@@ -491,6 +571,10 @@ impl Client {
             upload_queue: VecDeque::new(),
             download_est: RateEstimator::new(),
             upload_est: RateEstimator::new(),
+            last_recv: now,
+            last_progress: now,
+            last_keepalive: now,
+            snubbed: false,
         };
         self.conns.insert(conn, peer);
         self.stats.connections_opened += 1;
@@ -529,14 +613,23 @@ impl Client {
     /// dial to a moved mobile host's old address).
     pub fn on_conn_failed(&mut self, addr: SimAddr, now: SimTime) {
         self.stats.dial_failures += 1;
+        let res = self.config.resilience;
         if let Some(st) = self.addrs.get_mut(&addr) {
             st.connected = false;
             st.failures += 1;
-            let backoff = self
-                .config
-                .dial_backoff
-                .saturating_mul(1u64 << st.failures.min(4));
-            st.next_attempt = now + backoff;
+            st.next_attempt = if res.armed {
+                if st.failures >= res.max_dial_attempts {
+                    SimTime::MAX // ConnState::Dead: retry budget exhausted
+                } else {
+                    now + res.dial.delay(st.failures - 1, &mut self.backoff_rng)
+                }
+            } else {
+                // Legacy schedule: base doubling per failure, capped 2⁴.
+                now + self
+                    .config
+                    .dial_backoff
+                    .saturating_mul(1u64 << st.failures.min(4))
+            };
         }
     }
 
@@ -549,18 +642,57 @@ impl Client {
             self.availability[p as usize] -= 1;
         }
         self.progress.cancel_conn(conn);
+        let res = self.config.resilience;
         if let Some(st) = self.addrs.get_mut(&peer.addr) {
             st.connected = false;
-            st.next_attempt = now + self.config.dial_backoff;
+            st.next_attempt = if res.armed {
+                // A close is not a dial failure: the redial waits out the
+                // current backoff step but does not escalate it.
+                now + res.dial.delay(st.failures, &mut self.backoff_rng)
+            } else {
+                now + self.config.dial_backoff
+            };
+        }
+        self.choker.invalidate();
+    }
+
+    /// A connection was aborted for lack of progress (the world's stall
+    /// watchdog fired, or our keepalive timeout expired). Unarmed this is
+    /// [`Self::on_conn_closed`] — the legacy kill-without-reconnect.
+    /// Armed, the address transitions into backing-off: the failure count
+    /// escalates so the redial follows the exponential schedule, and the
+    /// address goes [`ConnState::Dead`] once the retry budget is spent.
+    pub fn on_conn_stalled(&mut self, conn: ConnKey, now: SimTime) {
+        let res = self.config.resilience;
+        if !res.armed {
+            self.on_conn_closed(conn, now);
+            return;
+        }
+        let Some(peer) = self.conns.remove(&conn) else {
+            return;
+        };
+        for p in peer.have.iter_set() {
+            self.availability[p as usize] -= 1;
+        }
+        self.progress.cancel_conn(conn);
+        if let Some(st) = self.addrs.get_mut(&peer.addr) {
+            st.connected = false;
+            st.failures += 1;
+            st.next_attempt = if st.failures >= res.max_dial_attempts {
+                SimTime::MAX
+            } else {
+                now + res.dial.delay(st.failures - 1, &mut self.backoff_rng)
+            };
         }
         self.choker.invalidate();
     }
 
     /// A wire message arrived on `conn`.
     pub fn on_message(&mut self, conn: ConnKey, msg: Message, now: SimTime) {
-        if !self.conns.contains_key(&conn) {
+        let Some(peer) = self.conns.get_mut(&conn) else {
             return;
-        }
+        };
+        peer.last_recv = now;
         match msg {
             Message::Handshake { info_hash, peer_id } => {
                 if info_hash != self.info_hash || peer_id == self.peer_id {
@@ -692,6 +824,8 @@ impl Client {
             };
             peer.inflight.retain(|b| *b != block);
             peer.download_est.record(now, block.len as u64);
+            peer.last_progress = now;
+            peer.snubbed = false; // piece progress unsnubs
         }
         // Identify other requesters before completion wipes the records.
         let others = self.progress.other_requesters(block, conn);
@@ -783,6 +917,10 @@ impl Client {
                 event: AnnounceEvent::Periodic,
             });
         }
+        // Armed lifecycle: silence closes, keepalives, snub detection.
+        if self.config.resilience.armed {
+            self.lifecycle_tick(now);
+        }
         // Request timeouts: free the blocks and tell the (slow) remote to
         // drop the queued work so it stops wasting its uplink on us.
         let expired = self
@@ -807,6 +945,65 @@ impl Client {
         }
         self.drain_uploads(now);
         self.try_connects(now);
+    }
+
+    /// Armed-lifecycle periodic work: closes totally silent connections
+    /// into backing-off, emits keepalives on the rest, and snubs peers
+    /// that stopped delivering pieces.
+    fn lifecycle_tick(&mut self, now: SimTime) {
+        let res = self.config.resilience;
+        // 1. Total silence: the link is dead even if our side still has
+        //    work queued. Close it and escalate the address's backoff.
+        let silent: Vec<ConnKey> = self
+            .connections()
+            .into_iter()
+            .filter(|k| now.saturating_since(self.conns[k].last_recv) >= res.keepalive_timeout)
+            .collect();
+        for conn in silent {
+            self.stats.keepalive_closes += 1;
+            self.actions.push_back(Action::Close { conn });
+            self.on_conn_stalled(conn, now);
+        }
+        // 2. Keepalives, so a healthy-but-idle connection never trips the
+        //    remote's silence detector.
+        for conn in self.connections() {
+            let Some(peer) = self.conns.get_mut(&conn) else {
+                continue;
+            };
+            if now.saturating_since(peer.last_keepalive) >= res.keepalive_interval {
+                peer.last_keepalive = now;
+                self.actions.push_back(Action::Send {
+                    conn,
+                    msg: Message::KeepAlive,
+                });
+            }
+        }
+        // 3. Snubs: unchoked and interested but no piece for the snub
+        //    timeout. Requeue the in-flight blocks (other peers can serve
+        //    them) and collapse the pipeline to a single probe request;
+        //    the next piece that does arrive unsnubs.
+        for conn in self.connections() {
+            let Some(peer) = self.conns.get_mut(&conn) else {
+                continue;
+            };
+            if peer.snubbed
+                || peer.peer_choking
+                || !peer.am_interested
+                || now.saturating_since(peer.last_progress) < res.snub_timeout
+            {
+                continue;
+            }
+            peer.snubbed = true;
+            self.stats.snubs += 1;
+            let dropped: Vec<BlockRef> = peer.inflight.drain(..).collect();
+            self.progress.cancel_conn(conn);
+            for b in dropped {
+                self.actions.push_back(Action::Send {
+                    conn,
+                    msg: Message::Cancel(b),
+                });
+            }
+        }
     }
 
     fn rechoke(&mut self, now: SimTime) {
@@ -1009,10 +1206,14 @@ impl Client {
             if inflight_bytes >= self.config.request_pipeline_bytes {
                 return;
             }
-            let room = self
-                .config
-                .request_pipeline
-                .saturating_sub(peer.inflight.len());
+            // A snubbed peer keeps a single probe request outstanding:
+            // enough to notice recovery, not enough to strand blocks.
+            let pipeline = if peer.snubbed {
+                1
+            } else {
+                self.config.request_pipeline
+            };
+            let room = pipeline.saturating_sub(peer.inflight.len());
             if room == 0 {
                 return;
             }
@@ -1530,5 +1731,163 @@ mod tests {
         c.on_conn_closed(1, now);
         assert_eq!(c.progress.in_flight_total(), 0);
         assert_eq!(c.connection_count(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Armed lifecycle
+    // ------------------------------------------------------------------
+
+    fn armed_client(res: ResilienceConfig) -> Client {
+        Client::with_progress(
+            ClientConfig {
+                resilience: res,
+                ..ClientConfig::default()
+            },
+            InfoHash([1; 20]),
+            PeerId([7; 20]),
+            TorrentProgress::new(PIECE, LEN),
+            SimAddr(1),
+            SimRng::new(9),
+        )
+    }
+
+    /// Establishes conn 1 to SimAddr(5) with a full remote bitfield and
+    /// an unchoke, leaving requests in flight.
+    fn establish(c: &mut Client, now: SimTime) {
+        c.seed_known_addrs(&[SimAddr(5)], now);
+        c.on_connected(1, SimAddr(5), now);
+        drain(c);
+        c.on_message(
+            1,
+            Message::Handshake {
+                info_hash: InfoHash([1; 20]),
+                peer_id: PeerId([2; 20]),
+            },
+            now,
+        );
+        c.on_message(1, Message::Bitfield(Bitfield::full(4)), now);
+        c.on_message(1, Message::Unchoke, now);
+        drain(c);
+    }
+
+    #[test]
+    fn armed_dial_failures_escalate_then_exhaust() {
+        let mut res = ResilienceConfig::armed();
+        res.max_dial_attempts = 4;
+        let mut c = armed_client(res);
+        let now = SimTime::ZERO;
+        c.seed_known_addrs(&[SimAddr(10)], now);
+        let mut prev_gap = SimDuration::ZERO;
+        for _ in 0..3 {
+            c.on_conn_failed(SimAddr(10), now);
+            let (_, _, next, _) = c.addr_states()[0];
+            let gap = next.saturating_since(now);
+            assert!(gap > prev_gap, "backoff must escalate: {gap:?} vs {prev_gap:?}");
+            assert_eq!(c.lifecycle_of(SimAddr(10), now), Some(ConnState::BackingOff));
+            prev_gap = gap;
+        }
+        // Fourth failure exhausts the budget: the address is dead and
+        // never dialled again.
+        c.on_conn_failed(SimAddr(10), now);
+        assert_eq!(c.lifecycle_of(SimAddr(10), now), Some(ConnState::Dead));
+        c.on_tick(SimTime::from_secs(1_000_000));
+        assert!(drain(&mut c)
+            .iter()
+            .all(|a| !matches!(a, Action::Connect { .. })));
+    }
+
+    #[test]
+    fn snub_and_unsnub_round_trip() {
+        let mut res = ResilienceConfig::armed();
+        res.snub_timeout = SimDuration::from_secs(10);
+        let mut c = armed_client(res);
+        establish(&mut c, SimTime::ZERO);
+        assert_eq!(c.is_snubbed(1), Some(false));
+        // No piece for the snub timeout: the peer is snubbed, in-flight
+        // blocks are cancelled, and a single probe request remains.
+        c.on_tick(SimTime::from_secs(10));
+        let actions = drain(&mut c);
+        assert_eq!(c.is_snubbed(1), Some(true));
+        assert_eq!(c.stats().snubs, 1);
+        assert!(sends_to(&actions, 1)
+            .iter()
+            .any(|m| matches!(m, Message::Cancel(_))));
+        let probes = c.conns.get(&1).unwrap().inflight.clone();
+        assert_eq!(probes.len(), 1, "snubbed pipeline collapses to a probe");
+        // The probe is answered: the peer unsnubs and the pipeline
+        // refills past one request.
+        c.on_message(1, Message::Piece(probes[0]), SimTime::from_secs(11));
+        drain(&mut c);
+        assert_eq!(c.is_snubbed(1), Some(false));
+        assert!(c.conns.get(&1).unwrap().inflight.len() > 1);
+    }
+
+    #[test]
+    fn silent_connection_closes_into_backoff() {
+        let mut res = ResilienceConfig::armed();
+        res.keepalive_interval = SimDuration::from_secs(8);
+        res.keepalive_timeout = SimDuration::from_secs(20);
+        let mut c = armed_client(res);
+        establish(&mut c, SimTime::ZERO);
+        // Idle but not silent long enough: a keepalive goes out.
+        c.on_tick(SimTime::from_secs(8));
+        let actions = drain(&mut c);
+        assert!(sends_to(&actions, 1)
+            .iter()
+            .any(|m| matches!(m, Message::KeepAlive)));
+        // Total silence past the timeout: closed into backing-off.
+        c.on_tick(SimTime::from_secs(20));
+        let actions = drain(&mut c);
+        assert!(actions.contains(&Action::Close { conn: 1 }));
+        assert_eq!(c.stats().keepalive_closes, 1);
+        assert_eq!(c.connection_count(), 0);
+        assert_eq!(
+            c.lifecycle_of(SimAddr(5), SimTime::from_secs(20)),
+            Some(ConnState::BackingOff)
+        );
+    }
+
+    #[test]
+    fn incoming_traffic_defers_the_silence_close() {
+        let mut res = ResilienceConfig::armed();
+        res.keepalive_timeout = SimDuration::from_secs(20);
+        let mut c = armed_client(res);
+        establish(&mut c, SimTime::ZERO);
+        // The remote's keepalive resets the silence clock.
+        c.on_message(1, Message::KeepAlive, SimTime::from_secs(15));
+        c.on_tick(SimTime::from_secs(20));
+        drain(&mut c);
+        assert_eq!(c.connection_count(), 1, "live link must not be reaped");
+    }
+
+    #[test]
+    fn stall_escalates_backoff_when_armed_but_not_unarmed() {
+        // Unarmed: a stall is the legacy close — flat redial delay, no
+        // failure escalation.
+        let mut c = client(false);
+        let now = SimTime::ZERO;
+        establish(&mut c, now);
+        c.on_conn_stalled(1, now);
+        let (_, failures, next, _) = c.addr_states()[0];
+        assert_eq!(failures, 0);
+        assert_eq!(next.saturating_since(now), SimDuration::from_secs(30));
+        // Armed: a stall starts the backoff ladder, a failed redial
+        // climbs it, and a successful reconnection resets it.
+        let mut c = armed_client(ResilienceConfig::armed());
+        establish(&mut c, now);
+        c.on_conn_stalled(1, now);
+        let (_, failures, next1, _) = c.addr_states()[0];
+        assert_eq!(failures, 1);
+        assert!(next1 > now, "stall must enter backing-off");
+        c.on_conn_failed(SimAddr(5), now);
+        let (_, failures, next2, _) = c.addr_states()[0];
+        assert_eq!(failures, 2);
+        assert!(
+            next2.saturating_since(now) > next1.saturating_since(now),
+            "a failed redial must wait longer than the first stall"
+        );
+        c.on_connected(2, SimAddr(5), now);
+        drain(&mut c);
+        assert_eq!(c.addr_states()[0].1, 0, "success resets the ladder");
     }
 }

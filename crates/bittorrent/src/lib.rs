@@ -17,6 +17,8 @@
 //!   endgame duplication.
 //! * [`picker`] — piece-selection policies (rarest-first default).
 //! * [`choker`] — tit-for-tat unchoking with an optimistic slot.
+//! * [`lifecycle`] — connection resilience: seeded exponential backoff,
+//!   keepalive/snub timeouts, and the per-peer lifecycle state machine.
 //! * [`tracker`] — the directory server with 50-peer responses and
 //!   staleness-by-expiry.
 //! * [`rate`] — rate estimation and token-bucket limiting.
@@ -33,6 +35,7 @@ pub mod bencode;
 pub mod bitfield;
 pub mod choker;
 pub mod client;
+pub mod lifecycle;
 pub mod magnet;
 pub mod metainfo;
 pub mod peer_id;
@@ -49,6 +52,7 @@ pub mod prelude {
     pub use crate::bitfield::Bitfield;
     pub use crate::choker::{ChokeDecision, Choker, ChokerConfig, ConnKey, PeerSnapshot};
     pub use crate::client::{Action, Client, ClientConfig, ClientStats};
+    pub use crate::lifecycle::{BackoffPolicy, ConnState, ResilienceConfig};
     pub use crate::magnet::MagnetLink;
     pub use crate::metainfo::{Info, InfoHash, Metainfo};
     pub use crate::peer_id::{PeerId, PeerIdStyle};

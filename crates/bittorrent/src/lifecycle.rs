@@ -1,0 +1,267 @@
+//! Connection-lifecycle resilience: backoff policies, keepalive/snub
+//! timeouts, and the per-peer connection state machine.
+//!
+//! The paper's mobile hosts disconnect and come back — hand-offs,
+//! address churn, lossy links — so reconnection is a modelled process,
+//! not an instantaneous retry. This module centralises the knobs:
+//!
+//! * [`BackoffPolicy`] — capped exponential backoff with deterministic
+//!   multiplicative jitter, seeded from [`simnet::rng::SimRng`]. The
+//!   same seed always produces the same schedule, and a policy with
+//!   `jitter == 0.0` draws nothing from the RNG at all, so arming a
+//!   zero-jitter policy cannot perturb any other seeded stream.
+//! * [`ResilienceConfig`] — the typed bundle of dial backoff, announce
+//!   backoff, keepalive and snub timeouts the client and both
+//!   simulation worlds consume. The default is **unarmed**: every field
+//!   reproduces the legacy fixed-retry behaviour byte-for-byte.
+//! * [`ConnState`] — the lifecycle a resilient connection moves
+//!   through: connecting → established → snubbed → backing-off →
+//!   reconnecting → dead.
+
+use simnet::rng::SimRng;
+use simnet::time::SimDuration;
+
+/// Capped exponential backoff with deterministic multiplicative jitter.
+///
+/// Attempt `n` (0-based) waits `min(base · 2ⁿ, cap)`, scaled by a
+/// uniform factor from `[1 − jitter, 1 + jitter]`. With `jitter == 0.0`
+/// the RNG is untouched ([`SimRng::jitter`] short-circuits), so the
+/// schedule is a pure function of `(base, cap, attempt)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay of the first retry (attempt 0).
+    pub base: SimDuration,
+    /// Upper bound the exponential is clamped to.
+    pub cap: SimDuration,
+    /// Multiplicative jitter spread in `[0, 1]`; `0.0` draws nothing.
+    pub jitter: f64,
+}
+
+impl BackoffPolicy {
+    /// A fixed-delay policy: every attempt waits exactly `delay`.
+    pub fn fixed(delay: SimDuration) -> Self {
+        BackoffPolicy {
+            base: delay,
+            cap: delay,
+            jitter: 0.0,
+        }
+    }
+
+    /// Exponential policy without jitter.
+    pub fn exponential(base: SimDuration, cap: SimDuration) -> Self {
+        BackoffPolicy {
+            base,
+            cap,
+            jitter: 0.0,
+        }
+    }
+
+    /// Sets the jitter spread (builder style).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The delay before retry number `attempt` (0-based). Draws one
+    /// jitter sample from `rng` unless `jitter == 0.0`.
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = self.base.saturating_mul(1u64 << attempt.min(30));
+        let clamped = if exp > self.cap { self.cap } else { exp };
+        if self.jitter == 0.0 {
+            return clamped;
+        }
+        SimDuration::from_secs_f64(rng.jitter(clamped.as_secs_f64(), self.jitter))
+    }
+}
+
+/// Lifecycle of a resilient peer connection.
+///
+/// ```text
+///           dial                handshake
+/// (new) ──────────► Connecting ───────────► Established
+///                       │   ▲                 │      │ no piece
+///                  fail │   │ retry timer     │      │ progress
+///                       ▼   │                 │      ▼
+///          Dead ◄── BackingOff ◄──────────────┤   Snubbed
+///        (attempts      ▲      close/stall    │      │ piece
+///        exhausted)     └─────────────────────┴──────┘ arrives
+///                            Reconnecting = Connecting with attempt > 0
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// Dial issued, handshake not yet complete (attempt 0).
+    Connecting,
+    /// Handshake complete, peer making progress.
+    Established,
+    /// Established but no piece progress for the snub timeout.
+    Snubbed,
+    /// Closed or failed; waiting out a backoff delay before redial.
+    BackingOff,
+    /// Re-dial after backoff (attempt > 0).
+    Reconnecting,
+    /// Retry budget exhausted; no further dials.
+    Dead,
+}
+
+/// Typed resilience knobs consumed by the client and both simulation
+/// worlds. [`Default`] is **unarmed**: the legacy fixed-retry constants,
+/// zero jitter, no keepalive/snub machinery — byte-identical behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResilienceConfig {
+    /// Master switch. Unarmed keeps the legacy lifecycle (fixed dial
+    /// backoff doubling, fast announce retry, no keepalive/snub).
+    pub armed: bool,
+    /// Peer-dial retry schedule (armed mode).
+    pub dial: BackoffPolicy,
+    /// Tracker-announce retry schedule during outages.
+    pub announce: BackoffPolicy,
+    /// Dials per address before the connection is declared [`ConnState::Dead`].
+    pub max_dial_attempts: u32,
+    /// Established connection with no piece progress for this long is
+    /// snubbed (its in-flight requests requeued, no new requests).
+    pub snub_timeout: SimDuration,
+    /// Idle send interval: a keepalive goes out when nothing else was
+    /// sent for this long.
+    pub keepalive_interval: SimDuration,
+    /// A peer silent (no messages at all) for this long is closed into
+    /// backing-off.
+    pub keepalive_timeout: SimDuration,
+    /// Jitter spread applied to tracker re-announce intervals.
+    pub reannounce_jitter: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            armed: false,
+            // Mirrors the legacy dial schedule: 30 s doubling, capped at
+            // 30 s · 2⁴ = 480 s.
+            dial: BackoffPolicy::exponential(
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(480),
+            ),
+            // Mirrors the legacy fixed 60 s outage retry at attempt 0.
+            announce: BackoffPolicy::exponential(
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(240),
+            ),
+            max_dial_attempts: u32::MAX,
+            snub_timeout: SimDuration::from_secs(120),
+            keepalive_interval: SimDuration::from_secs(60),
+            keepalive_timeout: SimDuration::from_secs(150),
+            reannounce_jitter: 0.0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The armed preset: exponential dial/announce backoff with 10%
+    /// jitter, a finite retry budget, keepalive and snub detection on.
+    pub fn armed() -> Self {
+        ResilienceConfig {
+            armed: true,
+            dial: BackoffPolicy::exponential(
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(480),
+            )
+            .with_jitter(0.1),
+            announce: BackoffPolicy::exponential(
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(240),
+            )
+            .with_jitter(0.1),
+            max_dial_attempts: 8,
+            reannounce_jitter: 0.1,
+            ..ResilienceConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = BackoffPolicy::exponential(SimDuration::from_secs(30), SimDuration::from_secs(480));
+        let mut rng = SimRng::new(1);
+        let delays: Vec<u64> = (0..8).map(|a| p.delay(a, &mut rng).as_micros()).collect();
+        let secs: Vec<u64> = delays.iter().map(|d| d / 1_000_000).collect();
+        assert_eq!(secs, vec![30, 60, 120, 240, 480, 480, 480, 480]);
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = BackoffPolicy::exponential(SimDuration::from_secs(30), SimDuration::from_secs(480));
+        let mut rng = SimRng::new(1);
+        assert_eq!(p.delay(u32::MAX, &mut rng), SimDuration::from_secs(480));
+    }
+
+    #[test]
+    fn zero_jitter_leaves_rng_untouched() {
+        let p = BackoffPolicy::exponential(SimDuration::from_secs(30), SimDuration::from_secs(480));
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for attempt in 0..6 {
+            p.delay(attempt, &mut a);
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "zero jitter must not draw");
+    }
+
+    #[test]
+    fn jittered_schedule_is_seed_deterministic_and_bounded() {
+        let p = BackoffPolicy::exponential(SimDuration::from_secs(30), SimDuration::from_secs(480))
+            .with_jitter(0.25);
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut rng = SimRng::new(seed);
+            (0..10).map(|a| p.delay(a, &mut rng).as_micros()).collect()
+        };
+        assert_eq!(schedule(42), schedule(42), "same seed, same schedule");
+        assert_ne!(schedule(42), schedule(43), "jitter actually varies");
+        let mut rng = SimRng::new(9);
+        for attempt in 0..10 {
+            let d = p.delay(attempt, &mut rng).as_secs_f64();
+            let nominal = (30.0 * f64::from(1u32 << attempt.min(30))).min(480.0);
+            assert!(d >= nominal * 0.75 - 1e-6 && d <= nominal * 1.25 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fixed_policy_is_flat() {
+        let p = BackoffPolicy::fixed(SimDuration::from_secs(60));
+        let mut rng = SimRng::new(3);
+        for attempt in [0, 1, 5, 20] {
+            assert_eq!(p.delay(attempt, &mut rng), SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn default_config_is_unarmed_and_jitterless() {
+        let c = ResilienceConfig::default();
+        assert!(!c.armed);
+        assert_eq!(c.dial.jitter, 0.0);
+        assert_eq!(c.announce.jitter, 0.0);
+        assert_eq!(c.reannounce_jitter, 0.0);
+        assert_eq!(c.max_dial_attempts, u32::MAX);
+        // The unarmed announce policy's first retry matches the legacy
+        // fixed 60 s outage retry.
+        let mut rng = SimRng::new(1);
+        assert_eq!(c.announce.delay(0, &mut rng), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn armed_preset_is_armed_with_jitter() {
+        let c = ResilienceConfig::armed();
+        assert!(c.armed);
+        assert!(c.dial.jitter > 0.0);
+        assert!(c.max_dial_attempts < u32::MAX);
+        assert!(c.snub_timeout > SimDuration::ZERO);
+        assert!(c.keepalive_timeout > c.keepalive_interval);
+    }
+
+    #[test]
+    fn conn_state_is_comparable() {
+        assert_eq!(ConnState::Connecting, ConnState::Connecting);
+        assert_ne!(ConnState::Snubbed, ConnState::Established);
+    }
+}

@@ -23,6 +23,12 @@ pub struct TrackerConfig {
     pub max_peers_returned: usize,
     /// A peer missing this many intervals is dropped from the swarm.
     pub expiry_intervals: u32,
+    /// Multiplicative jitter spread applied to the interval each
+    /// announce response carries, so a swarm's re-announces desynchronise
+    /// instead of stampeding the tracker in lockstep. `0.0` (the
+    /// default) draws nothing from the RNG — byte-identical to the
+    /// fixed-interval behaviour.
+    pub interval_jitter: f64,
 }
 
 impl Default for TrackerConfig {
@@ -31,6 +37,7 @@ impl Default for TrackerConfig {
             announce_interval: SimDuration::from_mins(15),
             max_peers_returned: 50,
             expiry_intervals: 2,
+            interval_jitter: 0.0,
         }
     }
 }
@@ -178,8 +185,16 @@ impl Tracker {
         others.truncate(self.config.max_peers_returned);
         let complete = swarm.values().filter(|p| p.seed).count();
         let incomplete = swarm.len() - complete;
+        let base = self.config.announce_interval;
+        let interval = if self.config.interval_jitter == 0.0 {
+            base // no RNG draw: keeps jitterless streams untouched
+        } else {
+            SimDuration::from_secs_f64(
+                rng.jitter(base.as_secs_f64(), self.config.interval_jitter),
+            )
+        };
         AnnounceResponse {
-            interval: self.config.announce_interval,
+            interval,
             peers: others,
             complete,
             incomplete,
@@ -562,5 +577,55 @@ mod tests {
         );
         assert_eq!(resp.complete, 2);
         assert_eq!(resp.incomplete, 0);
+    }
+
+    #[test]
+    fn interval_jitter_spreads_reannounces_deterministically() {
+        let jittered = |seed: u64| -> Vec<u64> {
+            let mut tr = Tracker::new(TrackerConfig {
+                interval_jitter: 0.2,
+                ..TrackerConfig::default()
+            });
+            let mut rng = SimRng::new(seed);
+            let ih = InfoHash([7; 20]);
+            (0..8u8)
+                .map(|i| {
+                    tr.announce(
+                        ih,
+                        PeerId([i + 1; 20]),
+                        SimAddr(u32::from(i) + 1),
+                        AnnounceEvent::Started,
+                        false,
+                        SimTime::ZERO,
+                        &mut rng,
+                    )
+                    .interval
+                    .as_micros()
+                })
+                .collect()
+        };
+        let a = jittered(5);
+        assert_eq!(a, jittered(5), "same seed, same jittered intervals");
+        let base = TrackerConfig::default().announce_interval;
+        let lo = base.mul_f64(0.8).as_micros();
+        let hi = base.mul_f64(1.2).as_micros();
+        assert!(a.iter().all(|&us| us >= lo && us <= hi));
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "jitter must actually vary the interval"
+        );
+        // Zero jitter keeps the fixed interval and draws nothing.
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let mut rng = SimRng::new(5);
+        let resp = tr.announce(
+            InfoHash([7; 20]),
+            PeerId([1; 20]),
+            SimAddr(1),
+            AnnounceEvent::Started,
+            false,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(resp.interval, base);
     }
 }

@@ -17,3 +17,4 @@ pub mod params;
 pub mod playability;
 pub mod registry;
 pub mod scale;
+pub mod soak;

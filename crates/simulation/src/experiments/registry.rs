@@ -20,6 +20,7 @@ use super::fig9::{self, FIG9AB_SEED, FIG9C_SEED};
 use super::params::ExperimentParams;
 use super::playability::{self, PlayabilityParams};
 use super::scale::{self, SCALE_SEED};
+use super::soak::{self, SOAK_SEED};
 use crate::report::Table;
 use metrics::handle::MetricsHandle;
 
@@ -454,13 +455,37 @@ impl Experiment for Scale {
     }
 }
 
+struct Soak;
+
+impl Experiment for Soak {
+    fn name(&self) -> &'static str {
+        "soak"
+    }
+    fn title(&self) -> &'static str {
+        "Chaos soak — recovery time after composed fault windows"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        soak::SoakParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        soak::SoakParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        SOAK_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = soak::SoakParams::from_params(params);
+        Report::single(soak::soak_table(&soak::run_soak_with(&p, metrics, seed)))
+    }
+}
+
 // ---------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------
 
 static EXPERIMENTS: &[&dyn Experiment] = &[
     &Fig2a, &Fig2bc, &Fig3ab, &Fig3c, &Fig4a, &Fig4bc, &Fig8a, &Fig8b, &Fig8c, &Fig9ab, &Fig9c,
-    &Scale,
+    &Scale, &Soak,
 ];
 
 /// Every registered experiment, in the order `all_figures` runs them.

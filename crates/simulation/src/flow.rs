@@ -236,6 +236,10 @@ struct TaskState {
     generation: u32,
     started: bool,
     completed_at: Option<SimTime>,
+    /// Consecutive failed announces (tracker outage). Indexes the
+    /// client's announce [`bittorrent::lifecycle::BackoffPolicy`]; reset
+    /// by the first successful announce.
+    announce_fails: u32,
     rng: SimRng,
 }
 
@@ -603,6 +607,7 @@ impl FlowWorld {
             generation: 0,
             started: false,
             completed_at: None,
+            announce_fails: 0,
             rng,
         });
         key
@@ -915,8 +920,10 @@ impl FlowWorld {
                         {
                             // Queued data untouched for a whole timeout:
                             // abort, as a client's request timer would.
+                            // Armed clients transition the address into
+                            // backing-off instead of a flat redial.
                             self.stall_aborts += 1;
-                            self.remove_conn(cid, now, true);
+                            self.remove_conn_stalled(cid, now);
                         }
                     }
                 }
@@ -943,6 +950,27 @@ impl FlowWorld {
         while !fired && self.sim.peek_time().is_some_and(|t| t <= deadline) {
             let next = self.now() + self.cfg.tick;
             self.run_until(next.min(deadline), |_| {});
+            fired = stop(self);
+        }
+        fired
+    }
+
+    /// [`Self::run_until_condition`] with a driver invoked on every tick:
+    /// fault injection needs `&mut` world access, the stop condition only
+    /// reads. Terminates when the condition fires, the deadline passes,
+    /// or no events remain at or before it (so a deadline that falls
+    /// between ticks cannot spin). Returns `true` when the condition
+    /// fired.
+    pub fn run_driven_until(
+        &mut self,
+        deadline: SimTime,
+        mut drive: impl FnMut(&mut FlowWorld),
+        mut stop: impl FnMut(&FlowWorld) -> bool,
+    ) -> bool {
+        let mut fired = false;
+        while !fired && self.sim.peek_time().is_some_and(|t| t <= deadline) {
+            let next = self.now() + self.cfg.tick;
+            self.run_until(next.min(deadline), &mut drive);
             fired = stop(self);
         }
         fired
@@ -1175,6 +1203,17 @@ impl FlowWorld {
 
     /// Removes a connection; optionally notifies surviving sides.
     fn remove_conn(&mut self, cid: u64, now: SimTime, notify: bool) {
+        self.remove_conn_inner(cid, now, notify, false);
+    }
+
+    /// [`Self::remove_conn`] for a stall abort: clients are notified via
+    /// [`Client::on_conn_stalled`], so an armed lifecycle escalates the
+    /// address into backing-off instead of the legacy flat redial.
+    fn remove_conn_stalled(&mut self, cid: u64, now: SimTime) {
+        self.remove_conn_inner(cid, now, true, true);
+    }
+
+    fn remove_conn_inner(&mut self, cid: u64, now: SimTime, notify: bool, stalled: bool) {
         let Some(conn) = self.conns.remove(&cid) else {
             return;
         };
@@ -1197,7 +1236,11 @@ impl FlowWorld {
             self.index.remove(&(end.task, end.key));
             if notify && self.tasks[end.task].generation == end.generation {
                 if let Some(client) = self.tasks[end.task].client.as_mut() {
-                    client.on_conn_closed(end.key, now);
+                    if stalled {
+                        client.on_conn_stalled(end.key, now);
+                    } else {
+                        client.on_conn_closed(end.key, now);
+                    }
                 }
             }
         }
@@ -1413,18 +1456,24 @@ impl FlowWorld {
         let ih = client.info_hash();
         let pid = client.peer_id();
         let seed = client.is_seed();
+        let announce_policy = client.resilience().announce;
         if self.tracker_down {
-            // The request times out: nothing is registered, no peers are
-            // learned, and the client backs off briefly before retrying
-            // (real clients re-announce after a failure timeout).
+            // The request times out: nothing is registered and no peers
+            // are learned. The retry interval follows the client's
+            // announce backoff policy — capped exponential per
+            // consecutive failure (the unarmed policy's first step is
+            // the legacy fixed 60 s).
             self.note(
                 now,
                 TraceKind::Tracker,
                 format!("task {t} announce {event:?} failed: tracker outage"),
             );
             if event != AnnounceEvent::Stopped {
+                let fails = self.tasks[t].announce_fails;
+                self.tasks[t].announce_fails = fails.saturating_add(1);
+                let mut rng = self.rng.fork(9100 + t as u64 + now.as_micros());
                 let retry = AnnounceResponse {
-                    interval: SimDuration::from_secs(60),
+                    interval: announce_policy.delay(fails, &mut rng),
                     peers: Vec::new(),
                     complete: 0,
                     incomplete: 0,
@@ -1435,6 +1484,7 @@ impl FlowWorld {
             }
             return;
         }
+        self.tasks[t].announce_fails = 0;
         let mut rng = self.rng.fork(9000 + t as u64 + now.as_micros());
         let resp = self
             .tracker
@@ -2011,6 +2061,168 @@ mod tests {
         w.begin_blackhole(NodeId(seed_node as u32));
         w.run_until(SimTime::from_secs(30), |_| {});
         assert!(w.stall_aborts() > 0, "stalled transfer was never aborted");
+    }
+
+    /// Regression for the pre-lifecycle behaviour: a stall abort used to
+    /// kill the connection and leave only the flat legacy redial. Armed
+    /// clients must instead escalate the address into backing-off.
+    #[test]
+    fn armed_stall_abort_backs_off_instead_of_flat_redial() {
+        use bittorrent::lifecycle::{ConnState, ResilienceConfig};
+
+        type AddrStates = Vec<(SimAddr, u32, SimTime, bool)>;
+        fn run(armed: bool) -> (u64, AddrStates, Option<ConnState>) {
+            let meta = Metainfo::synthetic("stallb.bin", "tr", 64 * 1024, 4 * 1024 * 1024, 1);
+            let torrent = TorrentSpec::from_metainfo(&meta, 64 * 1024);
+            let cfg = FlowConfig {
+                stall_timeout: Some(SimDuration::from_secs(5)),
+                ..FlowConfig::default()
+            };
+            let mut w = FlowWorld::new(cfg, 42);
+            let seed_node = w.add_node(Access::campus());
+            let leech_node = w.add_node(Access::residential());
+            w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+            let mut spec = TaskSpec::default_client(leech_node, torrent, false);
+            if armed {
+                spec.make_config = Box::new(|| ClientConfig {
+                    resilience: ResilienceConfig::armed(),
+                    ..ClientConfig::default()
+                });
+            }
+            let leech = w.add_task(spec);
+            w.start();
+            w.run_until(SimTime::from_secs(10), |_| {});
+            w.begin_blackhole(NodeId(seed_node as u32));
+            w.run_until(SimTime::from_secs(30), |_| {});
+            let seed_addr = w.node_addr(seed_node);
+            let client = w.client(leech).expect("leech alive");
+            let state = client.lifecycle_of(seed_addr, w.now());
+            (w.stall_aborts(), client.addr_states(), state)
+        }
+
+        let (aborts, states, _) = run(false);
+        assert!(aborts > 0, "unarmed run never hit the watchdog");
+        assert!(
+            states.iter().all(|&(_, failures, _, _)| failures == 0),
+            "legacy stall abort must not escalate failures: {states:?}"
+        );
+
+        let (aborts, states, state) = run(true);
+        assert!(aborts > 0, "armed run never hit the watchdog");
+        assert!(
+            states.iter().any(|&(_, failures, _, _)| failures >= 1),
+            "armed stall abort must escalate into backoff: {states:?}"
+        );
+        assert_eq!(
+            state,
+            Some(ConnState::BackingOff),
+            "armed client should be waiting out a backoff window"
+        );
+    }
+
+    /// A loss burst starves piece progress without killing the link: an
+    /// armed client must snub the peer (collapse the pipeline to a probe)
+    /// and unsnub as soon as the burst lifts and a piece lands.
+    #[test]
+    fn snub_and_unsnub_round_trip_under_loss_burst() {
+        use bittorrent::lifecycle::ResilienceConfig;
+
+        let meta = Metainfo::synthetic("snub.bin", "tr", 256 * 1024, 8 * 1024 * 1024, 1);
+        let torrent = TorrentSpec::from_metainfo(&meta, 256 * 1024);
+        let mut w = FlowWorld::new(FlowConfig::default(), 11);
+        let seed_node = w.add_node(Access::Wireless {
+            capacity: 2_000_000.0 / 8.0,
+        });
+        let leech_node = w.add_node(Access::residential());
+        w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+        let mut spec = TaskSpec::default_client(leech_node, torrent, false);
+        spec.make_config = Box::new(|| {
+            let mut res = ResilienceConfig::armed();
+            // Fast snub detection; keepalive long enough that the silent
+            // burst window never closes the connection underneath us.
+            res.snub_timeout = SimDuration::from_secs(15);
+            res.keepalive_timeout = SimDuration::from_secs(600);
+            ClientConfig {
+                resilience: res,
+                ..ClientConfig::default()
+            }
+        });
+        let leech = w.add_task(spec);
+        w.start();
+        w.run_until(SimTime::from_secs(10), |_| {});
+        let before = w.progress_fraction(leech);
+        assert!(before > 0.0, "transfer must be in flight");
+        assert_eq!(w.client(leech).expect("alive").snubbed_count(), 0);
+
+        // Throttle the seed to ~1% capacity: blocks take minutes, so the
+        // leech sees no piece progress inside its snub window.
+        w.begin_loss_burst(NodeId(seed_node as u32), 1e-3);
+        let snubbed = w.run_until_condition(SimTime::from_secs(120), |w| {
+            w.client(leech).is_some_and(|c| c.snubbed_count() > 0)
+        });
+        assert!(snubbed, "loss burst never snubbed the seed connection");
+
+        // Lift the burst: the probe request drains at full rate, a piece
+        // arrives, and the client unsnubs and finishes the download.
+        w.end_loss_burst(NodeId(seed_node as u32));
+        let recovered = w.run_until_condition(SimTime::from_secs(400), |w| {
+            w.client(leech).is_some_and(|c| c.snubbed_count() == 0)
+                && w.progress_fraction(leech) > before
+        });
+        assert!(recovered, "snubbed connection never recovered");
+        assert!(
+            w.client(leech).expect("alive").stats().snubs >= 1,
+            "snub counter never incremented"
+        );
+    }
+
+    /// Role reversal during a tracker outage: the mobile seed hands off
+    /// to a fresh address while the tracker is dark, so its stored-peer
+    /// redial (through the backoff machinery) is the only way back.
+    #[test]
+    fn role_reversal_recovers_during_tracker_outage() {
+        use bittorrent::lifecycle::ResilienceConfig;
+
+        let meta = Metainfo::synthetic("rr.bin", "tr", 256 * 1024, 4 * 1024 * 1024, 1);
+        let torrent = TorrentSpec::from_metainfo(&meta, 256 * 1024);
+        let mut w = FlowWorld::new(FlowConfig::default(), 5);
+        let seed_node = w.add_node(Access::Wireless {
+            capacity: 2_000_000.0 / 8.0,
+        });
+        let leech_node = w.add_node(Access::residential());
+        let armed = || {
+            Box::new(|| ClientConfig {
+                resilience: ResilienceConfig::armed(),
+                ..ClientConfig::default()
+            }) as Box<dyn Fn() -> ClientConfig>
+        };
+        let mut seed_spec = TaskSpec::default_client(seed_node, torrent, true);
+        seed_spec.make_config = armed();
+        seed_spec.wp2p.role_reversal = true;
+        seed_spec.wp2p.identity_retention = true;
+        w.add_task(seed_spec);
+        let mut leech_spec = TaskSpec::default_client(leech_node, torrent, false);
+        leech_spec.make_config = armed();
+        let leech = w.add_task(leech_spec);
+        w.start();
+        w.run_until(SimTime::from_secs(8), |_| {});
+        let before = w.progress_fraction(leech);
+        assert!(before > 0.0 && before < 1.0, "mid-transfer, got {before}");
+
+        // Tracker goes dark, then the seed hands off: the leech cannot
+        // rediscover the new address, and the old connection is a black
+        // hole. Only the seed's stored-peer reconnect restores flow.
+        w.begin_tracker_outage();
+        w.churn_address(NodeId(seed_node as u32));
+        let recovered = w.run_until_condition(SimTime::from_secs(240), |w| {
+            w.progress_fraction(leech) > before + 0.05
+        });
+        assert!(
+            recovered,
+            "stored-peer redial never restored progress (stuck at {})",
+            w.progress_fraction(leech)
+        );
+        w.end_tracker_outage();
     }
 
     #[test]

@@ -73,6 +73,9 @@ struct PNode {
     client: Option<Client>,
     delivered_down: u64,
     delivered_up: u64,
+    /// Consecutive failed announces (tracker outage); indexes the
+    /// client's announce backoff policy, reset on success.
+    announce_fails: u32,
 }
 
 /// One TCP connection between two nodes (with optional BT framing).
@@ -234,6 +237,7 @@ impl PacketWorld {
             client: None,
             delivered_down: 0,
             delivered_up: 0,
+            announce_fails: 0,
         });
         self.node_conns.push(BTreeSet::new());
         key
@@ -872,10 +876,21 @@ impl PacketWorld {
                 if self.tracker_down {
                     // The announce is lost. A client parks its announce
                     // clock until a response arrives, so synthesize an
-                    // empty retry response to keep it re-announcing.
+                    // empty retry response whose interval follows the
+                    // client's announce backoff policy (capped
+                    // exponential per consecutive failure; the unarmed
+                    // policy's first step is the legacy fixed 60 s).
                     if event != AnnounceEvent::Stopped {
+                        let Some(policy) =
+                            self.nodes[node].client.as_ref().map(|c| c.resilience().announce)
+                        else {
+                            return;
+                        };
+                        let fails = self.nodes[node].announce_fails;
+                        self.nodes[node].announce_fails = fails.saturating_add(1);
+                        let mut rng = self.rng.fork(810 + node as u64 + now.as_micros());
                         let resp = bittorrent::tracker::AnnounceResponse {
-                            interval: SimDuration::from_secs(60),
+                            interval: policy.delay(fails, &mut rng),
                             peers: Vec::new(),
                             complete: 0,
                             incomplete: 0,
@@ -886,6 +901,7 @@ impl PacketWorld {
                     }
                     return;
                 }
+                self.nodes[node].announce_fails = 0;
                 let Some(client) = self.nodes[node].client.as_ref() else {
                     return;
                 };
