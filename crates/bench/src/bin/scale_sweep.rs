@@ -13,7 +13,13 @@
 //! is the same order as the scheduler difference being measured.
 //!
 //! Flags: `--paper` (paper-scale durations), `--max-size N` (cap the
-//! size axis — the CI smoke job uses this), `--metrics-out DIR`.
+//! size axis — the CI smoke job uses this), `--xl` (append 16k/65k
+//! wheel-only trend rows), `--metrics-out DIR`.
+//!
+//! XL rows run the wheel scheduler once (no heap counterpart, no
+//! repeat): at 65k peers the point is the wall/vsec trend line the
+//! incremental solver bends, not a scheduler differential — their
+//! `identical` field is `null` in `BENCH_scale.json`.
 
 use p2p_simulation::experiments::scale::{
     run_scale_once_sched, scale_table, run_scale_with, ScaleCell, ScaleParams, SCALE_SEED,
@@ -28,9 +34,11 @@ use wp2p_bench::{
 struct SizeResult {
     peers: usize,
     cell: ScaleCell,
-    heap_wall: f64,
+    /// `None` on wheel-only XL trend rows.
+    heap_wall: Option<f64>,
     wheel_wall: f64,
-    identical: bool,
+    /// `None` when no differential ran (XL trend rows).
+    identical: Option<bool>,
 }
 
 fn max_size_from_args() -> Option<usize> {
@@ -39,6 +47,10 @@ fn max_size_from_args() -> Option<usize> {
         .position(|a| a == "--max-size")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn xl_from_args() -> bool {
+    std::env::args().any(|a| a == "--xl")
 }
 
 /// Hidden child mode: `--one SIZE SCHED SEED` runs a single timed cell
@@ -64,7 +76,7 @@ fn run_one_and_print(params: &ScaleParams, size: usize, sched: Scheduler, seed: 
     // Bit-exact fields so the parent's differential check loses nothing
     // in transit.
     println!(
-        "{} {} {} {} {} {} {} {} {}",
+        "{} {} {} {} {} {} {} {} {} {} {} {} {}",
         wall.to_bits(),
         cell.completed,
         cell.mean_progress.to_bits(),
@@ -73,7 +85,11 @@ fn run_one_and_print(params: &ScaleParams, size: usize, sched: Scheduler, seed: 
         cell.scheduled,
         cell.cancelled,
         cell.cancel_noops,
-        cell.stall_aborts
+        cell.stall_aborts,
+        cell.solver_full,
+        cell.solver_incremental,
+        cell.solver_class,
+        cell.solver_resources_touched
     );
 }
 
@@ -98,7 +114,7 @@ fn timed_child(preset: Preset, size: usize, sched: Scheduler, seed: u64) -> (f64
         .split_whitespace()
         .map(|v| v.parse().expect("child report field"))
         .collect();
-    assert_eq!(f.len(), 9, "malformed child report: {text:?}");
+    assert_eq!(f.len(), 13, "malformed child report: {text:?}");
     (
         f64::from_bits(f[0]),
         ScaleCell {
@@ -110,6 +126,10 @@ fn timed_child(preset: Preset, size: usize, sched: Scheduler, seed: u64) -> (f64
             cancelled: f[6],
             cancel_noops: f[7],
             stall_aborts: f[8],
+            solver_full: f[9],
+            solver_incremental: f[10],
+            solver_class: f[11],
+            solver_resources_touched: f[12],
         },
     )
 }
@@ -133,10 +153,13 @@ fn scale_json(preset: Preset, vsecs: f64, results: &[SizeResult]) -> String {
         json_f(vsecs)
     ));
     for (i, r) in results.iter().enumerate() {
+        let opt = |x: Option<f64>| x.map_or("null".to_string(), json_f);
         out.push_str(&format!(
             concat!(
                 "    {{\"peers\": {}, \"events\": {}, \"queue_peak\": {}, ",
                 "\"scheduled\": {}, \"cancelled\": {}, \"stall_aborts\": {}, ",
+                "\"solver_full\": {}, \"solver_incremental\": {}, ",
+                "\"solver_class\": {}, \"solver_resources_touched\": {}, ",
                 "\"heap_wall_secs\": {}, \"wheel_wall_secs\": {}, ",
                 "\"heap_wall_per_vsec\": {}, \"wheel_wall_per_vsec\": {}, ",
                 "\"wheel_speedup\": {}, \"identical\": {}}}{}\n"
@@ -147,12 +170,17 @@ fn scale_json(preset: Preset, vsecs: f64, results: &[SizeResult]) -> String {
             r.cell.scheduled,
             r.cell.cancelled,
             r.cell.stall_aborts,
-            json_f(r.heap_wall),
+            r.cell.solver_full,
+            r.cell.solver_incremental,
+            r.cell.solver_class,
+            r.cell.solver_resources_touched,
+            opt(r.heap_wall),
             json_f(r.wheel_wall),
-            json_f(r.heap_wall / vsecs),
+            opt(r.heap_wall.map(|h| h / vsecs)),
             json_f(r.wheel_wall / vsecs),
-            json_f(r.heap_wall / r.wheel_wall.max(1e-9)),
-            r.identical,
+            opt(r.heap_wall.map(|h| h / r.wheel_wall.max(1e-9))),
+            r.identical
+                .map_or("null".to_string(), |b| b.to_string()),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -209,10 +237,29 @@ fn main() {
         results.push(SizeResult {
             peers: size,
             cell: wheel,
-            heap_wall,
+            heap_wall: Some(heap_wall),
             wheel_wall,
-            identical,
+            identical: Some(identical),
         });
+    }
+    if xl_from_args() {
+        // Wheel-only trend rows at the XL sizes; one child each.
+        for (i, &size) in [16_384usize, 65_536].iter().enumerate() {
+            let seed = p2p_simulation::harness::cell_seed(SCALE_SEED, sizes.len() + i, 0);
+            let (wall, cell) = timed_child(preset, size, Scheduler::Wheel, seed);
+            eprintln!(
+                "  {size:>5} peers: wheel {wall:>7.2}s ({:.1} ms/vsec), {} events [xl trend]",
+                1e3 * wall / vsecs,
+                cell.events,
+            );
+            results.push(SizeResult {
+                peers: size,
+                cell,
+                heap_wall: None,
+                wheel_wall: wall,
+                identical: None,
+            });
+        }
     }
     let json = scale_json(preset, vsecs, &results);
     match std::fs::write("BENCH_scale.json", &json) {

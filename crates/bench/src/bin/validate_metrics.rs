@@ -58,12 +58,27 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
         }
     }
 
+    // Solver gauges are counters-as-gauges: finite, non-negative, never
+    // null (a NaN/-inf would dump as null and slip the generic rule).
+    const SOLVER_SUFFIXES: [&str; 4] = [
+        ".solver_full",
+        ".solver_incremental",
+        ".solver_class",
+        ".solver_resources_touched",
+    ];
     if let Some(gauges) = top.get("gauges") {
         match gauges.as_obj() {
             Some(m) => {
                 for (name, v) in m {
                     if v.as_num().is_none() && *v != Json::Null {
                         errors.push(format!("gauge \"{name}\" is not a number or null"));
+                    }
+                    if SOLVER_SUFFIXES.iter().any(|s| name.ends_with(s))
+                        && !v.as_num().is_some_and(|x| x.is_finite() && x >= 0.0)
+                    {
+                        errors.push(format!(
+                            "gauge \"{name}\": solver gauge must be a finite non-negative number"
+                        ));
                     }
                 }
             }
@@ -273,6 +288,33 @@ mod tests {
             !errors_for(&nan.to_json()).is_empty(),
             "non-finite recovery time accepted"
         );
+    }
+
+    #[test]
+    fn enforces_the_solver_gauge_contract() {
+        let good = metrics::handle::MetricsHandle::enabled(1);
+        good.gauge("scale.n256.solver_full").set(3.0);
+        good.gauge("scale.n256.solver_incremental").set(120.0);
+        good.gauge("scale.n256.solver_class").set(41.0);
+        good.gauge("scale.n256.solver_resources_touched").set(950.0);
+        assert_eq!(errors_for(&good.to_json()), Vec::<String>::new());
+
+        let negative = metrics::handle::MetricsHandle::enabled(1);
+        negative.gauge("scale.n256.solver_class").set(-1.0);
+        let errs = errors_for(&negative.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("solver gauge")),
+            "negative solver gauge accepted: {errs:?}"
+        );
+
+        // Non-finite gauges dump as null — the solver contract must
+        // catch that too, while other gauges may stay null.
+        let nan = metrics::handle::MetricsHandle::enabled(1);
+        nan.gauge("scale.n64.solver_full").set(f64::NAN);
+        nan.gauge("other.gauge").set(f64::NAN);
+        let errs = errors_for(&nan.to_json());
+        assert_eq!(errs.len(), 1, "exactly the solver gauge flagged: {errs:?}");
+        assert!(errs[0].contains("solver_full"));
     }
 
     #[test]

@@ -31,9 +31,10 @@ use crate::wire::{BlockRef, Message};
 use metrics::handle::MetricsHandle;
 use metrics::registry::Counter;
 use simnet::addr::SimAddr;
+use simnet::hash::FastHashMap;
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Client tunables.
 #[derive(Debug)]
@@ -223,17 +224,27 @@ pub struct Client {
     info_hash: InfoHash,
     peer_id: PeerId,
     progress: TorrentProgress,
-    conns: HashMap<ConnKey, Peer>,
+    // The four hot maps hash with `FastHashMap`: deterministic across
+    // processes and a few instructions per integer key, vs. seeded
+    // SipHash. Every effectful iteration still collects and sorts (or is
+    // commutative) — see `simnet::hash` for the contract.
+    conns: FastHashMap<ConnKey, Peer>,
+    /// Connections with a non-empty `upload_queue`, in key order. The
+    /// upload drain is round-robin over this set; connections with
+    /// nothing queued cannot touch the bucket or the action stream, so
+    /// keeping them out of the scan makes the drain cost proportional
+    /// to pending uploads instead of to the connection count.
+    upload_ready: std::collections::BTreeSet<ConnKey>,
     next_conn: ConnKey,
     availability: Vec<u32>,
     /// Known swarm addresses and dial bookkeeping.
-    addrs: HashMap<SimAddr, AddrState>,
+    addrs: FastHashMap<SimAddr, AddrState>,
     choker: Choker,
     /// Tit-for-tat credit per peer-id; survives disconnections. This is
     /// the state a regenerated peer-id orphans.
-    credit: HashMap<PeerId, f64>,
+    credit: FastHashMap<PeerId, f64>,
     /// Bytes served per peer-id (the seed-side relationship history).
-    served: HashMap<PeerId, f64>,
+    served: FastHashMap<PeerId, f64>,
     actions: VecDeque<Action>,
     rng: SimRng,
     /// Dedicated stream for backoff jitter, forked from `rng` at
@@ -304,13 +315,14 @@ impl Client {
             info_hash,
             peer_id,
             progress,
-            conns: HashMap::new(),
+            conns: FastHashMap::default(),
+            upload_ready: std::collections::BTreeSet::new(),
             next_conn: 1,
             availability: vec![0; num_pieces],
-            addrs: HashMap::new(),
+            addrs: FastHashMap::default(),
             choker: Choker::new(ChokerConfig::default()),
-            credit: HashMap::new(),
-            served: HashMap::new(),
+            credit: FastHashMap::default(),
+            served: FastHashMap::default(),
             actions: VecDeque::new(),
             backoff_rng: rng.fork(0xBAC0FF),
             rng,
@@ -638,6 +650,7 @@ impl Client {
         let Some(peer) = self.conns.remove(&conn) else {
             return;
         };
+        self.upload_ready.remove(&conn);
         for p in peer.have.iter_set() {
             self.availability[p as usize] -= 1;
         }
@@ -671,6 +684,7 @@ impl Client {
         let Some(peer) = self.conns.remove(&conn) else {
             return;
         };
+        self.upload_ready.remove(&conn);
         for p in peer.have.iter_set() {
             self.availability[p as usize] -= 1;
         }
@@ -766,8 +780,15 @@ impl Client {
                         self.availability[index as usize] += 1;
                     }
                 }
-                self.update_interest(conn);
-                self.fill_requests(conn, now);
+                // A piece we already hold changes neither our interest (the
+                // witness set of wanted pieces is untouched) nor the request
+                // candidates, so the re-evaluation would be a guaranteed
+                // no-op — and Haves for held pieces dominate a maturing
+                // swarm's traffic.
+                if !self.progress.have().get(index) {
+                    self.update_interest(conn);
+                    self.fill_requests(conn, now);
+                }
             }
             Message::Bitfield(bf) => {
                 if bf.len() != self.progress.num_pieces() {
@@ -791,6 +812,9 @@ impl Client {
             Message::Cancel(block) => {
                 if let Some(peer) = self.conns.get_mut(&conn) {
                     peer.upload_queue.retain(|b| *b != block);
+                    if peer.upload_queue.is_empty() {
+                        self.upload_ready.remove(&conn);
+                    }
                 }
             }
         }
@@ -814,6 +838,7 @@ impl Client {
             return;
         }
         peer.upload_queue.push_back(block);
+        self.upload_ready.insert(conn);
         self.drain_uploads(now);
     }
 
@@ -939,8 +964,20 @@ impl Client {
         if self.choker.due(now) {
             self.rechoke(now);
         }
-        // Refill pipelines (newly freed blocks, timeout requeues).
-        for conn in self.connections() {
+        // Refill pipelines (newly freed blocks, timeout requeues). Only
+        // unchoked connections we are interested in can take requests —
+        // `fill_requests` is a no-op on the rest, so skip them wholesale
+        // rather than paying a map lookup per connection to find out.
+        // Sorted, so the request order is deterministic (hash order is
+        // not) and matches the old full sweep's with the no-ops elided.
+        let mut fillable: Vec<ConnKey> = self
+            .conns
+            .iter()
+            .filter(|(_, p)| !p.peer_choking && p.am_interested)
+            .map(|(k, _)| *k)
+            .collect();
+        fillable.sort_unstable();
+        for conn in fillable {
             self.fill_requests(conn, now);
         }
         self.drain_uploads(now);
@@ -954,45 +991,55 @@ impl Client {
         let res = self.config.resilience;
         // 1. Total silence: the link is dead even if our side still has
         //    work queued. Close it and escalate the address's backoff.
-        let silent: Vec<ConnKey> = self
-            .connections()
-            .into_iter()
-            .filter(|k| now.saturating_since(self.conns[k].last_recv) >= res.keepalive_timeout)
+        let mut silent: Vec<ConnKey> = self
+            .conns
+            .iter()
+            .filter(|(_, p)| now.saturating_since(p.last_recv) >= res.keepalive_timeout)
+            .map(|(k, _)| *k)
             .collect();
+        silent.sort_unstable();
         for conn in silent {
             self.stats.keepalive_closes += 1;
             self.actions.push_back(Action::Close { conn });
             self.on_conn_stalled(conn, now);
         }
         // 2. Keepalives, so a healthy-but-idle connection never trips the
-        //    remote's silence detector.
-        for conn in self.connections() {
-            let Some(peer) = self.conns.get_mut(&conn) else {
-                continue;
-            };
+        //    remote's silence detector. Stamps can land in hash order
+        //    (commutative); the sends go out in key order.
+        let mut due: Vec<ConnKey> = Vec::new();
+        for (&conn, peer) in self.conns.iter_mut() {
             if now.saturating_since(peer.last_keepalive) >= res.keepalive_interval {
                 peer.last_keepalive = now;
-                self.actions.push_back(Action::Send {
-                    conn,
-                    msg: Message::KeepAlive,
-                });
+                due.push(conn);
             }
+        }
+        due.sort_unstable();
+        for conn in due {
+            self.actions.push_back(Action::Send {
+                conn,
+                msg: Message::KeepAlive,
+            });
         }
         // 3. Snubs: unchoked and interested but no piece for the snub
         //    timeout. Requeue the in-flight blocks (other peers can serve
         //    them) and collapse the pipeline to a single probe request;
         //    the next piece that does arrive unsnubs.
-        for conn in self.connections() {
+        let mut snubbed: Vec<ConnKey> = self
+            .conns
+            .iter()
+            .filter(|(_, peer)| {
+                !peer.snubbed
+                    && !peer.peer_choking
+                    && peer.am_interested
+                    && now.saturating_since(peer.last_progress) >= res.snub_timeout
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        snubbed.sort_unstable();
+        for conn in snubbed {
             let Some(peer) = self.conns.get_mut(&conn) else {
                 continue;
             };
-            if peer.snubbed
-                || peer.peer_choking
-                || !peer.am_interested
-                || now.saturating_since(peer.last_progress) < res.snub_timeout
-            {
-                continue;
-            }
             peer.snubbed = true;
             self.stats.snubs += 1;
             let dropped: Vec<BlockRef> = peer.inflight.drain(..).collect();
@@ -1099,11 +1146,12 @@ impl Client {
     }
 
     fn drain_uploads(&mut self, now: SimTime) {
-        if !self.config.allow_upload {
+        if !self.config.allow_upload || self.upload_ready.is_empty() {
             return;
         }
-        // Round-robin across connections for fairness.
-        let keys = self.connections();
+        // Round-robin across connections with queued blocks, in key order
+        // for fairness.
+        let keys: Vec<ConnKey> = self.upload_ready.iter().copied().collect();
         let mut progressed = true;
         while progressed {
             progressed = false;
@@ -1118,6 +1166,9 @@ impl Client {
                     return; // bucket empty; retry next tick
                 }
                 peer.upload_queue.pop_front();
+                if peer.upload_queue.is_empty() {
+                    self.upload_ready.remove(&conn);
+                }
                 peer.upload_est.record(now, block.len as u64);
                 if let Some(id) = peer.peer_id {
                     *self.served.entry(id).or_insert(0.0) += block.len as f64;
@@ -1167,7 +1218,7 @@ impl Client {
     // ------------------------------------------------------------------
 
     fn update_interest(&mut self, conn: ConnKey) {
-        let Some(peer) = self.conns.get(&conn) else {
+        let Some(peer) = self.conns.get_mut(&conn) else {
             return;
         };
         let want = self
@@ -1176,9 +1227,6 @@ impl Client {
             .missing_from(&peer.have)
             .next()
             .is_some();
-        let Some(peer) = self.conns.get_mut(&conn) else {
-            return;
-        };
         if want && !peer.am_interested {
             peer.am_interested = true;
             self.actions.push_back(Action::Send {
@@ -1223,17 +1271,13 @@ impl Client {
             let missing = self.progress.num_pieces() - self.progress.have().count();
             let endgame = missing <= 3 && self.progress.in_endgame();
 
-            // 1. Finish partial pieces the peer can serve.
-            let mut piece_to_request: Option<u32> = None;
-            let mut partials: Vec<u32> = self
+            // 1. Finish partial pieces the peer can serve. `partial_pieces`
+            //    yields ascending indices, so the first hit is the lowest —
+            //    no need to collect and sort the whole set.
+            let mut piece_to_request: Option<u32> = self
                 .progress
                 .partial_pieces()
-                .filter(|&p| peer.have.get(p) && !self.progress.fully_requested(p))
-                .collect();
-            partials.sort_unstable();
-            if let Some(&p) = partials.first() {
-                piece_to_request = Some(p);
-            }
+                .find(|&p| peer.have.get(p) && !self.progress.fully_requested(p));
 
             // 2. Otherwise start a new piece via the picker.
             if piece_to_request.is_none() {

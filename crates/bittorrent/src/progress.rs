@@ -9,7 +9,7 @@
 use crate::bitfield::Bitfield;
 use crate::wire::{BlockRef, BLOCK_SIZE};
 use simnet::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Connection key type (matches `choker::ConnKey`).
 pub type ConnKey = u64;
@@ -43,7 +43,7 @@ pub struct TorrentProgress {
     num_pieces: u32,
     block_size: u32,
     have: Bitfield,
-    partial: HashMap<u32, PartialPiece>,
+    partial: BTreeMap<u32, PartialPiece>,
     bytes_have: u64,
     /// Allow duplicate in-flight requests per block in endgame, capped.
     endgame_dup_cap: usize,
@@ -75,7 +75,7 @@ impl TorrentProgress {
             num_pieces,
             block_size,
             have: Bitfield::new(num_pieces),
-            partial: HashMap::new(),
+            partial: BTreeMap::new(),
             bytes_have: 0,
             endgame_dup_cap: 2,
         }
@@ -167,7 +167,8 @@ impl TorrentProgress {
         })
     }
 
-    /// Pieces currently partially downloaded or requested (in progress).
+    /// Pieces currently partially downloaded or requested (in progress),
+    /// in ascending index order.
     pub fn partial_pieces(&self) -> impl Iterator<Item = u32> + '_ {
         self.partial.keys().copied()
     }

@@ -12,7 +12,7 @@ use crate::peer_id::PeerId;
 use simnet::addr::SimAddr;
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Tracker parameters.
 #[derive(Clone, Copy, Debug)]
@@ -88,11 +88,70 @@ pub struct ScrapeStats {
     pub downloaded: u64,
 }
 
+/// One swarm's membership, laid out for O(1) announces at any size.
+///
+/// Members live in a dense vector (removal is swap-remove, with the
+/// moved member's index patched in `members`); the seed count is kept
+/// incrementally; expiry is lazy via a time-ordered queue rather than a
+/// full-map retain per announce. A 65k-peer swarm thus serves an
+/// announce in O(peers returned), not O(swarm size).
+#[derive(Debug, Clone, Default)]
+struct Swarm {
+    /// Peer-id → index into `list`.
+    members: HashMap<PeerId, u32>,
+    /// Dense member store; order is insertion-ish (perturbed by
+    /// swap-removes) and never exposed directly.
+    list: Vec<(PeerId, TrackedPeer)>,
+    /// How many members of `list` are seeds, maintained incrementally.
+    seeds: usize,
+    /// `(last_seen, id)` entries in announce order. A member's newest
+    /// entry matches its `last_seen` exactly; older duplicates are
+    /// skipped at pop time.
+    expiry: VecDeque<(SimTime, PeerId)>,
+}
+
+impl Swarm {
+    /// Removes the member at dense index `idx`, patching the index of
+    /// whichever member the swap-remove moved into its slot.
+    fn remove_at(&mut self, idx: u32) {
+        let i = idx as usize;
+        let (id, peer) = self.list[i];
+        if peer.seed {
+            self.seeds -= 1;
+        }
+        self.members.remove(&id);
+        self.list.swap_remove(i);
+        if i < self.list.len() {
+            let moved = self.list[i].0;
+            *self.members.get_mut(&moved).expect("moved member indexed") = idx;
+        }
+    }
+
+    /// Drops every member silent for longer than `horizon` before `now`.
+    /// Amortised O(1) per announce: each queue entry is popped exactly
+    /// once, and announces push exactly one entry.
+    fn expire(&mut self, now: SimTime, horizon: SimDuration) {
+        while let Some(&(seen, id)) = self.expiry.front() {
+            if now.saturating_since(seen) <= horizon {
+                break;
+            }
+            self.expiry.pop_front();
+            if let Some(&idx) = self.members.get(&id) {
+                // Only the member's *newest* queue entry may expire it;
+                // older entries are superseded by a later re-announce.
+                if self.list[idx as usize].1.last_seen == seen {
+                    self.remove_at(idx);
+                }
+            }
+        }
+    }
+}
+
 /// A tracker serving any number of swarms.
 #[derive(Debug, Clone)]
 pub struct Tracker {
     config: TrackerConfig,
-    swarms: HashMap<InfoHash, HashMap<PeerId, TrackedPeer>>,
+    swarms: HashMap<InfoHash, Swarm>,
     announces: u64,
     /// Historical `Completed` counts per swarm.
     downloads: HashMap<InfoHash, u64>,
@@ -122,7 +181,7 @@ impl Tracker {
     /// Current size of a swarm (after expiry at `now`).
     pub fn swarm_size(&mut self, info_hash: InfoHash, now: SimTime) -> usize {
         self.expire(info_hash, now);
-        self.swarms.get(&info_hash).map_or(0, |s| s.len())
+        self.swarms.get(&info_hash).map_or(0, |s| s.list.len())
     }
 
     fn expire(&mut self, info_hash: InfoHash, now: SimTime) {
@@ -131,7 +190,7 @@ impl Tracker {
             .announce_interval
             .saturating_mul(self.config.expiry_intervals as u64);
         if let Some(swarm) = self.swarms.get_mut(&info_hash) {
-            swarm.retain(|_, p| now.saturating_since(p.last_seen) <= horizon);
+            swarm.expire(now, horizon);
         }
     }
 
@@ -161,30 +220,75 @@ impl Tracker {
         let swarm = self.swarms.entry(info_hash).or_default();
         match event {
             AnnounceEvent::Stopped => {
-                swarm.remove(&peer_id);
+                if let Some(&idx) = swarm.members.get(&peer_id) {
+                    swarm.remove_at(idx);
+                }
             }
             AnnounceEvent::Started | AnnounceEvent::Completed | AnnounceEvent::Periodic => {
-                swarm.insert(
-                    peer_id,
-                    TrackedPeer {
-                        addr,
-                        last_seen: now,
-                        seed: is_seed || event == AnnounceEvent::Completed,
-                    },
-                );
+                let seed = is_seed || event == AnnounceEvent::Completed;
+                let entry = TrackedPeer {
+                    addr,
+                    last_seen: now,
+                    seed,
+                };
+                match swarm.members.get(&peer_id) {
+                    Some(&idx) => {
+                        let p = &mut swarm.list[idx as usize].1;
+                        match (p.seed, seed) {
+                            (false, true) => swarm.seeds += 1,
+                            (true, false) => swarm.seeds -= 1,
+                            _ => {}
+                        }
+                        *p = entry;
+                    }
+                    None => {
+                        let idx = u32::try_from(swarm.list.len()).expect("swarm fits in u32");
+                        swarm.members.insert(peer_id, idx);
+                        swarm.list.push((peer_id, entry));
+                        swarm.seeds += usize::from(seed);
+                    }
+                }
+                swarm.expiry.push_back((now, peer_id));
             }
         }
-        let mut others: Vec<(PeerId, SimAddr)> = swarm
-            .iter()
-            .filter(|(id, _)| **id != peer_id)
-            .map(|(id, p)| (*id, p.addr))
-            .collect();
-        // Deterministic order before the shuffle, for reproducibility.
-        others.sort_by_key(|(id, _)| *id);
-        rng.shuffle(&mut others);
-        others.truncate(self.config.max_peers_returned);
-        let complete = swarm.values().filter(|p| p.seed).count();
-        let incomplete = swarm.len() - complete;
+        let cap = self.config.max_peers_returned;
+        let requester = swarm.members.get(&peer_id).copied();
+        let others_count = swarm.list.len() - usize::from(requester.is_some());
+        let others: Vec<(PeerId, SimAddr)> = if others_count <= cap {
+            // Small swarm: return everyone else, in random order (sort
+            // first so the shuffle sees a reproducible arrangement).
+            let mut all: Vec<(PeerId, SimAddr)> = swarm
+                .list
+                .iter()
+                .filter(|(id, _)| *id != peer_id)
+                .map(|(id, p)| (*id, p.addr))
+                .collect();
+            all.sort_by_key(|(id, _)| *id);
+            rng.shuffle(&mut all);
+            all
+        } else {
+            // Large swarm: rejection-sample `cap` distinct members
+            // instead of shuffling the whole population — O(cap), not
+            // O(n log n), which is what lets a 65k swarm announce fast.
+            let n = swarm.list.len();
+            let mut chosen: Vec<u32> = Vec::with_capacity(cap);
+            while chosen.len() < cap {
+                let idx = rng.range(0..n) as u32;
+                if requester == Some(idx) || chosen.contains(&idx) {
+                    continue;
+                }
+                chosen.push(idx);
+            }
+            chosen
+                .into_iter()
+                .map(|i| {
+                    let (id, p) = swarm.list[i as usize];
+                    (id, p.addr)
+                })
+                .collect()
+        };
+        let complete = swarm.seeds;
+        let incomplete = swarm.list.len() - complete;
         let base = self.config.announce_interval;
         let interval = if self.config.interval_jitter == 0.0 {
             base // no RNG draw: keeps jitterless streams untouched
@@ -274,10 +378,7 @@ impl Tracker {
         let (complete, incomplete) = self
             .swarms
             .get(&info_hash)
-            .map(|s| {
-                let c = s.values().filter(|p| p.seed).count();
-                (c, s.len() - c)
-            })
+            .map(|s| (s.seeds, s.list.len() - s.seeds))
             .unwrap_or((0, 0));
         ScrapeStats {
             complete,

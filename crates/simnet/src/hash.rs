@@ -1,0 +1,111 @@
+//! A fast, deterministic hasher for the simulation's hot maps.
+//!
+//! `std::collections::HashMap`'s default `RandomState` does two things
+//! this workspace doesn't want on its per-message paths: it seeds
+//! per-instance (so iteration order varies between processes, which is
+//! why every effectful map walk here collects and sorts), and it runs
+//! SipHash-1-3 — measurable overhead when the keys are single integers
+//! looked up millions of times per simulated run.
+//!
+//! [`FastHasher`] is the FxHash construction (rotate, xor, multiply by a
+//! 64-bit odd constant per word). It is not DoS-resistant — irrelevant
+//! for a closed simulation — but it is a pure function of the key bytes,
+//! so maps built with it hash identically in every process, and it
+//! compiles to a handful of instructions for integer keys.
+//!
+//! Determinism note: swapping a map to [`FastHashMap`] fixes its
+//! iteration order across processes (same insertions → same order), but
+//! sorted-order guarantees still belong to the call sites; the ones that
+//! act on iteration keep their collect-and-sort.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (golden-ratio derived, odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash: word-at-a-time rotate/xor/multiply. See module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (zero-sized, `Default`).
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` hashed by [`FastHasher`]: deterministic across processes
+/// and cheap for integer keys. Drop-in except for construction
+/// (`FastHashMap::default()` instead of `HashMap::new()`).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_keys_hash_identically_across_instances() {
+        let mut a = FastHashMap::default();
+        let mut b = FastHashMap::default();
+        for k in [3u64, 1, 41, 7, 1 << 40] {
+            a.insert(k, k as f64);
+            b.insert(k, k as f64);
+        }
+        let ka: Vec<u64> = a.keys().copied().collect();
+        let kb: Vec<u64> = b.keys().copied().collect();
+        assert_eq!(ka, kb, "iteration order must be a pure function of inserts");
+    }
+
+    #[test]
+    fn multi_word_and_tail_bytes_feed_the_state() {
+        use std::hash::BuildHasher;
+        let h = |bytes: &[u8]| FastBuildHasher::default().hash_one(bytes);
+        assert_ne!(h(b"0123456789abcdef"), h(b"0123456789abcdeg"));
+        assert_ne!(h(b"short"), h(b"shoru"));
+        assert_ne!(h(b""), h(b"\0"));
+    }
+}

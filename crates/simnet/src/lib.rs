@@ -16,6 +16,8 @@
 //! * [`wireless`] — a shared half-duplex channel where uplink and downlink
 //!   contend for the same capacity, the defining constraint of the paper.
 //! * [`mobility`] — hand-off schedules with outage windows.
+//! * [`hash`] — a deterministic FxHash-style hasher for the hot maps
+//!   (cross-process-stable iteration, cheap integer keys).
 //! * [`fault`] — seeded deterministic fault plans (loss bursts,
 //!   black-holes, address churn, tracker outages, bandwidth squeezes,
 //!   crash/restart) replayed into any world implementing
@@ -50,6 +52,7 @@
 pub mod addr;
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod link;
 pub mod mobility;
 pub mod rng;

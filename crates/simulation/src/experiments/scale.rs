@@ -4,10 +4,10 @@
 //! large-swarm target. One torrent, swarms of 16 → 2048 peers with a
 //! fixed/mobile mix (mobile leeches sit on wireless access with a
 //! hand-off schedule), measured for a fixed virtual duration. The
-//! per-connection stall watchdog is enabled, so every flowing connection
-//! keeps an armed timer that is cancelled and re-scheduled each tick it
-//! makes progress — the fire-rarely/cancel-mostly population that makes
-//! timer cancellation the hot queue operation. The observables are the
+//! per-connection stall watchdog is enabled: a lazy timer armed once per
+//! busy spell that re-arms itself on fire while progress keeps landing,
+//! so steady transfer costs a timestamp write instead of the old
+//! cancel-plus-reschedule churn per tick. The observables are the
 //! event-queue health counters the timer-wheel scheduler is meant to
 //! improve — events processed, queue-depth high-water mark, cancellation
 //! volume — plus swarm progress so a scheduler bug that stalls transfers
@@ -45,10 +45,11 @@ pub struct ScaleParams {
     pub mobility_period: SimDuration,
     /// Hand-off outage of mobile leeches.
     pub outage: SimDuration,
-    /// Per-connection stall watchdog (zero disables): re-armed — an
-    /// eager cancel plus a fresh schedule — on every tick a watched
-    /// connection moves bytes, so the sweep exercises the fire-rarely/
-    /// cancel-mostly timer population the wheel scheduler targets.
+    /// Per-connection stall watchdog (zero disables). The watchdog is
+    /// lazy: armed once when a connection turns busy, progress merely
+    /// stamps a timestamp, and the timer re-arms itself at
+    /// `last_progress + timeout` when it fires early — so a healthy
+    /// swarm schedules few timers and cancels almost none.
     pub stall_timeout: SimDuration,
     /// Runs to average (progress only; queue counters come from run 0).
     pub runs: u64,
@@ -67,6 +68,17 @@ impl ScaleParams {
             outage: SimDuration::from_secs(5),
             stall_timeout: SimDuration::from_secs(15),
             runs: 1,
+        }
+    }
+
+    /// Extra-large preset: quick-run durations at the 16k/65k swarm
+    /// sizes the incremental solver + arena layout unlock. Progress is
+    /// near zero at these sizes within the short window — the preset
+    /// exists to measure wall/vsec headroom, not swarm dynamics.
+    pub fn xl() -> Self {
+        ScaleParams {
+            sizes: vec![16_384, 65_536],
+            ..Self::quick()
         }
     }
 
@@ -154,6 +166,15 @@ pub struct ScaleCell {
     pub cancel_noops: u64,
     /// Connections aborted by the stall watchdog.
     pub stall_aborts: u64,
+    /// Rate solves that re-filled the whole population.
+    pub solver_full: u64,
+    /// Rate solves confined to the dirty components.
+    pub solver_incremental: u64,
+    /// Flow equivalence classes filled across all solves.
+    pub solver_class: u64,
+    /// Resources visited across all solves (the incremental win shows
+    /// up as this growing far slower than `solves × resources`).
+    pub solver_resources_touched: u64,
 }
 
 /// One point of the sweep (one swarm size).
@@ -258,6 +279,7 @@ pub fn run_scale_once_sched(
             / leech_tasks.len() as f64
     };
     let q = w.queue_stats();
+    let s = w.solver_stats();
     ScaleCell {
         completed,
         mean_progress,
@@ -267,6 +289,10 @@ pub fn run_scale_once_sched(
         cancelled: q.cancelled,
         cancel_noops: q.cancel_noops,
         stall_aborts: w.stall_aborts(),
+        solver_full: s.full_solves,
+        solver_incremental: s.incremental_solves,
+        solver_class: s.class_solves,
+        solver_resources_touched: s.resources_touched,
     }
 }
 
@@ -317,6 +343,10 @@ fn run_scale_impl(
         g("cancelled").set(p.cell.cancelled as f64);
         g("cancel_rate").set(p.cell.cancelled as f64 / p.cell.scheduled.max(1) as f64);
         g("stall_aborts").set(p.cell.stall_aborts as f64);
+        g("solver_full").set(p.cell.solver_full as f64);
+        g("solver_incremental").set(p.cell.solver_incremental as f64);
+        g("solver_class").set(p.cell.solver_class as f64);
+        g("solver_resources_touched").set(p.cell.solver_resources_touched as f64);
     }
     points
 }
@@ -357,6 +387,8 @@ pub fn scale_table(points: &[ScalePoint]) -> Table {
         "cancelled",
         "cancel noop",
         "stall aborts",
+        "solves full/incr",
+        "classes",
     ]);
     for p in points {
         t.row([
@@ -371,6 +403,8 @@ pub fn scale_table(points: &[ScalePoint]) -> Table {
             p.cell.cancelled.to_string(),
             p.cell.cancel_noops.to_string(),
             p.cell.stall_aborts.to_string(),
+            format!("{}/{}", p.cell.solver_full, p.cell.solver_incremental),
+            p.cell.solver_class.to_string(),
         ]);
     }
     t.note("expect: events grow with swarm size; cancellations stay bounded by schedules");
