@@ -23,15 +23,23 @@
 //! named fault scenario against an armed-resilience swarm, asserting
 //! recovery after each fault window and emitting the
 //! `soak.time_to_recover` series under `--metrics-out`.
+//! `--snapshot` runs the save/restore differential on two scenarios and
+//! a warm-started fork sweep (exits nonzero if restore-then-run is not
+//! byte-identical to the straight run). `--bisect <seed>` generates a
+//! fault schedule with a planted fatal window and isolates the culprit
+//! in O(log n) snapshot restores. `--search <seed>` runs the seeded
+//! fault-schedule searcher and prints its reproducible
+//! `(seed, schedule)` artifact.
 //! Sweeps fan out across worker threads (`WP2P_THREADS` overrides the
 //! count; `WP2P_THREADS=1` is byte-identical to the parallel output).
 //! Per-figure cell counts and timings land in `BENCH_sweeps.json`.
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{faults, registry, soak};
+use p2p_simulation::experiments::{faults, registry, search, soak};
 use p2p_simulation::harness::{self, SweepStats};
-use simnet::time::SimDuration;
+use simnet::fault::{FaultPlan, FaultPlanConfig};
+use simnet::time::{SimDuration, SimTime};
 use std::time::Instant;
 use wp2p_bench::{
     dump_metrics, metrics_handle, metrics_out_from_args, preamble, preset_from_args, Preset,
@@ -154,6 +162,104 @@ fn main() {
         soak::soak_table(&points).print();
         if let Some(dir) = &metrics_out {
             dump_metrics(dir, "soak", &handle);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--snapshot") {
+        // Save/restore differential on two scenarios, plus a
+        // warm-started fork sweep — the CI snapshot job's entry point.
+        let seed = 0x5A9;
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let checks = search::snapshot_selfcheck(seed, &handle);
+        search::selfcheck_table(seed, &checks).print();
+        println!();
+        let warmup = SimTime::from_secs(30);
+        let build = || search::diagnostic_world(seed, 32 * 1024 * 1024);
+        let nodes: Vec<simnet::addr::NodeId> = (0..4).map(simnet::addr::NodeId).collect();
+        let arms: Vec<search::ForkArm> = (0..4)
+            .map(|i| search::ForkArm {
+                name: format!("arm{i}"),
+                plan: FaultPlan::generate(
+                    seed + i,
+                    &FaultPlanConfig::new(SimDuration::from_secs(150), nodes.clone()),
+                ),
+            })
+            .collect();
+        let outs = search::warm_fork_sweep(
+            &build,
+            warmup,
+            SimTime::from_secs(200),
+            &arms,
+            &search::all_leeches_done,
+            &handle,
+        );
+        search::fork_table(warmup, &outs).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "snapshot", &handle);
+        }
+        if checks.iter().any(|c| !c.identical) {
+            eprintln!("SNAPSHOT CHECK FAILED: restore-then-run diverged");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--bisect")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--bisect takes a u64 seed");
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        // A generated schedule plus one planted fatal window: the
+        // bisection isolates whichever window first breaks liveness.
+        let nodes: Vec<simnet::addr::NodeId> = (0..4).map(simnet::addr::NodeId).collect();
+        let mut plan = FaultPlan::generate(
+            seed,
+            &FaultPlanConfig::new(SimDuration::from_secs(120), nodes),
+        );
+        plan.push(
+            SimTime::from_secs(45),
+            simnet::fault::FaultKind::LinkBlackhole {
+                node: simnet::addr::NodeId(1),
+                duration: SimDuration::from_secs(3_600),
+            },
+        );
+        let build = || search::diagnostic_world(seed, 32 * 1024 * 1024);
+        let out = search::bisect_fault_windows(
+            &build,
+            &plan,
+            SimTime::from_secs(200),
+            &search::all_leeches_done,
+            &handle,
+        );
+        print!("{}", out.schedule);
+        println!();
+        search::bisect_table(seed, &out).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "bisect", &handle);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--search")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--search takes a u64 seed");
+        let params = if quick {
+            search::SearchParams::quick()
+        } else {
+            search::SearchParams::paper()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let out = search::search_fault_schedules(&params, &handle, seed);
+        println!("{}", out.artifact);
+        search::search_table(&out).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "search", &handle);
         }
         return;
     }

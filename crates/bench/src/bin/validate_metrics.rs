@@ -66,6 +66,9 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
         ".solver_class",
         ".solver_resources_touched",
     ];
+    // Snapshot tooling gauges carry the same hard contract: blob sizes
+    // and near-miss counts are finite non-negative numbers, never null.
+    const SNAPSHOT_GAUGES: [&str; 2] = ["snapshot.bytes", "search.near_miss"];
     if let Some(gauges) = top.get("gauges") {
         match gauges.as_obj() {
             Some(m) => {
@@ -78,6 +81,13 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                     {
                         errors.push(format!(
                             "gauge \"{name}\": solver gauge must be a finite non-negative number"
+                        ));
+                    }
+                    if SNAPSHOT_GAUGES.contains(&name.as_str())
+                        && !v.as_num().is_some_and(|x| x.is_finite() && x >= 0.0)
+                    {
+                        errors.push(format!(
+                            "gauge \"{name}\": snapshot gauge must be a finite non-negative number"
                         ));
                     }
                 }
@@ -315,6 +325,31 @@ mod tests {
         let errs = errors_for(&nan.to_json());
         assert_eq!(errs.len(), 1, "exactly the solver gauge flagged: {errs:?}");
         assert!(errs[0].contains("solver_full"));
+    }
+
+    #[test]
+    fn enforces_the_snapshot_gauge_contract() {
+        let good = metrics::handle::MetricsHandle::enabled(1);
+        good.gauge("snapshot.bytes").set(28_307.0);
+        good.gauge("search.near_miss").set(2.0);
+        assert_eq!(errors_for(&good.to_json()), Vec::<String>::new());
+
+        let negative = metrics::handle::MetricsHandle::enabled(1);
+        negative.gauge("snapshot.bytes").set(-1.0);
+        let errs = errors_for(&negative.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("snapshot gauge")),
+            "negative snapshot.bytes accepted: {errs:?}"
+        );
+
+        // Non-finite values dump as null and must be flagged.
+        let nan = metrics::handle::MetricsHandle::enabled(1);
+        nan.gauge("search.near_miss").set(f64::NAN);
+        let errs = errors_for(&nan.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("search.near_miss")),
+            "NaN near-miss gauge accepted: {errs:?}"
+        );
     }
 
     #[test]

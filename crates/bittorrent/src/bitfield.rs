@@ -140,6 +140,20 @@ impl fmt::Debug for Bitfield {
     }
 }
 
+impl simnet::snapshot::Snap for Bitfield {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        w.put_u32(self.len);
+        w.put_bytes(&self.bits);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        let len = r.get_u32();
+        Bitfield {
+            bits: r.get_byte_vec(),
+            len,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

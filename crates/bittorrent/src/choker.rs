@@ -172,6 +172,42 @@ impl Choker {
     }
 }
 
+use simnet::snapshot::{Snap, SnapReader, SnapWriter};
+
+impl Snap for ChokerConfig {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.upload_slots);
+        self.rechoke_interval.snap(w);
+        self.optimistic_interval.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        ChokerConfig {
+            upload_slots: r.get_usize(),
+            rechoke_interval: Snap::unsnap(r),
+            optimistic_interval: Snap::unsnap(r),
+        }
+    }
+}
+
+impl Snap for Choker {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.config.snap(w);
+        self.last_rechoke.snap(w);
+        self.last_optimistic.snap(w);
+        self.optimistic.snap(w);
+        w.put_u64(self.rechokes);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        Choker {
+            config: Snap::unsnap(r),
+            last_rechoke: Snap::unsnap(r),
+            last_optimistic: Snap::unsnap(r),
+            optimistic: Snap::unsnap(r),
+            rechokes: r.get_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

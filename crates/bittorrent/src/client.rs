@@ -138,7 +138,7 @@ pub enum Action {
 }
 
 /// Per-connection peer state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Peer {
     addr: SimAddr,
     peer_id: Option<PeerId>,
@@ -722,7 +722,7 @@ impl Client {
                 // Only connections older than the handshake timescale are
                 // treated as stale: two crossed simultaneous dials must
                 // not close each other.
-                let stale: Vec<ConnKey> = self
+                let mut stale: Vec<ConnKey> = self
                     .conns
                     .iter()
                     .filter(|(k, p)| {
@@ -732,6 +732,9 @@ impl Client {
                     })
                     .map(|(k, _)| *k)
                     .collect();
+                // Map order leaks into Close-action order otherwise —
+                // sorted so snapshot-restored runs emit the same stream.
+                stale.sort_unstable();
                 for k in stale {
                     self.close_conn(k);
                 }
@@ -1344,6 +1347,207 @@ impl Client {
             // state machine self-contained also clean up now.
             let now = SimTime::ZERO.max(self.stable_since);
             self.on_conn_closed(conn, now);
+        }
+    }
+
+    /// Serializes the session's dynamic state.
+    ///
+    /// The `ClientConfig` largely rides outside the blob (it is rebuilt by
+    /// the scenario's `make_config`, including the unserializable
+    /// `Box<dyn PiecePicker>`); only the two fields mutated at runtime —
+    /// `upload_limit` (LIHD retargets it) and `allow_upload` (role
+    /// reversal flips it) — are captured. Metrics instruments are shared
+    /// `Arc` cells owned by the embedder's `MetricsHandle` and are
+    /// restored by name at that level; re-call [`Client::attach_metrics`]
+    /// after [`Client::restore_state`].
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("client");
+        self.config.upload_limit.snap(w);
+        w.put_bool(self.config.allow_upload);
+        self.info_hash.snap(w);
+        self.peer_id.snap(w);
+        self.progress.snap(w);
+        snap_hash_map(&self.conns, w);
+        self.upload_ready.snap(w);
+        w.put_u64(self.next_conn);
+        self.availability.snap(w);
+        snap_hash_map(&self.addrs, w);
+        self.choker.snap(w);
+        snap_hash_map(&self.credit, w);
+        snap_hash_map(&self.served, w);
+        self.actions.snap(w);
+        self.rng.snap(w);
+        self.backoff_rng.snap(w);
+        self.upload_bucket.snap(w);
+        self.next_announce.snap(w);
+        self.stable_since.snap(w);
+        w.put_bool(self.completed_reported);
+        self.last_announce.snap(w);
+        self.last_decay.snap(w);
+        self.stats.snap(w);
+        self.own_addr.snap(w);
+    }
+
+    /// Restores state saved by [`Client::save_state`] onto a client freshly
+    /// built from the same scenario configuration. See `save_state` for
+    /// what is deliberately left to the rebuild.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) {
+        r.section("client");
+        self.config.upload_limit = Snap::unsnap(r);
+        self.config.allow_upload = r.get_bool();
+        self.info_hash = Snap::unsnap(r);
+        self.peer_id = Snap::unsnap(r);
+        self.progress = Snap::unsnap(r);
+        self.conns = unsnap_hash_map(r);
+        self.upload_ready = Snap::unsnap(r);
+        self.next_conn = r.get_u64();
+        self.availability = Snap::unsnap(r);
+        self.addrs = unsnap_hash_map(r);
+        self.choker = Snap::unsnap(r);
+        self.credit = unsnap_hash_map(r);
+        self.served = unsnap_hash_map(r);
+        self.actions = Snap::unsnap(r);
+        self.rng = Snap::unsnap(r);
+        self.backoff_rng = Snap::unsnap(r);
+        self.upload_bucket = Snap::unsnap(r);
+        self.next_announce = Snap::unsnap(r);
+        self.stable_since = Snap::unsnap(r);
+        self.completed_reported = r.get_bool();
+        self.last_announce = Snap::unsnap(r);
+        self.last_decay = Snap::unsnap(r);
+        self.stats = Snap::unsnap(r);
+        self.own_addr = Snap::unsnap(r);
+    }
+}
+
+use simnet::snapshot::{snap_hash_map, unsnap_hash_map, Snap, SnapReader, SnapWriter};
+
+impl Snap for Peer {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.addr.snap(w);
+        self.peer_id.snap(w);
+        w.put_bool(self.outgoing);
+        self.connected_at.snap(w);
+        w.put_bool(self.am_choking);
+        w.put_bool(self.am_interested);
+        w.put_bool(self.peer_choking);
+        w.put_bool(self.peer_interested);
+        self.have.snap(w);
+        self.inflight.snap(w);
+        self.upload_queue.snap(w);
+        self.download_est.snap(w);
+        self.upload_est.snap(w);
+        self.last_recv.snap(w);
+        self.last_progress.snap(w);
+        self.last_keepalive.snap(w);
+        w.put_bool(self.snubbed);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        Peer {
+            addr: Snap::unsnap(r),
+            peer_id: Snap::unsnap(r),
+            outgoing: r.get_bool(),
+            connected_at: Snap::unsnap(r),
+            am_choking: r.get_bool(),
+            am_interested: r.get_bool(),
+            peer_choking: r.get_bool(),
+            peer_interested: r.get_bool(),
+            have: Snap::unsnap(r),
+            inflight: Snap::unsnap(r),
+            upload_queue: Snap::unsnap(r),
+            download_est: Snap::unsnap(r),
+            upload_est: Snap::unsnap(r),
+            last_recv: Snap::unsnap(r),
+            last_progress: Snap::unsnap(r),
+            last_keepalive: Snap::unsnap(r),
+            snubbed: r.get_bool(),
+        }
+    }
+}
+
+impl Snap for AddrState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.failures);
+        self.next_attempt.snap(w);
+        w.put_bool(self.connected);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        AddrState {
+            failures: r.get_u32(),
+            next_attempt: Snap::unsnap(r),
+            connected: r.get_bool(),
+        }
+    }
+}
+
+impl Snap for ClientStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.downloaded_payload);
+        w.put_u64(self.uploaded_payload);
+        w.put_u64(self.connections_opened);
+        w.put_u64(self.dial_failures);
+        w.put_u64(self.duplicate_blocks);
+        w.put_u64(self.snubs);
+        w.put_u64(self.keepalive_closes);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        ClientStats {
+            downloaded_payload: r.get_u64(),
+            uploaded_payload: r.get_u64(),
+            connections_opened: r.get_u64(),
+            dial_failures: r.get_u64(),
+            duplicate_blocks: r.get_u64(),
+            snubs: r.get_u64(),
+            keepalive_closes: r.get_u64(),
+        }
+    }
+}
+
+impl Snap for Action {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Action::Connect { conn, addr } => {
+                w.put_u8(0);
+                w.put_u64(*conn);
+                addr.snap(w);
+            }
+            Action::Send { conn, msg } => {
+                w.put_u8(1);
+                w.put_u64(*conn);
+                msg.snap(w);
+            }
+            Action::Close { conn } => {
+                w.put_u8(2);
+                w.put_u64(*conn);
+            }
+            Action::Announce { event } => {
+                w.put_u8(3);
+                event.snap(w);
+            }
+            Action::PieceCompleted { piece } => {
+                w.put_u8(4);
+                w.put_u32(*piece);
+            }
+            Action::Completed => w.put_u8(5),
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        match r.get_u8() {
+            0 => Action::Connect {
+                conn: r.get_u64(),
+                addr: Snap::unsnap(r),
+            },
+            1 => Action::Send {
+                conn: r.get_u64(),
+                msg: Snap::unsnap(r),
+            },
+            2 => Action::Close { conn: r.get_u64() },
+            3 => Action::Announce {
+                event: Snap::unsnap(r),
+            },
+            4 => Action::PieceCompleted { piece: r.get_u32() },
+            5 => Action::Completed,
+            t => panic!("unknown Action tag {t} in snapshot"),
         }
     }
 }

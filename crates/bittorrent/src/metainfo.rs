@@ -346,6 +346,16 @@ pub fn synthetic_block(seed: u64, piece: u32, offset: u32, len: u32) -> Vec<u8> 
     out
 }
 
+impl simnet::snapshot::Snap for InfoHash {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        w.put_bytes(&self.0);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        let v = r.get_byte_vec();
+        InfoHash(v.try_into().expect("snapshot: InfoHash must be 20 bytes"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,16 @@ impl AsRef<[u8]> for PeerId {
     }
 }
 
+impl simnet::snapshot::Snap for PeerId {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        w.put_bytes(&self.0);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        let v = r.get_byte_vec();
+        PeerId(v.try_into().expect("snapshot: PeerId must be 20 bytes"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

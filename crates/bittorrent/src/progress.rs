@@ -322,6 +322,10 @@ impl TorrentProgress {
                 !flights.is_empty()
             });
         }
+        // `refs` accumulates in `in_flight`'s hash-map iteration order;
+        // sort so the caller's requeue order is identical across runs and
+        // across snapshot restores (which canonicalise map layouts).
+        refs.sort_unstable();
         for (piece, b, c) in refs {
             let offset = b * block_size;
             // Reconstruct the ref without re-borrowing partials.
@@ -367,6 +371,48 @@ impl TorrentProgress {
             .flat_map(|p| p.in_flight.values())
             .map(|v| v.len())
             .sum()
+    }
+}
+
+use simnet::snapshot::{snap_hash_map, unsnap_hash_map, Snap, SnapReader, SnapWriter};
+
+impl Snap for PartialPiece {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.received.snap(w);
+        w.put_u32(self.received_count);
+        snap_hash_map(&self.in_flight, w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        PartialPiece {
+            received: Snap::unsnap(r),
+            received_count: r.get_u32(),
+            in_flight: unsnap_hash_map(r),
+        }
+    }
+}
+
+impl Snap for TorrentProgress {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.piece_length);
+        w.put_u64(self.length);
+        w.put_u32(self.num_pieces);
+        w.put_u32(self.block_size);
+        self.have.snap(w);
+        self.partial.snap(w);
+        w.put_u64(self.bytes_have);
+        w.put_usize(self.endgame_dup_cap);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        TorrentProgress {
+            piece_length: r.get_u32(),
+            length: r.get_u64(),
+            num_pieces: r.get_u32(),
+            block_size: r.get_u32(),
+            have: Snap::unsnap(r),
+            partial: Snap::unsnap(r),
+            bytes_have: r.get_u64(),
+            endgame_dup_cap: r.get_usize(),
+        }
     }
 }
 

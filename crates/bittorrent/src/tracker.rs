@@ -388,6 +388,103 @@ impl Tracker {
     }
 }
 
+use simnet::snapshot::{snap_hash_map, unsnap_hash_map, Snap, SnapReader, SnapWriter};
+
+impl Snap for TrackerConfig {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.announce_interval.snap(w);
+        w.put_usize(self.max_peers_returned);
+        w.put_u32(self.expiry_intervals);
+        w.put_f64(self.interval_jitter);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        TrackerConfig {
+            announce_interval: Snap::unsnap(r),
+            max_peers_returned: r.get_usize(),
+            expiry_intervals: r.get_u32(),
+            interval_jitter: r.get_f64(),
+        }
+    }
+}
+
+impl Snap for AnnounceEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            AnnounceEvent::Started => 0,
+            AnnounceEvent::Stopped => 1,
+            AnnounceEvent::Completed => 2,
+            AnnounceEvent::Periodic => 3,
+        });
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        match r.get_u8() {
+            0 => AnnounceEvent::Started,
+            1 => AnnounceEvent::Stopped,
+            2 => AnnounceEvent::Completed,
+            3 => AnnounceEvent::Periodic,
+            t => panic!("unknown AnnounceEvent tag {t} in snapshot"),
+        }
+    }
+}
+
+impl Snap for TrackedPeer {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.addr.snap(w);
+        self.last_seen.snap(w);
+        w.put_bool(self.seed);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        TrackedPeer {
+            addr: Snap::unsnap(r),
+            last_seen: Snap::unsnap(r),
+            seed: r.get_bool(),
+        }
+    }
+}
+
+impl Snap for Swarm {
+    // The dense `list` order is load-bearing (rejection sampling indexes
+    // into it), so it rides verbatim; `members` and `seeds` are derived
+    // from it on restore.
+    fn snap(&self, w: &mut SnapWriter) {
+        self.list.snap(w);
+        self.expiry.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        let list: Vec<(PeerId, TrackedPeer)> = Snap::unsnap(r);
+        let expiry = Snap::unsnap(r);
+        let mut members = HashMap::with_capacity(list.len());
+        let mut seeds = 0;
+        for (i, (id, p)) in list.iter().enumerate() {
+            members.insert(*id, i as u32);
+            seeds += usize::from(p.seed);
+        }
+        Swarm {
+            members,
+            list,
+            seeds,
+            expiry,
+        }
+    }
+}
+
+impl Snap for Tracker {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.config.snap(w);
+        snap_hash_map(&self.swarms, w);
+        w.put_u64(self.announces);
+        snap_hash_map(&self.downloads, w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        Tracker {
+            config: Snap::unsnap(r),
+            swarms: unsnap_hash_map(r),
+            announces: r.get_u64(),
+            downloads: unsnap_hash_map(r),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

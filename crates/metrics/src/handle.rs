@@ -15,6 +15,7 @@ use crate::json::{write_num, write_str, Json};
 use crate::recorder::{Series, SeriesBuf, DEFAULT_SERIES_CAPACITY};
 use crate::registry::{Counter, Gauge, Histogram, HistogramCore};
 use crate::trace::{Trace, TraceKind};
+use simnet::snapshot::{Snap, SnapReader, SnapWriter};
 use simnet::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -280,6 +281,143 @@ impl MetricsHandle {
             }
         }
         out
+    }
+
+    /// Serialises the full registry — every counter, gauge, histogram,
+    /// series ring, and the trace sink — into a snapshot. Instruments
+    /// are written by name (maps are `BTreeMap`s, so the order is the
+    /// sorted name order), which makes the blob independent of
+    /// resolution history.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.section("metrics");
+        let Some(core) = &self.core else {
+            w.put_bool(false);
+            return;
+        };
+        w.put_bool(true);
+        w.put_u64(core.seed);
+        let counters = core.counters.lock().unwrap();
+        w.put_usize(counters.len());
+        for (name, cell) in counters.iter() {
+            w.put_str(name);
+            w.put_u64(cell.load(Ordering::Relaxed));
+        }
+        drop(counters);
+        let gauges = core.gauges.lock().unwrap();
+        w.put_usize(gauges.len());
+        for (name, cell) in gauges.iter() {
+            w.put_str(name);
+            w.put_u64(cell.load(Ordering::Relaxed));
+        }
+        drop(gauges);
+        let histograms = core.histograms.lock().unwrap();
+        w.put_usize(histograms.len());
+        for (name, h) in histograms.iter() {
+            w.put_str(name);
+            h.bounds.snap(w);
+            w.put_usize(h.counts.len());
+            for c in &h.counts {
+                w.put_u64(c.load(Ordering::Relaxed));
+            }
+            w.put_u64(h.sum_bits.load(Ordering::Relaxed));
+            w.put_u64(h.total.load(Ordering::Relaxed));
+        }
+        drop(histograms);
+        let series = core.series.lock().unwrap();
+        w.put_usize(series.len());
+        for (name, buf) in series.iter() {
+            w.put_str(name);
+            buf.lock().unwrap().snap(w);
+        }
+        drop(series);
+        core.trace.lock().unwrap().snap(w);
+    }
+
+    /// Restores instrument values previously written by
+    /// [`MetricsHandle::snap_state`], resolving each instrument by name
+    /// through the normal `entry().or_default()` path. Instruments
+    /// already resolved by live code keep their `Arc` identity — their
+    /// cells are overwritten in place, so every holder observes the
+    /// restored values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the blob's enabled/disabled state does not match
+    /// this handle's.
+    pub fn restore_state(&self, r: &mut SnapReader<'_>) {
+        r.section("metrics");
+        let was_enabled = r.get_bool();
+        assert_eq!(
+            was_enabled,
+            self.is_enabled(),
+            "snapshot: metrics enabled/disabled mismatch"
+        );
+        let Some(core) = &self.core else { return };
+        let seed = r.get_u64();
+        assert_eq!(seed, core.seed, "snapshot: metrics seed mismatch");
+        let n = r.get_usize();
+        {
+            let mut counters = core.counters.lock().unwrap();
+            for _ in 0..n {
+                let name = r.get_string();
+                let v = r.get_u64();
+                counters
+                    .entry(name)
+                    .or_default()
+                    .store(v, Ordering::Relaxed);
+            }
+        }
+        let n = r.get_usize();
+        {
+            let mut gauges = core.gauges.lock().unwrap();
+            for _ in 0..n {
+                let name = r.get_string();
+                let v = r.get_u64();
+                gauges
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())))
+                    .store(v, Ordering::Relaxed);
+            }
+        }
+        let n = r.get_usize();
+        {
+            let mut histograms = core.histograms.lock().unwrap();
+            for _ in 0..n {
+                let name = r.get_string();
+                let bounds: Vec<f64> = Snap::unsnap(r);
+                let n_counts = r.get_usize();
+                let h = histograms
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(HistogramCore::new(&bounds)));
+                assert_eq!(
+                    h.counts.len(),
+                    n_counts,
+                    "snapshot: histogram bucket-count mismatch"
+                );
+                for c in &h.counts {
+                    c.store(r.get_u64(), Ordering::Relaxed);
+                }
+                h.sum_bits.store(r.get_u64(), Ordering::Relaxed);
+                h.total.store(r.get_u64(), Ordering::Relaxed);
+            }
+        }
+        let n = r.get_usize();
+        {
+            let mut series = core.series.lock().unwrap();
+            for _ in 0..n {
+                let name = r.get_string();
+                let buf: SeriesBuf = Snap::unsnap(r);
+                match series.entry(name) {
+                    std::collections::btree_map::Entry::Occupied(e) => {
+                        *e.get().lock().unwrap() = buf;
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(Arc::new(Mutex::new(buf)));
+                    }
+                }
+            }
+        }
+        *core.trace.lock().unwrap() = Snap::unsnap(r);
     }
 }
 

@@ -210,6 +210,34 @@ impl RunSummary {
     }
 }
 
+impl simnet::snapshot::Snap for TimeSeries {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        self.points.snap(w);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        TimeSeries {
+            points: simnet::snapshot::Snap::unsnap(r),
+        }
+    }
+}
+
+impl simnet::snapshot::Snap for RateMeter {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        self.window.snap(w);
+        self.samples.snap(w);
+        w.put_u64(self.in_window);
+        w.put_u64(self.total);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        RateMeter {
+            window: simnet::snapshot::Snap::unsnap(r),
+            samples: simnet::snapshot::Snap::unsnap(r),
+            in_window: r.get_u64(),
+            total: r.get_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -447,6 +447,15 @@ impl FaultInjector {
         self.next >= self.timeline.len()
     }
 
+    /// Fast-forwards the cursor past the first `applied` actions
+    /// without invoking any hooks. Restoring a snapshot rebuilds the
+    /// injector from the original plan and then skips the actions the
+    /// saved world had already absorbed; their effects live in the
+    /// world state itself.
+    pub fn skip_to(&mut self, applied: usize) {
+        self.next = applied.min(self.timeline.len());
+    }
+
     /// Renders the expanded action timeline, one action per line.
     pub fn render(&self) -> String {
         let mut out = String::new();

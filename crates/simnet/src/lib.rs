@@ -57,6 +57,7 @@ pub mod link;
 pub mod mobility;
 pub mod rng;
 pub mod sim;
+pub mod snapshot;
 pub mod time;
 pub mod wireless;
 

@@ -17,4 +17,5 @@ pub mod params;
 pub mod playability;
 pub mod registry;
 pub mod scale;
+pub mod search;
 pub mod soak;

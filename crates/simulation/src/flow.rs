@@ -2005,7 +2005,131 @@ impl FlowWorld {
             self.sync_node_capacity(node);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete world state to a versioned blob.
+    ///
+    /// The blob captures the simulator (clock, event queue, scheduler
+    /// tokens), tracker, address book, nodes, every task (including the
+    /// live client session), the connection arena, the rate engine's
+    /// allocation state, all RNG streams, fault state, the invariant
+    /// checker's observation history, and — when metrics are enabled —
+    /// every registry instrument by name.
+    ///
+    /// Deliberately excluded: `FlowConfig` and the task specs (the
+    /// `make_config` closures and picker choices are code, not state) —
+    /// [`FlowWorld::restore`] therefore requires a world rebuilt by the
+    /// *same* builder calls (`new` → `set_metrics` → `add_node` /
+    /// `add_task` / `set_mobility` → `start`) as the saved one.
+    ///
+    /// Guarantee: restoring this blob into such a world and running to
+    /// any later time T produces byte-identical state (a later `save`)
+    /// to running the original world straight through to T.
+    pub fn save(&self) -> Vec<u8> {
+        assert!(self.started, "save() requires a started world");
+        let mut w = SnapWriter::new(FLOW_WORLD_TAG);
+        w.section("flow_world");
+        self.sim.snap(&mut w);
+        self.tracker.snap(&mut w);
+        self.book.snap(&mut w);
+        self.nodes.snap(&mut w);
+        w.section("tasks");
+        w.put_usize(self.tasks.len());
+        for task in &self.tasks {
+            task.save(&mut w);
+        }
+        w.section("conns");
+        self.conns.snap(&mut w);
+        self.node_tasks.snap(&mut w);
+        self.dead_queue.snap(&mut w);
+        self.tick_due.snap(&mut w);
+        self.rng.snap(&mut w);
+        self.last_advance.snap(&mut w);
+        self.next_metrics.snap(&mut w);
+        self.trace.snap(&mut w);
+        self.handoff_down_since.snap(&mut w);
+        self.engine.save_state(&mut w);
+        w.put_usize(self.cap_base);
+        self.task_capped.snap(&mut w);
+        self.pending_tasks.snap(&mut w);
+        self.pending_flag.snap(&mut w);
+        w.put_u64(self.rate_solves);
+        w.put_u64(self.rate_skips);
+        w.put_u64(self.stall_aborts);
+        w.put_bool(self.tracker_down);
+        self.blackholed.snap(&mut w);
+        self.access_baseline.snap(&mut w);
+        self.lossy_factor.snap(&mut w);
+        self.squeeze_factor.snap(&mut w);
+        self.checker.snap(&mut w);
+        self.metrics.snap_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`FlowWorld::save`] into this world.
+    ///
+    /// `self` must be a started world built by the same builder calls as
+    /// the saved one (same nodes, tasks, config, and metrics
+    /// enablement); everything mutable is replaced wholesale. Clients
+    /// are rebuilt from their task's `make_config` and then overlaid
+    /// with their serialized session state, so restored worlds keep
+    /// working pickers and metrics instruments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob is malformed, from a different world kind, or
+    /// shaped for a differently-built world (task/node count mismatch).
+    pub fn restore(&mut self, blob: &[u8]) {
+        assert!(self.started, "restore() requires a started world");
+        let mut r = SnapReader::new(blob, FLOW_WORLD_TAG);
+        r.section("flow_world");
+        self.sim = Snap::unsnap(&mut r);
+        self.tracker = Snap::unsnap(&mut r);
+        self.book = Snap::unsnap(&mut r);
+        self.nodes = Snap::unsnap(&mut r);
+        r.section("tasks");
+        let n = r.get_usize();
+        assert_eq!(n, self.tasks.len(), "snapshot task count mismatch");
+        let metrics = self.metrics.clone();
+        for t in 0..n {
+            let addr = self.nodes[self.tasks[t].spec.node].addr;
+            self.tasks[t].restore(t, addr, &metrics, &mut r);
+        }
+        r.section("conns");
+        self.conns = Snap::unsnap(&mut r);
+        self.node_tasks = Snap::unsnap(&mut r);
+        self.dead_queue = Snap::unsnap(&mut r);
+        self.tick_due = Snap::unsnap(&mut r);
+        self.rng = Snap::unsnap(&mut r);
+        self.last_advance = Snap::unsnap(&mut r);
+        self.next_metrics = Snap::unsnap(&mut r);
+        self.trace = Snap::unsnap(&mut r);
+        self.handoff_down_since = Snap::unsnap(&mut r);
+        self.engine.restore_state(&mut r);
+        let cap_base = r.get_usize();
+        assert_eq!(cap_base, self.cap_base, "snapshot node-layout mismatch");
+        self.task_capped = Snap::unsnap(&mut r);
+        self.pending_tasks = Snap::unsnap(&mut r);
+        self.pending_flag = Snap::unsnap(&mut r);
+        self.rate_solves = r.get_u64();
+        self.rate_skips = r.get_u64();
+        self.stall_aborts = r.get_u64();
+        self.tracker_down = r.get_bool();
+        self.blackholed = Snap::unsnap(&mut r);
+        self.access_baseline = Snap::unsnap(&mut r);
+        self.lossy_factor = Snap::unsnap(&mut r);
+        self.squeeze_factor = Snap::unsnap(&mut r);
+        self.checker = Snap::unsnap(&mut r);
+        self.metrics.restore_state(&mut r);
+        assert!(r.is_exhausted(), "snapshot has trailing bytes");
+    }
 }
+
+/// World-kind tag of flow-world snapshot blobs.
+pub const FLOW_WORLD_TAG: u32 = 1;
 
 /// Fault injection into the fluid model.
 ///
@@ -2177,6 +2301,296 @@ impl FaultHooks for FlowWorld {
             self.spawn_client(t, now);
         }
         self.pump_actions(now);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot plumbing: Snap impls for the world's private value types, and
+// the task-state overlay (a `TaskSpec` holds a `make_config` closure, so
+// tasks restore onto the spec the rebuilt world already carries).
+// ----------------------------------------------------------------------
+
+use simnet::snapshot::{snap_hash_map, unsnap_hash_map, Snap, SnapReader, SnapWriter};
+
+impl TaskState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_bool(self.client.is_some());
+        if let Some(c) = &self.client {
+            c.save_state(w);
+        }
+        self.saved_progress.snap(w);
+        self.identity.snap(w);
+        self.rr.snap(w);
+        self.lihd.snap(w);
+        self.dl_meter.snap(w);
+        w.put_u64(self.last_down_total);
+        self.acc.snap(w);
+        w.put_u64(self.delivered_down);
+        w.put_u64(self.delivered_up);
+        self.series_down.snap(w);
+        self.series_up.snap(w);
+        self.next_client_tick.snap(w);
+        w.put_u32(self.generation);
+        w.put_bool(self.started);
+        self.completed_at.snap(w);
+        w.put_u32(self.announce_fails);
+        snap_hash_map(&self.conn_index, w);
+        self.rng.snap(w);
+    }
+
+    /// Overlays serialized task state onto this (builder-rebuilt) task.
+    /// A present client is reconstructed from the task's own
+    /// `make_config` — placeholder identity, progress, and rng are
+    /// immediately replaced by `Client::restore_state` — and re-wired
+    /// into the metrics registry, as are the LIHD controller's
+    /// instruments.
+    fn restore(&mut self, t: TaskKey, addr: SimAddr, metrics: &MetricsHandle, r: &mut SnapReader<'_>) {
+        self.client = if r.get_bool() {
+            let mut config = (self.spec.make_config)();
+            if let Some(schedule) = self.spec.wp2p.mobility_fetching {
+                config.picker = Box::new(MobilityAwarePicker::new(schedule));
+            }
+            if self.spec.wp2p.role_reversal {
+                config.dial_while_seeding = true;
+            }
+            let mut seed_rng = SimRng::new(0);
+            let peer_id = PeerId::generate(PeerIdStyle::Random, addr, &mut seed_rng);
+            let mut client = Client::with_progress(
+                config,
+                self.spec.torrent.info_hash,
+                peer_id,
+                self.spec.torrent.fresh_progress(),
+                addr,
+                seed_rng,
+            );
+            client.restore_state(r);
+            if metrics.is_enabled() {
+                client.attach_metrics(metrics, &format!("task{t}"));
+            }
+            Some(client)
+        } else {
+            None
+        };
+        self.saved_progress = Snap::unsnap(r);
+        self.identity = Snap::unsnap(r);
+        self.rr = Snap::unsnap(r);
+        self.lihd = Snap::unsnap(r);
+        if metrics.is_enabled() {
+            if let Some(l) = self.lihd.as_mut() {
+                l.attach_metrics(metrics, &format!("task{t}"));
+            }
+        }
+        self.dl_meter = Snap::unsnap(r);
+        self.last_down_total = r.get_u64();
+        self.acc = Snap::unsnap(r);
+        self.delivered_down = r.get_u64();
+        self.delivered_up = r.get_u64();
+        self.series_down = Snap::unsnap(r);
+        self.series_up = Snap::unsnap(r);
+        self.next_client_tick = Snap::unsnap(r);
+        self.generation = r.get_u32();
+        self.started = r.get_bool();
+        self.completed_at = Snap::unsnap(r);
+        self.announce_fails = r.get_u32();
+        self.conn_index = unsnap_hash_map(r);
+        self.rng = Snap::unsnap(r);
+    }
+}
+
+impl Snap for Access {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            Access::Wired { up, down } => {
+                w.put_u8(0);
+                w.put_f64(up);
+                w.put_f64(down);
+            }
+            Access::Wireless { capacity } => {
+                w.put_u8(1);
+                w.put_f64(capacity);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        match r.get_u8() {
+            0 => Access::Wired {
+                up: r.get_f64(),
+                down: r.get_f64(),
+            },
+            1 => Access::Wireless {
+                capacity: r.get_f64(),
+            },
+            t => panic!("snapshot: unknown Access tag {t}"),
+        }
+    }
+}
+
+impl Snap for Node {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.access.snap(w);
+        self.addr.snap(w);
+        w.put_bool(self.alive);
+        self.mobility.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        Node {
+            access: Snap::unsnap(r),
+            addr: Snap::unsnap(r),
+            alive: r.get_bool(),
+            mobility: Snap::unsnap(r),
+        }
+    }
+}
+
+impl Snap for ConnId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.slot);
+        w.put_u32(self.gen);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        ConnId {
+            slot: r.get_u32(),
+            gen: r.get_u32(),
+        }
+    }
+}
+
+impl Snap for ConnEnd {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.task);
+        w.put_u64(self.key);
+        w.put_u32(self.generation);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        ConnEnd {
+            task: r.get_usize(),
+            key: r.get_u64(),
+            generation: r.get_u32(),
+        }
+    }
+}
+
+impl Snap for FlowQ {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.queue.snap(w);
+        w.put_f64(self.head_remaining);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        FlowQ {
+            queue: Snap::unsnap(r),
+            head_remaining: r.get_f64(),
+        }
+    }
+}
+
+impl Snap for ConnArena {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.gen.snap(w);
+        self.live.snap(w);
+        self.uid.snap(w);
+        self.a.snap(w);
+        self.b.snap(w);
+        self.ab.snap(w);
+        self.ba.snap(w);
+        self.dead_since.snap(w);
+        self.stall.snap(w);
+        self.last_progress.snap(w);
+        self.free.snap(w);
+        w.put_u64(self.next_uid);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        ConnArena {
+            gen: Snap::unsnap(r),
+            live: Snap::unsnap(r),
+            uid: Snap::unsnap(r),
+            a: Snap::unsnap(r),
+            b: Snap::unsnap(r),
+            ab: Snap::unsnap(r),
+            ba: Snap::unsnap(r),
+            dead_since: Snap::unsnap(r),
+            stall: Snap::unsnap(r),
+            last_progress: Snap::unsnap(r),
+            free: Snap::unsnap(r),
+            next_uid: r.get_u64(),
+        }
+    }
+}
+
+impl Snap for Ev {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::Tick => w.put_u8(0),
+            Ev::Dial {
+                task,
+                generation,
+                key,
+                addr,
+                target,
+            } => {
+                w.put_u8(1);
+                w.put_usize(*task);
+                w.put_u32(*generation);
+                w.put_u64(*key);
+                addr.snap(w);
+                target.snap(w);
+            }
+            Ev::TrackerReply {
+                task,
+                generation,
+                event,
+            } => {
+                w.put_u8(2);
+                w.put_usize(*task);
+                w.put_u32(*generation);
+                event.snap(w);
+            }
+            Ev::HandoffStart { node, ends } => {
+                w.put_u8(3);
+                w.put_usize(*node);
+                ends.snap(w);
+            }
+            Ev::HandoffEnd { node } => {
+                w.put_u8(4);
+                w.put_usize(*node);
+            }
+            Ev::StallCheck { cid } => {
+                w.put_u8(5);
+                cid.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        match r.get_u8() {
+            0 => Ev::Tick,
+            1 => Ev::Dial {
+                task: r.get_usize(),
+                generation: r.get_u32(),
+                key: r.get_u64(),
+                addr: Snap::unsnap(r),
+                target: Snap::unsnap(r),
+            },
+            2 => Ev::TrackerReply {
+                task: r.get_usize(),
+                generation: r.get_u32(),
+                event: Snap::unsnap(r),
+            },
+            3 => Ev::HandoffStart {
+                node: r.get_usize(),
+                ends: Snap::unsnap(r),
+            },
+            4 => Ev::HandoffEnd {
+                node: r.get_usize(),
+            },
+            5 => Ev::StallCheck { cid: Snap::unsnap(r) },
+            t => panic!("snapshot: unknown flow event tag {t}"),
+        }
     }
 }
 

@@ -927,6 +927,107 @@ impl PacketWorld {
     // Main loop
     // ------------------------------------------------------------------
 
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete world state to a versioned blob: the
+    /// simulator (clock, queue, timer tokens), every node (wireless
+    /// channel, AM config, client session), every live connection (both
+    /// TCP endpoints, AM filters, framed message queues), tracker,
+    /// address book, RNG, fault state, the invariant checker's history,
+    /// and — when metrics are enabled — the registry by name.
+    ///
+    /// `PacketConfig` is deliberately excluded: [`PacketWorld::restore`]
+    /// requires a world rebuilt by the same builder calls (`new` →
+    /// `set_metrics` → `add_node` / `set_am` / `add_client` /
+    /// `start_clients`) as the saved one.
+    pub fn save(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new(PACKET_WORLD_TAG);
+        w.section("packet_world");
+        self.sim.snap(&mut w);
+        w.section("pnodes");
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            node.save(&mut w);
+        }
+        w.section("pconns");
+        self.conns.snap(&mut w);
+        self.node_conns.snap(&mut w);
+        self.ckeys.snap(&mut w);
+        self.tracker.snap(&mut w);
+        self.book.snap(&mut w);
+        self.rng.snap(&mut w);
+        w.put_u32(self.next_iss);
+        w.put_bool(self.clients_started);
+        self.blackholed.snap(&mut w);
+        self.crashed.snap(&mut w);
+        self.ber_baseline.snap(&mut w);
+        self.bw_baseline.snap(&mut w);
+        w.put_bool(self.tracker_down);
+        self.checker.snap(&mut w);
+        self.metrics.snap_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`PacketWorld::save`] into this world.
+    ///
+    /// `self` must be a world rebuilt by the same builder calls as the
+    /// saved one (same nodes, channels, clients, and metrics
+    /// enablement). Client sessions are overlaid in place — their
+    /// configuration is code, not state — and endpoint/AM instruments
+    /// are re-wired into the metrics registry by connection key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob is malformed, from a different world kind, or
+    /// shaped for a differently-built world.
+    pub fn restore(&mut self, blob: &[u8]) {
+        let mut r = SnapReader::new(blob, PACKET_WORLD_TAG);
+        r.section("packet_world");
+        self.sim = Snap::unsnap(&mut r);
+        r.section("pnodes");
+        let n = r.get_usize();
+        assert_eq!(n, self.nodes.len(), "snapshot node count mismatch");
+        for i in 0..n {
+            self.nodes[i].restore(i, &mut r);
+        }
+        r.section("pconns");
+        self.conns = Snap::unsnap(&mut r);
+        if self.metrics.is_enabled() {
+            // Unsnapped endpoints and AM filters come back detached;
+            // re-wire them under the same per-connection names so the
+            // by-name value restore below lands in live instruments.
+            let metrics = self.metrics.clone();
+            for (k, conn) in self.conns.iter_mut().enumerate() {
+                let Some(c) = conn.as_mut() else { continue };
+                c.a.attach_metrics(&metrics, &format!("conn{k}.a"));
+                c.b.attach_metrics(&metrics, &format!("conn{k}.b"));
+                if let Some(f) = c.a_filter.as_mut() {
+                    f.attach_metrics(&metrics, &format!("conn{k}.a"));
+                }
+                if let Some(f) = c.b_filter.as_mut() {
+                    f.attach_metrics(&metrics, &format!("conn{k}.b"));
+                }
+            }
+        }
+        self.node_conns = Snap::unsnap(&mut r);
+        self.ckeys = Snap::unsnap(&mut r);
+        self.tracker = Snap::unsnap(&mut r);
+        self.book = Snap::unsnap(&mut r);
+        self.rng = Snap::unsnap(&mut r);
+        self.next_iss = r.get_u32();
+        self.clients_started = r.get_bool();
+        self.blackholed = Snap::unsnap(&mut r);
+        self.crashed = Snap::unsnap(&mut r);
+        self.ber_baseline = Snap::unsnap(&mut r);
+        self.bw_baseline = Snap::unsnap(&mut r);
+        self.tracker_down = r.get_bool();
+        self.checker = Snap::unsnap(&mut r);
+        self.metrics.restore_state(&mut r);
+        assert!(r.is_exhausted(), "snapshot has trailing bytes");
+    }
+
     /// Runs until `deadline`; `on_event` is invoked after every processed
     /// event (for experiment sampling).
     pub fn run_until(&mut self, deadline: SimTime, mut on_event: impl FnMut(&mut PacketWorld)) {
@@ -1087,6 +1188,143 @@ impl FaultHooks for PacketWorld {
         let n = node.0 as usize;
         if self.crashed.remove(&n) {
             self.fault_note(format!("fault restart node {n}"));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot plumbing.
+// ----------------------------------------------------------------------
+
+/// World-kind tag of packet-world snapshot blobs.
+pub const PACKET_WORLD_TAG: u32 = 2;
+
+use simnet::snapshot::{Snap, SnapReader, SnapWriter};
+
+impl PNode {
+    fn save(&self, w: &mut SnapWriter) {
+        self.channel.snap(w);
+        self.am.snap(w);
+        self.addr.snap(w);
+        w.put_bool(self.client.is_some());
+        if let Some(c) = &self.client {
+            c.save_state(w);
+        }
+        w.put_u64(self.delivered_down);
+        w.put_u64(self.delivered_up);
+        w.put_u32(self.announce_fails);
+    }
+
+    /// Overlays serialized node state. The client session — whose
+    /// configuration is code the blob cannot carry — is overlaid onto
+    /// the rebuilt world's client object in place, keeping its attached
+    /// metrics instruments.
+    fn restore(&mut self, n: PNodeKey, r: &mut SnapReader<'_>) {
+        self.channel = Snap::unsnap(r);
+        self.am = Snap::unsnap(r);
+        self.addr = Snap::unsnap(r);
+        if r.get_bool() {
+            let client = self
+                .client
+                .as_mut()
+                .unwrap_or_else(|| panic!("snapshot: node {n} carries a client but the rebuilt world attached none"));
+            client.restore_state(r);
+        } else {
+            // The saved run had stopped this client (e.g. the seed left).
+            self.client = None;
+        }
+        self.delivered_down = r.get_u64();
+        self.delivered_up = r.get_u64();
+        self.announce_fails = r.get_u32();
+    }
+}
+
+impl Snap for PConn {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.a_node);
+        w.put_usize(self.b_node);
+        self.a.snap(w);
+        self.b.snap(w);
+        self.a_filter.snap(w);
+        self.b_filter.snap(w);
+        self.a_timer.snap(w);
+        self.b_timer.snap(w);
+        self.a_key.snap(w);
+        self.b_key.snap(w);
+        self.a2b.snap(w);
+        self.b2a.snap(w);
+        w.put_u64(self.a_written);
+        w.put_u64(self.b_written);
+        w.put_bool(self.a_up);
+        w.put_bool(self.b_up);
+        w.put_bool(self.closed);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        PConn {
+            a_node: r.get_usize(),
+            b_node: r.get_usize(),
+            a: Snap::unsnap(r),
+            b: Snap::unsnap(r),
+            a_filter: Snap::unsnap(r),
+            b_filter: Snap::unsnap(r),
+            a_timer: Snap::unsnap(r),
+            b_timer: Snap::unsnap(r),
+            a_key: Snap::unsnap(r),
+            b_key: Snap::unsnap(r),
+            a2b: Snap::unsnap(r),
+            b2a: Snap::unsnap(r),
+            a_written: r.get_u64(),
+            b_written: r.get_u64(),
+            a_up: r.get_bool(),
+            b_up: r.get_bool(),
+            closed: r.get_bool(),
+        }
+    }
+}
+
+impl Snap for PEv {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            PEv::Hop { conn, to_a, seg } => {
+                w.put_u8(0);
+                w.put_usize(*conn);
+                w.put_bool(*to_a);
+                seg.snap(w);
+            }
+            PEv::Deliver { conn, to_a, seg } => {
+                w.put_u8(1);
+                w.put_usize(*conn);
+                w.put_bool(*to_a);
+                seg.snap(w);
+            }
+            PEv::Timer { conn, a_side } => {
+                w.put_u8(2);
+                w.put_usize(*conn);
+                w.put_bool(*a_side);
+            }
+            PEv::ClientTick => w.put_u8(3),
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        match r.get_u8() {
+            0 => PEv::Hop {
+                conn: r.get_usize(),
+                to_a: r.get_bool(),
+                seg: Snap::unsnap(r),
+            },
+            1 => PEv::Deliver {
+                conn: r.get_usize(),
+                to_a: r.get_bool(),
+                seg: Snap::unsnap(r),
+            },
+            2 => PEv::Timer {
+                conn: r.get_usize(),
+                a_side: r.get_bool(),
+            },
+            3 => PEv::ClientTick,
+            t => panic!("snapshot: unknown packet event tag {t}"),
         }
     }
 }

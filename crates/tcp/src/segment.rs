@@ -103,6 +103,40 @@ impl fmt::Debug for Segment {
     }
 }
 
+impl simnet::snapshot::Snap for SegFlags {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        w.put_u8(u8::from(self.syn) | u8::from(self.ack) << 1 | u8::from(self.fin) << 2 | u8::from(self.rst) << 3);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        let b = r.get_u8();
+        SegFlags {
+            syn: b & 1 != 0,
+            ack: b & 2 != 0,
+            fin: b & 4 != 0,
+            rst: b & 8 != 0,
+        }
+    }
+}
+
+impl simnet::snapshot::Snap for Segment {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        self.seq.snap(w);
+        self.ack.snap(w);
+        self.flags.snap(w);
+        w.put_u32(self.payload);
+        w.put_u32(self.window);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        Segment {
+            seq: simnet::snapshot::Snap::unsnap(r),
+            ack: simnet::snapshot::Snap::unsnap(r),
+            flags: simnet::snapshot::Snap::unsnap(r),
+            payload: r.get_u32(),
+            window: r.get_u32(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

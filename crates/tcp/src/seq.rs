@@ -81,6 +81,15 @@ impl fmt::Display for SeqNum {
     }
 }
 
+impl simnet::snapshot::Snap for SeqNum {
+    fn snap(&self, w: &mut simnet::snapshot::SnapWriter) {
+        w.put_u32(self.0);
+    }
+    fn unsnap(r: &mut simnet::snapshot::SnapReader<'_>) -> Self {
+        SeqNum(r.get_u32())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

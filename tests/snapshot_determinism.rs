@@ -1,0 +1,668 @@
+//! Differential snapshot battery: `restore(save(w))` then running to
+//! time T must be **byte-identical** to running straight through to T.
+//!
+//! Every test compares full serialized world blobs — not summaries — so
+//! any divergence in any subsystem (event queue, RNG streams, client
+//! state, rate engine, tracker, metrics) fails loudly. The matrix
+//! covers both worlds, both scheduler backends, both rate-solver paths,
+//! snapshots taken mid-fault-window, inside an announce backoff ladder,
+//! and at times that land between timer-wheel cascades.
+
+use bittorrent::client::ClientConfig;
+use bittorrent::lifecycle::ResilienceConfig;
+use bittorrent::metainfo::Metainfo;
+use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskKey, TaskSpec, TorrentSpec};
+use p2p_simulation::packet::{PacketConfig, PacketWorld};
+use p2p_simulation::rates::SolverMode;
+use simnet::addr::NodeId;
+use simnet::event::Scheduler;
+use simnet::fault::{FaultInjector, FaultKind, FaultPlan, FaultPlanConfig};
+use simnet::rng::SimRng;
+use simnet::mobility::MobilityProcess;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wireless::WirelessConfig;
+
+const MB: u64 = 1024 * 1024;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn at(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+// ----------------------------------------------------------------------
+// Flow-world scenarios
+// ----------------------------------------------------------------------
+
+/// A quick fig3b-shaped swarm: campus seed, two residential leeches,
+/// one wireless mobile leech with a hand-off schedule.
+fn fig3b_world(seed: u64, scheduler: Scheduler, solver: SolverMode) -> FlowWorld {
+    let meta = Metainfo::synthetic("snap.bin", "tr", 256 * 1024, 16 * MB, seed);
+    let torrent = TorrentSpec::from_metainfo(&meta, 256 * 1024);
+    let cfg = FlowConfig {
+        scheduler,
+        rate_solver: solver,
+        ..FlowConfig::default()
+    };
+    let mut w = FlowWorld::new(cfg, seed);
+    let seed_node = w.add_node(Access::campus());
+    w.add_task(TaskSpec::default_client(seed_node, torrent, true));
+    for i in 0..2 {
+        let n = w.add_node(Access::residential());
+        let mut spec = TaskSpec::default_client(n, torrent, false);
+        spec.start_fraction = Some(0.2 * (i + 1) as f64);
+        w.add_task(spec);
+    }
+    let mobile = w.add_node(Access::Wireless {
+        capacity: 2_000_000.0 / 8.0,
+    });
+    w.add_task(TaskSpec::default_client(mobile, torrent, false));
+    w.set_mobility(
+        mobile,
+        MobilityProcess::periodic(secs(25), secs(4)),
+    );
+    w.start();
+    w
+}
+
+/// A soak-shaped swarm: armed clients + stall watchdog, for fault and
+/// backoff-ladder snapshots.
+fn armed_world(seed: u64, scheduler: Scheduler) -> (FlowWorld, Vec<TaskKey>) {
+    let meta = Metainfo::synthetic("snap2.bin", "tr", 256 * 1024, 16 * MB, seed);
+    let torrent = TorrentSpec::from_metainfo(&meta, 256 * 1024);
+    let cfg = FlowConfig {
+        scheduler,
+        stall_timeout: Some(secs(15)),
+        ..FlowConfig::default()
+    };
+    let mut w = FlowWorld::new(cfg, seed);
+    let armed = || {
+        Box::new(|| ClientConfig {
+            resilience: ResilienceConfig::armed(),
+            ..ClientConfig::default()
+        }) as Box<dyn Fn() -> ClientConfig>
+    };
+    let seed_node = w.add_node(Access::campus());
+    let mut seed_spec = TaskSpec::default_client(seed_node, torrent, true);
+    seed_spec.make_config = armed();
+    let mut tasks = vec![w.add_task(seed_spec)];
+    for i in 0..2 {
+        let n = w.add_node(Access::residential());
+        let mut spec = TaskSpec::default_client(n, torrent, false);
+        spec.make_config = armed();
+        spec.start_fraction = Some(0.25 * (i + 1) as f64);
+        tasks.push(w.add_task(spec));
+    }
+    w.start();
+    (w, tasks)
+}
+
+/// The core differential check: straight-through vs save→rebuild→
+/// restore→run, compared as full serialized blobs at time `t2`.
+fn assert_flow_differential(
+    build: impl Fn() -> FlowWorld,
+    t1: SimTime,
+    t2: SimTime,
+) {
+    // Straight run, snapshotting in passing at t1.
+    let mut straight = build();
+    straight.run_until(t1, |_| {});
+    let blob = straight.save();
+    straight.run_until(t2, |_| {});
+    let want = straight.save();
+
+    // Rebuild from the same recipe, restore, run the remainder.
+    let mut restored = build();
+    restored.restore(&blob);
+    assert_eq!(restored.now(), {
+        let mut probe = build();
+        probe.restore(&blob);
+        probe.now()
+    });
+    restored.run_until(t2, |_| {});
+    let got = restored.save();
+
+    assert_eq!(
+        want.len(),
+        got.len(),
+        "snapshot blobs differ in length after restore-then-run"
+    );
+    assert!(
+        want == got,
+        "restore-then-run diverged from straight-through run"
+    );
+    assert_eq!(straight.queue_stats(), restored.queue_stats());
+    assert_eq!(straight.events_processed(), restored.events_processed());
+    assert_eq!(straight.solver_stats(), restored.solver_stats());
+}
+
+#[test]
+fn flow_fig3b_restore_is_byte_identical_heap() {
+    assert_flow_differential(
+        || fig3b_world(11, Scheduler::Heap, SolverMode::Incremental),
+        at(40),
+        at(90),
+    );
+}
+
+#[test]
+fn flow_fig3b_restore_is_byte_identical_wheel() {
+    assert_flow_differential(
+        || fig3b_world(11, Scheduler::Wheel, SolverMode::Incremental),
+        at(40),
+        at(90),
+    );
+}
+
+#[test]
+fn flow_fig3b_restore_is_byte_identical_full_solver() {
+    assert_flow_differential(
+        || fig3b_world(11, Scheduler::Wheel, SolverMode::Full),
+        at(40),
+        at(90),
+    );
+}
+
+/// Snapshot at a time that is not a multiple of any tick or wheel slot
+/// (odd microseconds): the wheel's cascade position must survive.
+#[test]
+fn flow_snapshot_between_wheel_cascades() {
+    assert_flow_differential(
+        || fig3b_world(23, Scheduler::Wheel, SolverMode::Incremental),
+        SimTime::from_micros(33_333_337),
+        at(80),
+    );
+}
+
+/// Heap and wheel backends restored from their own blobs must agree
+/// with their own straight runs even when the snapshot lands mid-tick.
+#[test]
+fn flow_snapshot_at_sub_tick_offset_heap() {
+    assert_flow_differential(
+        || fig3b_world(23, Scheduler::Heap, SolverMode::Incremental),
+        SimTime::from_micros(33_333_337),
+        at(80),
+    );
+}
+
+// ----------------------------------------------------------------------
+// Fault-window and backoff-ladder snapshots
+// ----------------------------------------------------------------------
+
+fn soak_plan(seed: u64, nodes: usize) -> FaultPlan {
+    let mut p = FaultPlan::empty(seed);
+    p.push(at(20), FaultKind::TrackerOutage { duration: secs(40) });
+    p.push(
+        at(25),
+        FaultKind::LinkBlackhole {
+            node: NodeId(0),
+            duration: secs(25),
+        },
+    );
+    if nodes > 2 {
+        p.push(
+            at(35),
+            FaultKind::LossBurst {
+                node: NodeId(2),
+                ber: 1e-3,
+                duration: secs(20),
+            },
+        );
+    }
+    p
+}
+
+/// Snapshot taken *inside* open fault windows (tracker outage + black
+/// hole both active at t=30): the restored run must absorb the
+/// remaining fault actions identically via `FaultInjector::skip_to`.
+#[test]
+fn flow_snapshot_mid_fault_window() {
+    let plan = soak_plan(7, 3);
+    let run = |snapshot_at: Option<SimTime>| -> (Vec<u8>, usize) {
+        let (mut w, _tasks) = armed_world(7, Scheduler::Wheel);
+        let mut inj = FaultInjector::new(&plan);
+        let t_snap = snapshot_at.unwrap_or(SimTime::MAX);
+        let mut blob: Option<(Vec<u8>, usize)> = None;
+        w.run_driven_until(
+            at(120),
+            |w| {
+                inj.poll(w);
+            },
+            |w| blob.is_none() && w.now() >= t_snap,
+        );
+        if snapshot_at.is_some() {
+            blob = Some((w.save(), inj.applied()));
+            // Resume the interrupted run to t=120 (the straight arm).
+            w.run_driven_until(
+                at(120),
+                |w| {
+                    inj.poll(w);
+                },
+                |_| false,
+            );
+        }
+        match blob {
+            Some(b) => b,
+            None => (w.save(), inj.applied()),
+        }
+    };
+
+    // Straight run to completion.
+    let (want, _) = run(None);
+    // Interrupted run: capture the mid-window blob + applied count.
+    let (blob, applied) = {
+        let (mut w, _tasks) = armed_world(7, Scheduler::Wheel);
+        let mut inj = FaultInjector::new(&plan);
+        w.run_driven_until(
+            at(30),
+            |w| {
+                inj.poll(w);
+            },
+            |_| false,
+        );
+        assert!(w.tracker_is_down(), "snapshot must land inside the outage");
+        (w.save(), inj.applied())
+    };
+    // Restored arm: rebuild world AND injector, skip absorbed actions.
+    let (mut w, _tasks) = armed_world(7, Scheduler::Wheel);
+    w.restore(&blob);
+    let mut inj = FaultInjector::new(&plan);
+    inj.skip_to(applied);
+    w.run_driven_until(
+        at(120),
+        |w| {
+            inj.poll(w);
+        },
+        |_| false,
+    );
+    let got = w.save();
+    assert!(
+        want == got,
+        "mid-fault-window restore diverged from straight run"
+    );
+}
+
+/// Snapshot inside an announce backoff ladder: armed clients have
+/// accumulated failed announces during a tracker outage, so the restored
+/// run must continue the ladder at the same rung.
+#[test]
+fn flow_snapshot_inside_backoff_ladder() {
+    let plan = {
+        let mut p = FaultPlan::empty(3);
+        p.push(at(10), FaultKind::TrackerOutage { duration: secs(60) });
+        p
+    };
+    let build = || armed_world(3, Scheduler::Wheel).0;
+    // Straight arm.
+    let mut straight = build();
+    let mut inj = FaultInjector::new(&plan);
+    straight.run_driven_until(
+        at(45),
+        |w| {
+            inj.poll(w);
+        },
+        |_| false,
+    );
+    assert!(straight.tracker_is_down());
+    let blob = straight.save();
+    let applied = inj.applied();
+    straight.run_driven_until(
+        at(110),
+        |w| {
+            inj.poll(w);
+        },
+        |_| false,
+    );
+    let want = straight.save();
+    // Restored arm.
+    let mut restored = build();
+    restored.restore(&blob);
+    let mut inj2 = FaultInjector::new(&plan);
+    inj2.skip_to(applied);
+    restored.run_driven_until(
+        at(110),
+        |w| {
+            inj2.poll(w);
+        },
+        |_| false,
+    );
+    let got = restored.save();
+    assert!(
+        want == got,
+        "backoff-ladder restore diverged from straight run"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Packet-world scenarios
+// ----------------------------------------------------------------------
+
+fn packet_raw_world(scheduler: Scheduler, seed: u64) -> PacketWorld {
+    let cfg = PacketConfig {
+        scheduler,
+        ..PacketConfig::default()
+    };
+    let mut w = PacketWorld::new(cfg, seed);
+    let a = w.add_node(None);
+    let b = w.add_node(Some(WirelessConfig::wlan_80211g()));
+    let conn = w.open_tcp(a, b);
+    w.tcp_write(conn, true, 4 * MB);
+    w.tcp_write(conn, false, 256 * 1024);
+    w
+}
+
+fn packet_overlay_world(scheduler: Scheduler, seed: u64) -> PacketWorld {
+    let meta = Metainfo::synthetic("psnap.bin", "tr", 64 * 1024, 2 * MB, seed);
+    let ih = meta.info.info_hash();
+    let cfg = PacketConfig {
+        scheduler,
+        ..PacketConfig::default()
+    };
+    let mut w = PacketWorld::new(cfg, seed);
+    let seeder = w.add_node(None);
+    let leech = w.add_node(Some(WirelessConfig::wlan_80211g()));
+    w.add_client(
+        seeder,
+        ClientConfig::default(),
+        ih,
+        meta.info.piece_length,
+        meta.info.length,
+        16 * 1024,
+        true,
+    );
+    w.add_client(
+        leech,
+        ClientConfig::default(),
+        ih,
+        meta.info.piece_length,
+        meta.info.length,
+        16 * 1024,
+        false,
+    );
+    w.start_clients();
+    w
+}
+
+fn assert_packet_differential(
+    build: impl Fn() -> PacketWorld,
+    t1: SimTime,
+    t2: SimTime,
+) {
+    let mut straight = build();
+    straight.run_until(t1, |_| {});
+    let blob = straight.save();
+    straight.run_until(t2, |_| {});
+    let want = straight.save();
+
+    let mut restored = build();
+    restored.restore(&blob);
+    restored.run_until(t2, |_| {});
+    let got = restored.save();
+
+    assert!(
+        want == got,
+        "packet-world restore-then-run diverged from straight run"
+    );
+    assert_eq!(straight.queue_stats(), restored.queue_stats());
+    assert_eq!(straight.events_processed(), restored.events_processed());
+}
+
+#[test]
+fn packet_raw_tcp_restore_is_byte_identical_heap() {
+    assert_packet_differential(
+        || packet_raw_world(Scheduler::Heap, 5),
+        SimTime::from_millis(2_517),
+        at(12),
+    );
+}
+
+#[test]
+fn packet_raw_tcp_restore_is_byte_identical_wheel() {
+    assert_packet_differential(
+        || packet_raw_world(Scheduler::Wheel, 5),
+        SimTime::from_millis(2_517),
+        at(12),
+    );
+}
+
+#[test]
+fn packet_overlay_restore_is_byte_identical() {
+    assert_packet_differential(
+        || packet_overlay_world(Scheduler::Wheel, 9),
+        at(20),
+        at(60),
+    );
+}
+
+/// Packet world mid-fault snapshot: black hole open at snapshot time.
+#[test]
+fn packet_snapshot_mid_blackhole() {
+    let plan = {
+        let mut p = FaultPlan::empty(4);
+        p.push(
+            at(5),
+            FaultKind::LinkBlackhole {
+                node: NodeId(1),
+                duration: secs(10),
+            },
+        );
+        p
+    };
+    let build = || packet_overlay_world(Scheduler::Wheel, 4);
+    let mut straight = build();
+    let mut inj = FaultInjector::new(&plan);
+    straight.run_until(at(8), |w| {
+        inj.poll(w);
+    });
+    let blob = straight.save();
+    let applied = inj.applied();
+    straight.run_until(at(40), |w| {
+        inj.poll(w);
+    });
+    let want = straight.save();
+
+    let mut restored = build();
+    restored.restore(&blob);
+    let mut inj2 = FaultInjector::new(&plan);
+    inj2.skip_to(applied);
+    restored.run_until(at(40), |w| {
+        inj2.poll(w);
+    });
+    let got = restored.save();
+    assert!(
+        want == got,
+        "packet mid-blackhole restore diverged from straight run"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Round-trip stability and metrics
+// ----------------------------------------------------------------------
+
+/// `restore(save(restore(save(w))))` is a fixed point: double round-trip
+/// produces the same blob as a single one.
+#[test]
+fn flow_double_round_trip_is_stable() {
+    let build = || fig3b_world(31, Scheduler::Wheel, SolverMode::Incremental);
+    let mut w = build();
+    w.run_until(at(35), |_| {});
+    let b1 = w.save();
+    let mut w2 = build();
+    w2.restore(&b1);
+    let b2 = w2.save();
+    assert!(b1 == b2, "save(restore(save)) changed the blob");
+    let mut w3 = build();
+    w3.restore(&b2);
+    let b3 = w3.save();
+    assert!(b2 == b3, "double round-trip is not a fixed point");
+}
+
+#[test]
+fn packet_double_round_trip_is_stable() {
+    let build = || packet_overlay_world(Scheduler::Heap, 13);
+    let mut w = build();
+    w.run_until(at(15), |_| {});
+    let b1 = w.save();
+    let mut w2 = build();
+    w2.restore(&b1);
+    let b2 = w2.save();
+    assert!(b1 == b2, "packet save(restore(save)) changed the blob");
+}
+
+/// Restoring with metrics enabled restores every registry instrument by
+/// name: the restored run's metrics series match the straight run's.
+#[test]
+fn flow_metrics_series_survive_restore() {
+    use metrics::handle::MetricsHandle;
+    let build = |m: &MetricsHandle| {
+        let meta = Metainfo::synthetic("msnap.bin", "tr", 256 * 1024, 8 * MB, 2);
+        let torrent = TorrentSpec::from_metainfo(&meta, 256 * 1024);
+        let cfg = FlowConfig {
+            scheduler: Scheduler::Wheel,
+            ..FlowConfig::default()
+        };
+        let mut w = FlowWorld::new(cfg, 2);
+        w.set_metrics(m);
+        let s = w.add_node(Access::campus());
+        w.add_task(TaskSpec::default_client(s, torrent, true));
+        let l = w.add_node(Access::residential());
+        w.add_task(TaskSpec::default_client(l, torrent, false));
+        w.start();
+        w
+    };
+    let ma = MetricsHandle::enabled(2);
+    let mut straight = build(&ma);
+    straight.run_until(at(25), |_| {});
+    let blob = straight.save();
+    straight.run_until(at(60), |_| {});
+
+    let mb = MetricsHandle::enabled(2);
+    let mut restored = build(&mb);
+    restored.restore(&blob);
+    restored.run_until(at(60), |_| {});
+
+    assert_eq!(
+        ma.to_json(),
+        mb.to_json(),
+        "metrics registries diverged after restore"
+    );
+    assert_eq!(ma.series_csv(), mb.series_csv());
+    assert!(straight.save() == restored.save());
+}
+
+// ----------------------------------------------------------------------
+// Seeded property tests: random snapshot points under randomized churn
+// ----------------------------------------------------------------------
+
+/// Each case draws a generated fault plan and a uniformly random
+/// snapshot instant (microsecond granularity, deliberately unaligned
+/// with ticks or wheel slots), then requires the restored arm to agree
+/// byte-for-byte with the straight arm — and the snapshot itself to be
+/// a round-trip fixed point. Failures reproduce from the printed case
+/// index alone.
+#[test]
+fn flow_random_snapshot_points_under_randomized_churn() {
+    let root = SimRng::new(0x5A7_F00D);
+    for case in 0..5u64 {
+        let mut rng = root.fork(case);
+        let scheduler = if rng.chance(0.5) {
+            Scheduler::Heap
+        } else {
+            Scheduler::Wheel
+        };
+        let (mut straight, _tasks) = armed_world(100 + case, scheduler);
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let plan = FaultPlan::generate(
+            case,
+            &FaultPlanConfig::new(secs(100), nodes),
+        );
+        let horizon = at(120);
+        let t_snap = SimTime::from_micros(rng.range(5_000_000..100_000_000u64));
+
+        let mut inj = FaultInjector::new(&plan);
+        straight.run_driven_until(
+            t_snap,
+            |w| {
+                inj.poll(w);
+            },
+            |_| false,
+        );
+        let blob = straight.save();
+        let applied = inj.applied();
+        straight.run_driven_until(
+            horizon,
+            |w| {
+                inj.poll(w);
+            },
+            |_| false,
+        );
+        let want = straight.save();
+        let straight_solver = straight.solver_stats();
+        let straight_queue = straight.queue_stats();
+
+        let (mut restored, _tasks) = armed_world(100 + case, scheduler);
+        restored.restore(&blob);
+        // Round-trip fixed point at the snapshot instant.
+        assert!(
+            restored.save() == blob,
+            "case {case}: save(restore(blob)) != blob at t={t_snap:?}"
+        );
+        let mut inj2 = FaultInjector::new(&plan);
+        inj2.skip_to(applied);
+        restored.run_driven_until(
+            horizon,
+            |w| {
+                inj2.poll(w);
+            },
+            |_| false,
+        );
+        let got = restored.save();
+        assert!(
+            want == got,
+            "case {case}: random snapshot at {t_snap:?} under plan\n{}\ndiverged",
+            plan.render()
+        );
+        assert_eq!(straight_solver, restored.solver_stats(), "case {case}");
+        assert_eq!(straight_queue, restored.queue_stats(), "case {case}");
+        assert_eq!(inj.applied(), inj2.applied(), "case {case}");
+    }
+}
+
+/// Packet-world variant: random snapshot instants over the BT overlay
+/// with the two scheduler backends chosen per case.
+#[test]
+fn packet_random_snapshot_points() {
+    let root = SimRng::new(0x9AC4E7);
+    for case in 0..4u64 {
+        let mut rng = root.fork(case);
+        let scheduler = if rng.chance(0.5) {
+            Scheduler::Heap
+        } else {
+            Scheduler::Wheel
+        };
+        let build = || packet_overlay_world(scheduler, 200 + case);
+        let t_snap = SimTime::from_micros(rng.range(2_000_000..40_000_000u64));
+        let horizon = at(55);
+
+        let mut straight = build();
+        straight.run_until(t_snap, |_| {});
+        let blob = straight.save();
+        straight.run_until(horizon, |_| {});
+        let want = straight.save();
+
+        let mut restored = build();
+        restored.restore(&blob);
+        assert!(
+            restored.save() == blob,
+            "case {case}: packet save(restore(blob)) != blob"
+        );
+        restored.run_until(horizon, |_| {});
+        assert!(
+            restored.save() == want,
+            "case {case}: packet random snapshot at {t_snap:?} diverged"
+        );
+        assert_eq!(straight.queue_stats(), restored.queue_stats(), "case {case}");
+    }
+}
