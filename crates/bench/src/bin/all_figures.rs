@@ -23,6 +23,10 @@
 //! named fault scenario against an armed-resilience swarm, asserting
 //! recovery after each fault window and emitting the
 //! `soak.time_to_recover` series under `--metrics-out`.
+//! `--service <seed>` runs the multi-swarm service tier: sharded
+//! trackers, a Zipf/Poisson workload with flash crowds, a mid-run
+//! tracker-shard outage, and the Legout clustering probes, emitting the
+//! `service.*` gauges and per-shard load series under `--metrics-out`.
 //! `--snapshot` runs the save/restore differential on two scenarios and
 //! a warm-started fork sweep (exits nonzero if restore-then-run is not
 //! byte-identical to the straight run). `--bisect <seed>` generates a
@@ -36,7 +40,7 @@
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{faults, registry, search, soak};
+use p2p_simulation::experiments::{faults, registry, search, service, soak};
 use p2p_simulation::harness::{self, SweepStats};
 use simnet::fault::{FaultPlan, FaultPlanConfig};
 use simnet::time::{SimDuration, SimTime};
@@ -162,6 +166,26 @@ fn main() {
         soak::soak_table(&points).print();
         if let Some(dir) = &metrics_out {
             dump_metrics(dir, "soak", &handle);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--service")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--service takes a u64 seed");
+        let params = if quick {
+            service::ServiceParams::quick()
+        } else {
+            service::ServiceParams::paper()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let outcome = service::run_service_with(&params, &handle, seed);
+        service::service_table(&outcome).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "service", &handle);
         }
         return;
     }

@@ -69,6 +69,19 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
     // Snapshot tooling gauges carry the same hard contract: blob sizes
     // and near-miss counts are finite non-negative numbers, never null.
     const SNAPSHOT_GAUGES: [&str; 2] = ["snapshot.bytes", "search.near_miss"];
+    // Service-tier gauges: clustering coefficients, completion fraction,
+    // and per-shard load are finite non-negative, never null. The
+    // distortion gauge (fixed minus mobile) may be negative and only
+    // gets the generic rule.
+    fn is_service_gauge(name: &str) -> bool {
+        matches!(name, "service.cluster.fixed" | "service.cluster.mobile" | "service.completed_frac")
+            || (name.strip_prefix("service.shard").is_some_and(|rest| {
+                let Some(idx) = rest.find('.') else { return false };
+                rest[..idx].chars().all(|c| c.is_ascii_digit())
+                    && !rest[..idx].is_empty()
+                    && matches!(&rest[idx..], ".announces" | ".peak_qps")
+            }))
+    }
     if let Some(gauges) = top.get("gauges") {
         match gauges.as_obj() {
             Some(m) => {
@@ -88,6 +101,13 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                     {
                         errors.push(format!(
                             "gauge \"{name}\": snapshot gauge must be a finite non-negative number"
+                        ));
+                    }
+                    if is_service_gauge(name)
+                        && !v.as_num().is_some_and(|x| x.is_finite() && x >= 0.0)
+                    {
+                        errors.push(format!(
+                            "gauge \"{name}\": service gauge must be a finite non-negative number"
                         ));
                     }
                 }
@@ -178,6 +198,20 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                                 {
                                     errors.push(format!(
                                         "series \"{name}\" point {i}: recovery time must be a \
+finite non-negative number"
+                                    ));
+                                }
+                                // Per-shard tracker load carries the same
+                                // contract: a rate is never null, and a dark
+                                // shard reads zero, not a gap.
+                                if name.starts_with("service.shard")
+                                    && name.ends_with(".qps")
+                                    && !pair[1]
+                                        .as_num()
+                                        .is_some_and(|v| v.is_finite() && v >= 0.0)
+                                {
+                                    errors.push(format!(
+                                        "series \"{name}\" point {i}: shard qps must be a \
 finite non-negative number"
                                     ));
                                 }
@@ -349,6 +383,49 @@ mod tests {
         assert!(
             errs.iter().any(|e| e.contains("search.near_miss")),
             "NaN near-miss gauge accepted: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn enforces_the_service_tier_contract() {
+        let good = metrics::handle::MetricsHandle::enabled(1);
+        good.gauge("service.cluster.fixed").set(1.54);
+        good.gauge("service.cluster.mobile").set(1.37);
+        good.gauge("service.cluster.distortion").set(0.17);
+        good.gauge("service.completed_frac").set(0.99);
+        good.gauge("service.shard0.announces").set(12_785.0);
+        good.gauge("service.shard0.peak_qps").set(277.7);
+        let s = good.series("service.shard0.qps");
+        s.record(simnet::time::SimTime::from_secs(10), 277.7);
+        s.record(simnet::time::SimTime::from_secs(20), 0.0);
+        assert_eq!(errors_for(&good.to_json()), Vec::<String>::new());
+
+        // The distortion gauge may be negative; the coefficients may not.
+        let distorted = metrics::handle::MetricsHandle::enabled(1);
+        distorted.gauge("service.cluster.distortion").set(-0.2);
+        assert_eq!(errors_for(&distorted.to_json()), Vec::<String>::new());
+
+        let negative = metrics::handle::MetricsHandle::enabled(1);
+        negative.gauge("service.cluster.fixed").set(-0.5);
+        let errs = errors_for(&negative.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("service gauge")),
+            "negative clustering coefficient accepted: {errs:?}"
+        );
+
+        // Non-finite shard load dumps as null and must be flagged.
+        let nan = metrics::handle::MetricsHandle::enabled(1);
+        nan.gauge("service.shard3.peak_qps").set(f64::NAN);
+        nan.series("service.shard3.qps")
+            .record(simnet::time::SimTime::from_secs(0), f64::NAN);
+        let errs = errors_for(&nan.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("service gauge")),
+            "NaN peak qps accepted: {errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("shard qps")),
+            "NaN shard qps series accepted: {errs:?}"
         );
     }
 

@@ -36,6 +36,10 @@ use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
+/// Floor for early re-announces until the tracker's first response
+/// supplies a `min interval` of its own.
+const DEFAULT_MIN_REANNOUNCE: SimDuration = SimDuration::from_secs(60);
+
 /// Client tunables.
 #[derive(Debug)]
 pub struct ClientConfig {
@@ -68,10 +72,6 @@ pub struct ClientConfig {
     /// mobile seed that changes address goes dark until leeches re-poll
     /// the tracker (paper §3.5). Role reversal sets this to `true`.
     pub dial_while_seeding: bool,
-    /// Minimum gap before an early re-announce when the client has no
-    /// peers at all (clients poll the tracker ahead of schedule when the
-    /// swarm looks empty).
-    pub min_reannounce: SimDuration,
     /// Connection-lifecycle resilience knobs. The default is unarmed:
     /// the legacy fixed dial backoff, no keepalive or snub machinery.
     /// [`ResilienceConfig::armed`] switches the client to seeded
@@ -94,7 +94,6 @@ impl Default for ClientConfig {
             picker: Box::new(RarestFirst),
             dial_backoff: SimDuration::from_secs(30),
             dial_while_seeding: false,
-            min_reannounce: SimDuration::from_secs(60),
             resilience: ResilienceConfig::default(),
         }
     }
@@ -258,6 +257,11 @@ pub struct Client {
     completed_reported: bool,
     /// When we last announced (for early re-announce pacing).
     last_announce: SimTime,
+    /// Floor for early re-announces when the client has no peers at all.
+    /// Starts at [`DEFAULT_MIN_REANNOUNCE`] and is replaced by whatever
+    /// `min interval` the tracker's responses carry — the tracker, not
+    /// client config, owns re-announce pacing.
+    min_reannounce: SimDuration,
     /// When relationship history was last decayed.
     last_decay: SimTime,
     stats: ClientStats,
@@ -331,6 +335,7 @@ impl Client {
             stable_since: SimTime::ZERO,
             completed_reported: false,
             last_announce: SimTime::ZERO,
+            min_reannounce: DEFAULT_MIN_REANNOUNCE,
             last_decay: SimTime::ZERO,
             stats: ClientStats::default(),
             own_addr,
@@ -915,6 +920,9 @@ impl Client {
     /// The tracker answered an announce.
     pub fn on_tracker_response(&mut self, resp: &AnnounceResponse, now: SimTime) {
         self.next_announce = now + resp.interval;
+        if !resp.min_interval.is_zero() {
+            self.min_reannounce = resp.min_interval;
+        }
         let addrs: Vec<SimAddr> = resp.peers.iter().map(|&(_, a)| a).collect();
         self.seed_known_addrs(&addrs, now);
         self.try_connects(now);
@@ -938,7 +946,7 @@ impl Client {
             });
         } else if self.conns.is_empty()
             && self.next_announce != SimTime::MAX
-            && now.saturating_since(self.last_announce) >= self.config.min_reannounce
+            && now.saturating_since(self.last_announce) >= self.min_reannounce
         {
             self.last_announce = now;
             self.actions.push_back(Action::Announce {
@@ -1383,6 +1391,7 @@ impl Client {
         self.stable_since.snap(w);
         w.put_bool(self.completed_reported);
         self.last_announce.snap(w);
+        self.min_reannounce.snap(w);
         self.last_decay.snap(w);
         self.stats.snap(w);
         self.own_addr.snap(w);
@@ -1414,6 +1423,7 @@ impl Client {
         self.stable_since = Snap::unsnap(r);
         self.completed_reported = r.get_bool();
         self.last_announce = Snap::unsnap(r);
+        self.min_reannounce = Snap::unsnap(r);
         self.last_decay = Snap::unsnap(r);
         self.stats = Snap::unsnap(r);
         self.own_addr = Snap::unsnap(r);
@@ -1864,6 +1874,7 @@ mod tests {
         let now = SimTime::ZERO;
         let resp = AnnounceResponse {
             interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::ZERO,
             peers: vec![
                 (PeerId([2; 20]), SimAddr(10)),
                 (PeerId([3; 20]), SimAddr(11)),
@@ -1888,6 +1899,7 @@ mod tests {
         let mut c = client(false);
         let resp = AnnounceResponse {
             interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::ZERO,
             peers: vec![(PeerId([2; 20]), SimAddr(1))], // our own addr
             complete: 0,
             incomplete: 1,
@@ -1903,6 +1915,7 @@ mod tests {
         let now = SimTime::ZERO;
         let resp = AnnounceResponse {
             interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::ZERO,
             peers: vec![(PeerId([2; 20]), SimAddr(10))],
             complete: 0,
             incomplete: 1,

@@ -6,6 +6,12 @@
 //! addresses. Peers that stop announcing expire after a multiple of the
 //! announce interval; this *tens-of-minutes* staleness is why a fixed peer
 //! keeps trying a vanished mobile server for so long (paper §3.5).
+//!
+//! At service scale many trackers share the announce load: a
+//! [`TrackerTier`] routes each info-hash to a deterministic shard (FNV
+//! fold of the hash bytes, reduced modulo the shard count), so a single
+//! shard outage is a *partial*-service fault that dims only the swarms it
+//! owns.
 
 use crate::metainfo::InfoHash;
 use crate::peer_id::PeerId;
@@ -19,6 +25,10 @@ use std::collections::{HashMap, VecDeque};
 pub struct TrackerConfig {
     /// Interval clients are told to re-announce at.
     pub announce_interval: SimDuration,
+    /// Floor the response advertises for *early* re-announces (the
+    /// `min interval` key): a client that lost all its connections may
+    /// re-announce this soon, but no sooner.
+    pub min_interval: SimDuration,
     /// Maximum peers returned per announce (the paper cites 50).
     pub max_peers_returned: usize,
     /// A peer missing this many intervals is dropped from the swarm.
@@ -35,6 +45,7 @@ impl Default for TrackerConfig {
     fn default() -> Self {
         TrackerConfig {
             announce_interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::from_secs(60),
             max_peers_returned: 50,
             expiry_intervals: 2,
             interval_jitter: 0.0,
@@ -55,6 +66,23 @@ pub enum AnnounceEvent {
     Periodic,
 }
 
+/// One announce, as the client would put it on the wire (the fields of
+/// the announce URL, minus the byte counters the simulator doesn't
+/// model).
+#[derive(Clone, Copy, Debug)]
+pub struct AnnounceRequest {
+    /// The swarm being announced to.
+    pub info_hash: InfoHash,
+    /// The announcing peer's identity.
+    pub peer_id: PeerId,
+    /// The address other peers should dial.
+    pub addr: SimAddr,
+    /// What prompted the announce.
+    pub event: AnnounceEvent,
+    /// Whether the peer holds the complete file (`left == 0`).
+    pub is_seed: bool,
+}
+
 /// One tracked swarm member.
 #[derive(Clone, Copy, Debug)]
 struct TrackedPeer {
@@ -68,6 +96,10 @@ struct TrackedPeer {
 pub struct AnnounceResponse {
     /// Seconds until the client should re-announce.
     pub interval: SimDuration,
+    /// Floor for early re-announces. [`SimDuration::ZERO`] means the
+    /// tracker did not specify one (clients keep whatever floor they
+    /// last learned), matching the key's optionality on the wire.
+    pub min_interval: SimDuration,
     /// A random subset of other swarm members.
     pub peers: Vec<(PeerId, SimAddr)>,
     /// Seeds currently tracked in the swarm.
@@ -147,6 +179,12 @@ impl Swarm {
     }
 }
 
+/// Swarms advanced by the cross-swarm expiry sweep per announce. Two
+/// keeps the sweep ahead of swarm creation (each announce can create at
+/// most one swarm) so every swarm is visited at least once per
+/// tier-wide announce round.
+const SWEEP_PER_ANNOUNCE: usize = 2;
+
 /// A tracker serving any number of swarms.
 #[derive(Debug, Clone)]
 pub struct Tracker {
@@ -155,6 +193,12 @@ pub struct Tracker {
     announces: u64,
     /// Historical `Completed` counts per swarm.
     downloads: HashMap<InfoHash, u64>,
+    /// Swarms in creation order; drives the rotating expiry sweep so a
+    /// swarm that stops receiving announces still sheds stale members
+    /// while the tracker serves *other* swarms.
+    order: Vec<InfoHash>,
+    /// Next `order` index the sweep visits.
+    sweep_cursor: usize,
 }
 
 impl Tracker {
@@ -165,6 +209,8 @@ impl Tracker {
             swarms: HashMap::new(),
             announces: 0,
             downloads: HashMap::new(),
+            order: Vec::new(),
+            sweep_cursor: 0,
         }
     }
 
@@ -184,13 +230,38 @@ impl Tracker {
         self.swarms.get(&info_hash).map_or(0, |s| s.list.len())
     }
 
-    fn expire(&mut self, info_hash: InfoHash, now: SimTime) {
-        let horizon = self
-            .config
+    fn horizon(&self) -> SimDuration {
+        self.config
             .announce_interval
-            .saturating_mul(self.config.expiry_intervals as u64);
+            .saturating_mul(self.config.expiry_intervals as u64)
+    }
+
+    fn expire(&mut self, info_hash: InfoHash, now: SimTime) {
+        let horizon = self.horizon();
         if let Some(swarm) = self.swarms.get_mut(&info_hash) {
             swarm.expire(now, horizon);
+        }
+    }
+
+    /// Advances the rotating cross-swarm expiry sweep: visits the next
+    /// [`SWEEP_PER_ANNOUNCE`] swarms in creation order and expires their
+    /// silent members. Idempotent and RNG-free, so it never perturbs
+    /// announce responses — it only stops a swarm nobody announces to
+    /// from serving arbitrarily stale (mobile) addresses to readers.
+    fn sweep(&mut self, now: SimTime) {
+        if self.order.is_empty() {
+            return;
+        }
+        let horizon = self.horizon();
+        for _ in 0..SWEEP_PER_ANNOUNCE.min(self.order.len()) {
+            if self.sweep_cursor >= self.order.len() {
+                self.sweep_cursor = 0;
+            }
+            let ih = self.order[self.sweep_cursor];
+            if let Some(swarm) = self.swarms.get_mut(&ih) {
+                swarm.expire(now, horizon);
+            }
+            self.sweep_cursor += 1;
         }
     }
 
@@ -201,37 +272,39 @@ impl Tracker {
     /// under a fresh id after a hand-off leaves its stale entry (old id,
     /// unroutable address) in the swarm until expiry — fixed peers keep
     /// receiving, and trying, that dead address.
-    #[allow(clippy::too_many_arguments)] // mirrors the announce URL's fields
     pub fn announce(
         &mut self,
-        info_hash: InfoHash,
-        peer_id: PeerId,
-        addr: SimAddr,
-        event: AnnounceEvent,
-        is_seed: bool,
+        req: &AnnounceRequest,
         now: SimTime,
         rng: &mut SimRng,
     ) -> AnnounceResponse {
         self.announces += 1;
-        self.expire(info_hash, now);
-        if event == AnnounceEvent::Completed {
-            *self.downloads.entry(info_hash).or_insert(0) += 1;
+        self.expire(req.info_hash, now);
+        self.sweep(now);
+        if req.event == AnnounceEvent::Completed {
+            *self.downloads.entry(req.info_hash).or_insert(0) += 1;
         }
-        let swarm = self.swarms.entry(info_hash).or_default();
-        match event {
+        let swarm = match self.swarms.entry(req.info_hash) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.order.push(req.info_hash);
+                e.insert(Swarm::default())
+            }
+        };
+        match req.event {
             AnnounceEvent::Stopped => {
-                if let Some(&idx) = swarm.members.get(&peer_id) {
+                if let Some(&idx) = swarm.members.get(&req.peer_id) {
                     swarm.remove_at(idx);
                 }
             }
             AnnounceEvent::Started | AnnounceEvent::Completed | AnnounceEvent::Periodic => {
-                let seed = is_seed || event == AnnounceEvent::Completed;
+                let seed = req.is_seed || req.event == AnnounceEvent::Completed;
                 let entry = TrackedPeer {
-                    addr,
+                    addr: req.addr,
                     last_seen: now,
                     seed,
                 };
-                match swarm.members.get(&peer_id) {
+                match swarm.members.get(&req.peer_id) {
                     Some(&idx) => {
                         let p = &mut swarm.list[idx as usize].1;
                         match (p.seed, seed) {
@@ -243,16 +316,16 @@ impl Tracker {
                     }
                     None => {
                         let idx = u32::try_from(swarm.list.len()).expect("swarm fits in u32");
-                        swarm.members.insert(peer_id, idx);
-                        swarm.list.push((peer_id, entry));
+                        swarm.members.insert(req.peer_id, idx);
+                        swarm.list.push((req.peer_id, entry));
                         swarm.seeds += usize::from(seed);
                     }
                 }
-                swarm.expiry.push_back((now, peer_id));
+                swarm.expiry.push_back((now, req.peer_id));
             }
         }
         let cap = self.config.max_peers_returned;
-        let requester = swarm.members.get(&peer_id).copied();
+        let requester = swarm.members.get(&req.peer_id).copied();
         let others_count = swarm.list.len() - usize::from(requester.is_some());
         let others: Vec<(PeerId, SimAddr)> = if others_count <= cap {
             // Small swarm: return everyone else, in random order (sort
@@ -260,7 +333,7 @@ impl Tracker {
             let mut all: Vec<(PeerId, SimAddr)> = swarm
                 .list
                 .iter()
-                .filter(|(id, _)| *id != peer_id)
+                .filter(|(id, _)| *id != req.peer_id)
                 .map(|(id, p)| (*id, p.addr))
                 .collect();
             all.sort_by_key(|(id, _)| *id);
@@ -299,6 +372,7 @@ impl Tracker {
         };
         AnnounceResponse {
             interval,
+            min_interval: self.config.min_interval,
             peers: others,
             complete,
             incomplete,
@@ -310,6 +384,8 @@ impl AnnounceResponse {
     /// Encodes the response in the tracker HTTP wire format: a bencoded
     /// dictionary with BEP 23 *compact* peers (6 bytes per peer: 4-byte
     /// address + 2-byte port; the simulator uses a fixed port of 6881).
+    /// The `min interval` key is written only when specified (non-zero),
+    /// matching its optionality in real tracker responses.
     pub fn to_bencode(&self) -> crate::bencode::Value {
         use crate::bencode::Value;
         use std::collections::BTreeMap;
@@ -325,6 +401,12 @@ impl AnnounceResponse {
             b"interval".to_vec(),
             Value::Int(self.interval.as_secs_f64() as i64),
         );
+        if !self.min_interval.is_zero() {
+            d.insert(
+                b"min interval".to_vec(),
+                Value::Int(self.min_interval.as_secs_f64() as i64),
+            );
+        }
         d.insert(b"peers".to_vec(), Value::Bytes(peers));
         Value::Dict(d)
     }
@@ -348,6 +430,11 @@ impl AnnounceResponse {
         if interval < 0 {
             return Err("negative interval".into());
         }
+        let min_interval = match v.get("min interval").and_then(Value::as_int) {
+            Some(s) if s < 0 => return Err("negative min interval".into()),
+            Some(s) => SimDuration::from_secs(s as u64),
+            None => SimDuration::ZERO,
+        };
         let raw = v
             .get("peers")
             .and_then(Value::as_bytes)
@@ -364,6 +451,7 @@ impl AnnounceResponse {
             .collect();
         Ok(AnnounceResponse {
             interval: SimDuration::from_secs(interval as u64),
+            min_interval,
             peers,
             complete: int("complete")?.max(0) as usize,
             incomplete: int("incomplete")?.max(0) as usize,
@@ -388,11 +476,120 @@ impl Tracker {
     }
 }
 
+/// Deterministic shard index for an info-hash: an FNV-1a fold of the 20
+/// hash bytes, finished with a splitmix64-style avalanche (FNV's low
+/// bits disperse poorly modulo power-of-two shard counts), reduced
+/// modulo the shard count. Pure function of the bytes — stable across
+/// runs, thread counts, and snapshot restores.
+pub fn shard_of(info_hash: InfoHash, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &info_hash.0 {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h % shards as u64) as usize
+}
+
+/// A tier of tracker shards, each owning a deterministic slice of the
+/// info-hash space (see [`shard_of`]). Routing is transparent to
+/// callers: the tier exposes the same announce/scrape surface as a
+/// single [`Tracker`], plus per-shard load counters and a per-shard
+/// outage toggle (a *partial*-service fault — only the swarms the dark
+/// shard owns lose their tracker).
+#[derive(Debug, Clone)]
+pub struct TrackerTier {
+    shards: Vec<Tracker>,
+    down: Vec<bool>,
+}
+
+impl TrackerTier {
+    /// Creates a tier of `shards` trackers (at least one), all sharing
+    /// one configuration.
+    pub fn new(config: TrackerConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        TrackerTier {
+            shards: (0..n).map(|_| Tracker::new(config)).collect(),
+            down: vec![false; n],
+        }
+    }
+
+    /// Number of shards in the tier.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `info_hash`.
+    pub fn shard_for(&self, info_hash: InfoHash) -> usize {
+        shard_of(info_hash, self.shards.len())
+    }
+
+    /// The configuration in use (shared by every shard).
+    pub fn config(&self) -> &TrackerConfig {
+        self.shards[0].config()
+    }
+
+    /// Routes an announce to the owning shard. Callers model shard
+    /// outages *before* announcing (see [`TrackerTier::is_down_for`]);
+    /// the tier itself always answers.
+    pub fn announce(
+        &mut self,
+        req: &AnnounceRequest,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> AnnounceResponse {
+        let s = self.shard_for(req.info_hash);
+        self.shards[s].announce(req, now, rng)
+    }
+
+    /// Current size of a swarm (after expiry at `now`).
+    pub fn swarm_size(&mut self, info_hash: InfoHash, now: SimTime) -> usize {
+        let s = self.shard_for(info_hash);
+        self.shards[s].swarm_size(info_hash, now)
+    }
+
+    /// Scrape, routed to the owning shard.
+    pub fn scrape(&mut self, info_hash: InfoHash, now: SimTime) -> ScrapeStats {
+        let s = self.shard_for(info_hash);
+        self.shards[s].scrape(info_hash, now)
+    }
+
+    /// Total announces served across all shards.
+    pub fn announces(&self) -> u64 {
+        self.shards.iter().map(Tracker::announces).sum()
+    }
+
+    /// Announces served by one shard (its load series sample).
+    pub fn shard_announces(&self, shard: usize) -> u64 {
+        self.shards[shard].announces()
+    }
+
+    /// Marks one shard up or down. While down, the worlds drop announces
+    /// routed to it (partial-service fault).
+    pub fn set_shard_down(&mut self, shard: usize, down: bool) {
+        self.down[shard] = down;
+    }
+
+    /// Whether a specific shard is down.
+    pub fn shard_is_down(&self, shard: usize) -> bool {
+        self.down[shard]
+    }
+
+    /// Whether the shard owning `info_hash` is down.
+    pub fn is_down_for(&self, info_hash: InfoHash) -> bool {
+        self.down[self.shard_for(info_hash)]
+    }
+}
+
 use simnet::snapshot::{snap_hash_map, unsnap_hash_map, Snap, SnapReader, SnapWriter};
 
 impl Snap for TrackerConfig {
     fn snap(&self, w: &mut SnapWriter) {
         self.announce_interval.snap(w);
+        self.min_interval.snap(w);
         w.put_usize(self.max_peers_returned);
         w.put_u32(self.expiry_intervals);
         w.put_f64(self.interval_jitter);
@@ -400,6 +597,7 @@ impl Snap for TrackerConfig {
     fn unsnap(r: &mut SnapReader<'_>) -> Self {
         TrackerConfig {
             announce_interval: Snap::unsnap(r),
+            min_interval: Snap::unsnap(r),
             max_peers_returned: r.get_usize(),
             expiry_intervals: r.get_u32(),
             interval_jitter: r.get_f64(),
@@ -474,6 +672,8 @@ impl Snap for Tracker {
         snap_hash_map(&self.swarms, w);
         w.put_u64(self.announces);
         snap_hash_map(&self.downloads, w);
+        self.order.snap(w);
+        w.put_usize(self.sweep_cursor);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Self {
         Tracker {
@@ -481,6 +681,21 @@ impl Snap for Tracker {
             swarms: unsnap_hash_map(r),
             announces: r.get_u64(),
             downloads: unsnap_hash_map(r),
+            order: Snap::unsnap(r),
+            sweep_cursor: r.get_usize(),
+        }
+    }
+}
+
+impl Snap for TrackerTier {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.shards.snap(w);
+        self.down.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Self {
+        TrackerTier {
+            shards: Snap::unsnap(r),
+            down: Snap::unsnap(r),
         }
     }
 }
@@ -493,6 +708,23 @@ mod tests {
         (0..n).map(|i| PeerId([i; 20])).collect()
     }
 
+    fn req(ih: InfoHash, id: PeerId, addr: SimAddr, event: AnnounceEvent) -> AnnounceRequest {
+        AnnounceRequest {
+            info_hash: ih,
+            peer_id: id,
+            addr,
+            event,
+            is_seed: false,
+        }
+    }
+
+    fn seed_req(ih: InfoHash, id: PeerId, addr: SimAddr, event: AnnounceEvent) -> AnnounceRequest {
+        AnnounceRequest {
+            is_seed: true,
+            ..req(ih, id, addr, event)
+        }
+    }
+
     #[test]
     fn announce_registers_and_lists_others() {
         let mut tr = Tracker::new(TrackerConfig::default());
@@ -502,26 +734,19 @@ mod tests {
         let t = SimTime::ZERO;
         for (i, id) in ids.iter().enumerate() {
             tr.announce(
-                ih,
-                *id,
-                SimAddr(i as u32),
-                AnnounceEvent::Started,
-                false,
+                &req(ih, *id, SimAddr(i as u32), AnnounceEvent::Started),
                 t,
                 &mut rng,
             );
         }
         let resp = tr.announce(
-            ih,
-            ids[0],
-            SimAddr(0),
-            AnnounceEvent::Periodic,
-            false,
+            &req(ih, ids[0], SimAddr(0), AnnounceEvent::Periodic),
             t,
             &mut rng,
         );
         assert_eq!(resp.peers.len(), 2);
         assert!(resp.peers.iter().all(|(id, _)| *id != ids[0]));
+        assert_eq!(resp.min_interval, TrackerConfig::default().min_interval);
         assert_eq!(tr.swarm_size(ih, t), 3);
     }
 
@@ -538,21 +763,13 @@ mod tests {
             let mut id = [0u8; 20];
             id[..4].copy_from_slice(&i.to_be_bytes());
             tr.announce(
-                ih,
-                PeerId(id),
-                SimAddr(i),
-                AnnounceEvent::Started,
-                false,
+                &req(ih, PeerId(id), SimAddr(i), AnnounceEvent::Started),
                 t,
                 &mut rng,
             );
         }
         let resp = tr.announce(
-            ih,
-            PeerId([255; 20]),
-            SimAddr(999),
-            AnnounceEvent::Started,
-            false,
+            &req(ih, PeerId([255; 20]), SimAddr(999), AnnounceEvent::Started),
             t,
             &mut rng,
         );
@@ -567,25 +784,9 @@ mod tests {
         let ih = InfoHash([3; 20]);
         let id = PeerId([9; 20]);
         let t = SimTime::ZERO;
-        tr.announce(
-            ih,
-            id,
-            SimAddr(1),
-            AnnounceEvent::Started,
-            false,
-            t,
-            &mut rng,
-        );
+        tr.announce(&req(ih, id, SimAddr(1), AnnounceEvent::Started), t, &mut rng);
         assert_eq!(tr.swarm_size(ih, t), 1);
-        tr.announce(
-            ih,
-            id,
-            SimAddr(1),
-            AnnounceEvent::Stopped,
-            false,
-            t,
-            &mut rng,
-        );
+        tr.announce(&req(ih, id, SimAddr(1), AnnounceEvent::Stopped), t, &mut rng);
         assert_eq!(tr.swarm_size(ih, t), 0);
     }
 
@@ -601,11 +802,7 @@ mod tests {
         let ih = InfoHash([4; 20]);
         let id = PeerId([1; 20]);
         tr.announce(
-            ih,
-            id,
-            SimAddr(1),
-            AnnounceEvent::Started,
-            false,
+            &req(ih, id, SimAddr(1), AnnounceEvent::Started),
             SimTime::ZERO,
             &mut rng,
         );
@@ -614,6 +811,45 @@ mod tests {
             tr.swarm_size(ih, SimTime::from_secs(21 * 60)),
             0,
             "expired after 2 intervals"
+        );
+    }
+
+    #[test]
+    fn sweep_expires_swarms_nobody_announces_to() {
+        // The cross-swarm staleness fix: a swarm whose members all go
+        // silent is still cleaned up by announces to *other* swarms, so
+        // a reader never sees arbitrarily stale mobile addresses.
+        let cfg = TrackerConfig {
+            announce_interval: SimDuration::from_mins(10),
+            expiry_intervals: 2,
+            ..Default::default()
+        };
+        let mut tr = Tracker::new(cfg);
+        let mut rng = SimRng::new(0);
+        let quiet = InfoHash([1; 20]);
+        let busy = InfoHash([2; 20]);
+        tr.announce(
+            &req(quiet, PeerId([1; 20]), SimAddr(1), AnnounceEvent::Started),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        tr.announce(
+            &req(busy, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Started),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        // Announce only to `busy`, well past `quiet`'s horizon. The
+        // rotating sweep visits `quiet` as a side effect.
+        let late = SimTime::from_secs(30 * 60);
+        tr.announce(
+            &req(busy, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Periodic),
+            late,
+            &mut rng,
+        );
+        let quiet_swarm = tr.swarms.get(&quiet).expect("swarm map entry persists");
+        assert!(
+            quiet_swarm.list.is_empty(),
+            "sweep dropped the silent member without an announce to its swarm"
         );
     }
 
@@ -627,45 +863,13 @@ mod tests {
         let old = PeerId([1; 20]);
         let new = PeerId([2; 20]);
         let t = SimTime::ZERO;
-        tr.announce(
-            ih,
-            old,
-            SimAddr(10),
-            AnnounceEvent::Started,
-            false,
-            t,
-            &mut rng,
-        );
+        tr.announce(&req(ih, old, SimAddr(10), AnnounceEvent::Started), t, &mut rng);
         // Hand-off: same host, new id + addr.
-        tr.announce(
-            ih,
-            new,
-            SimAddr(20),
-            AnnounceEvent::Started,
-            false,
-            t,
-            &mut rng,
-        );
+        tr.announce(&req(ih, new, SimAddr(20), AnnounceEvent::Started), t, &mut rng);
         assert_eq!(tr.swarm_size(ih, t), 2, "stale entry remains");
         // With identity retention (same id), the entry is replaced instead.
-        tr.announce(
-            ih,
-            old,
-            SimAddr(30),
-            AnnounceEvent::Started,
-            false,
-            t,
-            &mut rng,
-        );
-        let resp = tr.announce(
-            ih,
-            new,
-            SimAddr(20),
-            AnnounceEvent::Periodic,
-            false,
-            t,
-            &mut rng,
-        );
+        tr.announce(&req(ih, old, SimAddr(30), AnnounceEvent::Started), t, &mut rng);
+        let resp = tr.announce(&req(ih, new, SimAddr(20), AnnounceEvent::Periodic), t, &mut rng);
         let addr_of_old = resp.peers.iter().find(|(id, _)| *id == old).unwrap().1;
         assert_eq!(addr_of_old, SimAddr(30), "address updated in place");
     }
@@ -677,29 +881,17 @@ mod tests {
         let ih = InfoHash([9; 20]);
         let t = SimTime::ZERO;
         tr.announce(
-            ih,
-            PeerId([1; 20]),
-            SimAddr(1),
-            AnnounceEvent::Started,
-            true,
+            &seed_req(ih, PeerId([1; 20]), SimAddr(1), AnnounceEvent::Started),
             t,
             &mut rng,
         );
         tr.announce(
-            ih,
-            PeerId([2; 20]),
-            SimAddr(2),
-            AnnounceEvent::Started,
-            false,
+            &req(ih, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Started),
             t,
             &mut rng,
         );
         tr.announce(
-            ih,
-            PeerId([2; 20]),
-            SimAddr(2),
-            AnnounceEvent::Completed,
-            false,
+            &req(ih, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Completed),
             t,
             &mut rng,
         );
@@ -715,6 +907,7 @@ mod tests {
     fn announce_response_wire_roundtrip() {
         let resp = AnnounceResponse {
             interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::from_secs(60),
             peers: vec![
                 (PeerId([1; 20]), SimAddr(0x0A00_0001)),
                 (PeerId([2; 20]), SimAddr(0x0A00_0002)),
@@ -728,11 +921,30 @@ mod tests {
         let back =
             AnnounceResponse::from_bencode(&crate::bencode::Value::decode(&wire).unwrap()).unwrap();
         assert_eq!(back.interval, resp.interval);
+        assert_eq!(back.min_interval, resp.min_interval);
         assert_eq!(back.complete, 3);
         assert_eq!(back.incomplete, 7);
         // Compact format keeps addresses, not peer-ids.
         let addrs: Vec<SimAddr> = back.peers.iter().map(|&(_, a)| a).collect();
         assert_eq!(addrs, vec![SimAddr(0x0A00_0001), SimAddr(0x0A00_0002)]);
+    }
+
+    #[test]
+    fn min_interval_key_is_optional_on_the_wire() {
+        // ZERO means "unspecified": the key is omitted on encode and
+        // defaults back to ZERO on decode.
+        let resp = AnnounceResponse {
+            interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::ZERO,
+            peers: Vec::new(),
+            complete: 0,
+            incomplete: 0,
+        };
+        let wire = resp.to_bencode().encode();
+        assert!(!wire.windows(12).any(|w| w == b"min interval"));
+        let back =
+            AnnounceResponse::from_bencode(&crate::bencode::Value::decode(&wire).unwrap()).unwrap();
+        assert_eq!(back.min_interval, SimDuration::ZERO);
     }
 
     #[test]
@@ -747,6 +959,14 @@ mod tests {
         d.insert(b"interval".to_vec(), Value::Int(900));
         d.insert(b"peers".to_vec(), Value::Bytes(vec![1, 2, 3]));
         assert!(AnnounceResponse::from_bencode(&Value::Dict(d)).is_err());
+        // Negative min interval.
+        let mut d = std::collections::BTreeMap::new();
+        d.insert(b"complete".to_vec(), Value::Int(0));
+        d.insert(b"incomplete".to_vec(), Value::Int(0));
+        d.insert(b"interval".to_vec(), Value::Int(900));
+        d.insert(b"min interval".to_vec(), Value::Int(-5));
+        d.insert(b"peers".to_vec(), Value::Bytes(vec![]));
+        assert!(AnnounceResponse::from_bencode(&Value::Dict(d)).is_err());
     }
 
     #[test]
@@ -756,20 +976,12 @@ mod tests {
         let ih = InfoHash([6; 20]);
         let t = SimTime::ZERO;
         tr.announce(
-            ih,
-            PeerId([1; 20]),
-            SimAddr(1),
-            AnnounceEvent::Started,
-            true,
+            &seed_req(ih, PeerId([1; 20]), SimAddr(1), AnnounceEvent::Started),
             t,
             &mut rng,
         );
         let resp = tr.announce(
-            ih,
-            PeerId([2; 20]),
-            SimAddr(2),
-            AnnounceEvent::Completed,
-            false,
+            &req(ih, PeerId([2; 20]), SimAddr(2), AnnounceEvent::Completed),
             t,
             &mut rng,
         );
@@ -789,11 +1001,12 @@ mod tests {
             (0..8u8)
                 .map(|i| {
                     tr.announce(
-                        ih,
-                        PeerId([i + 1; 20]),
-                        SimAddr(u32::from(i) + 1),
-                        AnnounceEvent::Started,
-                        false,
+                        &req(
+                            ih,
+                            PeerId([i + 1; 20]),
+                            SimAddr(u32::from(i) + 1),
+                            AnnounceEvent::Started,
+                        ),
                         SimTime::ZERO,
                         &mut rng,
                     )
@@ -816,14 +1029,110 @@ mod tests {
         let mut tr = Tracker::new(TrackerConfig::default());
         let mut rng = SimRng::new(5);
         let resp = tr.announce(
-            InfoHash([7; 20]),
-            PeerId([1; 20]),
-            SimAddr(1),
-            AnnounceEvent::Started,
-            false,
+            &req(
+                InfoHash([7; 20]),
+                PeerId([1; 20]),
+                SimAddr(1),
+                AnnounceEvent::Started,
+            ),
             SimTime::ZERO,
             &mut rng,
         );
         assert_eq!(resp.interval, base);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        // Property test: the shard function is a pure function of the
+        // hash bytes (same input → same shard, always in range), and a
+        // pseudo-random population spreads across every shard.
+        for shards in [1usize, 2, 4, 7, 16] {
+            let mut hit = vec![0usize; shards];
+            for i in 0..512u32 {
+                let mut bytes = [0u8; 20];
+                bytes[..4].copy_from_slice(&i.to_be_bytes());
+                bytes[10] = (i * 37) as u8;
+                let ih = InfoHash(bytes);
+                let s = shard_of(ih, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ih, shards), "routing must be stable");
+                hit[s] += 1;
+            }
+            assert!(
+                hit.iter().all(|&c| c > 0),
+                "512 hashes must touch every one of {shards} shards: {hit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tier_routes_and_isolates_shards() {
+        let mut tier = TrackerTier::new(TrackerConfig::default(), 4);
+        let mut rng = SimRng::new(3);
+        let t = SimTime::ZERO;
+        // Register 32 single-peer swarms; each lands on exactly one shard.
+        let mut hashes = Vec::new();
+        for i in 0..32u8 {
+            let ih = InfoHash([i; 20]);
+            hashes.push(ih);
+            tier.announce(
+                &req(ih, PeerId([i; 20]), SimAddr(u32::from(i)), AnnounceEvent::Started),
+                t,
+                &mut rng,
+            );
+        }
+        let per_shard: u64 = (0..4).map(|s| tier.shard_announces(s)).sum();
+        assert_eq!(per_shard, 32, "every announce lands on exactly one shard");
+        assert_eq!(tier.announces(), 32);
+        for &ih in &hashes {
+            assert_eq!(tier.swarm_size(ih, t), 1);
+            assert_eq!(
+                tier.shard_for(ih),
+                shard_of(ih, 4),
+                "tier routing matches the pure shard function"
+            );
+        }
+        // A single shard outage dims only the hashes it owns.
+        tier.set_shard_down(2, true);
+        for &ih in &hashes {
+            assert_eq!(tier.is_down_for(ih), tier.shard_for(ih) == 2);
+        }
+        tier.set_shard_down(2, false);
+        assert!(hashes.iter().all(|&ih| !tier.is_down_for(ih)));
+    }
+
+    #[test]
+    fn tier_snapshot_roundtrip() {
+        use simnet::snapshot::{SnapReader, SnapWriter};
+        let mut tier = TrackerTier::new(TrackerConfig::default(), 3);
+        let mut rng = SimRng::new(8);
+        for i in 0..16u8 {
+            tier.announce(
+                &req(
+                    InfoHash([i; 20]),
+                    PeerId([i; 20]),
+                    SimAddr(u32::from(i)),
+                    AnnounceEvent::Started,
+                ),
+                SimTime::from_secs(u64::from(i)),
+                &mut rng,
+            );
+        }
+        tier.set_shard_down(1, true);
+        let mut w = SnapWriter::new(99);
+        tier.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes, 99);
+        let mut back = TrackerTier::unsnap(&mut r);
+        assert_eq!(back.shard_count(), 3);
+        assert_eq!(back.announces(), tier.announces());
+        assert!(back.shard_is_down(1) && !back.shard_is_down(0));
+        for i in 0..16u8 {
+            let ih = InfoHash([i; 20]);
+            assert_eq!(
+                back.swarm_size(ih, SimTime::from_secs(16)),
+                tier.swarm_size(ih, SimTime::from_secs(16))
+            );
+        }
     }
 }

@@ -287,6 +287,7 @@ pub fn ablate_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<LihdA
                 torrent,
                 start_complete: false,
                 start_fraction: None,
+                start_at: SimTime::ZERO,
                 make_config: Box::new(ClientConfig::default),
                 wp2p: WP2pConfig {
                     lihd: Some(LihdConfig {
@@ -389,6 +390,7 @@ pub fn ablate_seed_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<
                 torrent: p2p,
                 start_complete: true,
                 start_fraction: None,
+                start_at: SimTime::ZERO,
                 make_config: Box::new(ClientConfig::default),
                 wp2p: WP2pConfig::default_client(),
             });
@@ -397,6 +399,7 @@ pub fn ablate_seed_lihd(capacity: f64, duration: SimDuration, seed: u64) -> Vec<
                 torrent: web,
                 start_complete: false,
                 start_fraction: None,
+                start_at: SimTime::ZERO,
                 make_config: Box::new(|| ClientConfig {
                     allow_upload: false,
                     ..ClientConfig::default()

@@ -219,12 +219,6 @@ pub fn run_fig2a_with(
         .collect()
 }
 
-/// Plain Fig. 2(a) run at the canonical sweep seed, without metrics.
-#[deprecated(note = "use `run_fig2a_with` or the `fig2a` registry experiment")]
-pub fn run_fig2a(params: &Fig2aParams) -> Vec<Fig2aPoint> {
-    run_fig2a_with(params, &MetricsHandle::disabled(), FIG2A_SEED)
-}
-
 /// Renders Fig. 2(a) as a table.
 pub fn fig2a_table(points: &[Fig2aPoint]) -> Table {
     let mut t = Table::new("Figure 2(a): Downloading throughput (KBps) vs BER — bi-TCP vs uni-TCP");
@@ -339,12 +333,6 @@ impl Fig2bcTrace {
     }
 }
 
-/// Runs one Fig. 2(b)/(c) trace (`bidirectional` selects the panel).
-#[deprecated(note = "use `run_fig2bc_with` or the `fig2bc` registry experiment")]
-pub fn run_fig2bc(params: &Fig2bcParams, bidirectional: bool, seed: u64) -> Fig2bcTrace {
-    run_fig2bc_with(params, bidirectional, &MetricsHandle::disabled(), seed)
-}
-
 /// [`run_fig2bc`] with the world wired into `metrics` (per-endpoint TCP
 /// series, fault counters). Pass a disabled handle for a plain run.
 pub fn run_fig2bc_with(
@@ -396,14 +384,6 @@ pub fn run_fig2bc_with(
         .map(|t| t.as_secs_f64())
         .collect();
     Fig2bcTrace { packets, drops }
-}
-
-/// Runs both Fig. 2(b)/(c) traces (uni, bi) as a two-point sweep on the
-/// harness; both panels use the same `seed`, as the serial pair of
-/// [`run_fig2bc_with`] calls did.
-#[deprecated(note = "use `run_fig2bc_pair_with` or the `fig2bc` registry experiment")]
-pub fn run_fig2bc_pair(params: &Fig2bcParams, seed: u64) -> (Fig2bcTrace, Fig2bcTrace) {
-    run_fig2bc_pair_with(params, &MetricsHandle::disabled(), seed)
 }
 
 /// [`run_fig2bc_pair`] with metrics: the uni-directional arm's world is

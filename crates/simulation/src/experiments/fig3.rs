@@ -177,6 +177,7 @@ fn run_3ab_once(
             // the paper's had): it owns a random quarter of the pieces,
             // so its upload capacity is actually in demand.
             start_fraction: Some(0.25),
+            start_at: SimTime::ZERO,
             make_config: {
                 let limit = per_task_limit.max(512.0);
                 Box::new(move || ClientConfig {
@@ -234,12 +235,6 @@ fn run_3ab(
         .collect()
 }
 
-/// Runs Fig. 3(a): wired asymmetric access.
-#[deprecated(note = "use `run_fig3a_with` or the `fig3ab` registry experiment")]
-pub fn run_fig3a(params: &Fig3abParams) -> Vec<Fig3abPoint> {
-    run_fig3a_with(params, &MetricsHandle::disabled(), FIG3AB_SEED)
-}
-
 /// [`run_fig3a`] on an explicit metrics handle and sweep base seed. The
 /// first cell's world is wired into `metrics`.
 pub fn run_fig3a_with(
@@ -248,15 +243,6 @@ pub fn run_fig3a_with(
     base_seed: u64,
 ) -> Vec<Fig3abPoint> {
     run_3ab("fig3a", params, Access::residential(), metrics, base_seed)
-}
-
-/// Runs Fig. 3(b): wireless shared channel. The default capacity mirrors
-/// a throttled WLAN comparable to the attainable swarm download rate, so
-/// the sweep covers the contention regime (a channel far faster than the
-/// swarm supply would never self-contend).
-#[deprecated(note = "use `run_fig3b_with` or the `fig3ab` registry experiment")]
-pub fn run_fig3b(params: &Fig3abParams) -> Vec<Fig3abPoint> {
-    run_fig3b_with(params, &MetricsHandle::disabled(), FIG3AB_SEED)
 }
 
 /// [`run_fig3b`] on an explicit metrics handle and sweep base seed.
@@ -288,12 +274,6 @@ pub fn run_fig3b_custom_with(
         metrics,
         base_seed,
     )
-}
-
-/// Former name of [`run_fig3b_custom`].
-#[deprecated(note = "renamed to `run_fig3b_custom`")]
-pub fn run_3b_custom(params: &Fig3abParams, capacity: f64) -> Vec<Fig3abPoint> {
-    run_fig3b_custom(params, capacity)
 }
 
 /// Renders a Fig. 3(a)/(b) sweep.
@@ -470,12 +450,6 @@ pub struct Fig3cResult {
     pub final_bytes: u64,
 }
 
-/// Runs one arm of Fig. 3(c).
-#[deprecated(note = "use `run_fig3c_arm_with` or the `fig3c` registry experiment")]
-pub fn run_fig3c_arm(params: &Fig3cParams, arm: Fig3cArm, seed: u64) -> Fig3cResult {
-    run_fig3c_arm_with(params, arm, &MetricsHandle::disabled(), seed)
-}
-
 /// [`run_fig3c_arm`] with the world wired into `metrics`.
 pub fn run_fig3c_arm_with(
     params: &Fig3cParams,
@@ -498,6 +472,7 @@ pub fn run_fig3c_arm_with(
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(move || bittorrent::client::ClientConfig {
             allow_upload: uploading,
             ..Default::default()
@@ -517,14 +492,6 @@ pub fn run_fig3c_arm_with(
         series: w.download_series(task).clone(),
         final_bytes: w.downloaded_bytes(task),
     }
-}
-
-/// Runs all four arms in parallel. Each arm is a sweep point with one
-/// run; every arm gets the same `seed` so the comparison is paired, as in
-/// the serial implementation.
-#[deprecated(note = "use `run_fig3c_with` or the `fig3c` registry experiment")]
-pub fn run_fig3c(params: &Fig3cParams, seed: u64) -> Vec<Fig3cResult> {
-    run_fig3c_with(params, &MetricsHandle::disabled(), seed)
 }
 
 /// [`run_fig3c`] with metrics: the first arm (no-mobility, uploading) is

@@ -21,7 +21,7 @@ use bittorrent::tracker::TrackerConfig;
 use metrics::handle::MetricsHandle;
 use metrics::stats::RunSummary;
 use simnet::mobility::MobilityProcess;
-use simnet::time::SimDuration;
+use simnet::time::{SimDuration, SimTime};
 use wp2p::config::WP2pConfig;
 
 /// Base seed of the Fig. 4(a) sweep.
@@ -29,8 +29,6 @@ pub const FIG4A_SEED: u64 = 0xF4A;
 /// Seed of the Fig. 4(b) panel ((c) uses the successor).
 pub const FIG4BC_SEED: u64 = 0x4B;
 
-#[allow(deprecated)]
-pub use super::playability::run_playability;
 pub use super::playability::{
     playability_table, run_playability_with, PlayabilityCurve, PlayabilityParams,
 };
@@ -179,20 +177,13 @@ fn run_4a_once(
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(ClientConfig::default),
         wp2p: WP2pConfig::default_client(),
     });
     w.start();
     w.run_for(params.duration, |_| {});
     w.downloaded_bytes(task) as f64 / params.duration.as_secs_f64()
-}
-
-/// Runs the Fig. 4(a) sweep on the harness. Both arms (one/all mobile)
-/// share a cell and its point-invariant seed, preserving the paired
-/// comparison of the serial driver.
-#[deprecated(note = "use `run_fig4a_with` or the `fig4a` registry experiment")]
-pub fn run_fig4a(params: &Fig4aParams) -> Vec<Fig4aPoint> {
-    run_fig4a_with(params, &MetricsHandle::disabled(), FIG4A_SEED)
 }
 
 /// [`run_fig4a`] with metrics: the first cell's one-mobile world is

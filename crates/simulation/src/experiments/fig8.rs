@@ -182,14 +182,6 @@ pub(crate) fn run_8a_once(
     total as f64 / params.duration.as_secs_f64() / 2.0
 }
 
-/// Runs the Fig. 8(a) sweep on the harness. Both arms (default / AM)
-/// share a cell, and [`run_fig8a_point`] reuses the same per-run seeds,
-/// so the ablation stays comparable with the figure.
-#[deprecated(note = "use `run_fig8a_with` or the `fig8a` registry experiment")]
-pub fn run_fig8a(params: &Fig8aParams) -> Vec<Fig8aPoint> {
-    run_fig8a_with(params, &MetricsHandle::disabled(), FIG8A_SEED)
-}
-
 /// [`run_fig8a`] with metrics: the first cell's default-client world is
 /// wired into `metrics` (per-connection TCP and AM instruments included).
 pub fn run_fig8a_with(
@@ -391,13 +383,6 @@ pub struct Fig8bResult {
     pub wp2p_bytes: u64,
 }
 
-/// Runs Fig. 8(b) — a single trace, wrapped as a one-cell sweep so its
-/// cost lands in the harness stats alongside the real sweeps.
-#[deprecated(note = "use `run_fig8b_with` or the `fig8b` registry experiment")]
-pub fn run_fig8b(params: &Fig8bParams, seed: u64) -> Fig8bResult {
-    run_fig8b_with(params, &MetricsHandle::disabled(), seed)
-}
-
 /// [`run_fig8b`] with metrics: the (single) trace world is wired into
 /// `metrics`, so the hand-off and retention dynamics are observable.
 pub fn run_fig8b_with(params: &Fig8bParams, metrics: &MetricsHandle, seed: u64) -> Fig8bResult {
@@ -435,6 +420,7 @@ fn run_fig8b_once(params: &Fig8bParams, metrics: &MetricsHandle, seed: u64) -> F
             torrent,
             start_complete: false,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: if retention {
                 WP2pConfig::identity_only()
@@ -611,6 +597,7 @@ fn run_8c_once(
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(ClientConfig::default),
         wp2p: if lihd {
             WP2pConfig {
@@ -624,13 +611,6 @@ fn run_8c_once(
     w.start();
     w.run_for(params.duration, |_| {});
     w.downloaded_bytes(task) as f64 / params.duration.as_secs_f64()
-}
-
-/// Runs the Fig. 8(c) sweep on the harness; default and LIHD arms share
-/// a cell (common random numbers).
-#[deprecated(note = "use `run_fig8c_with` or the `fig8c` registry experiment")]
-pub fn run_fig8c(params: &Fig8cParams) -> Vec<Fig8cPoint> {
-    run_fig8c_with(params, &MetricsHandle::disabled(), FIG8C_SEED)
 }
 
 /// [`run_fig8c`] with metrics: the first cell's LIHD world is wired into

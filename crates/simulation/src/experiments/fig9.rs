@@ -21,7 +21,7 @@ use bittorrent::tracker::TrackerConfig;
 use metrics::handle::MetricsHandle;
 use metrics::stats::RunSummary;
 use simnet::mobility::MobilityProcess;
-use simnet::time::SimDuration;
+use simnet::time::{SimDuration, SimTime};
 use wp2p::config::WP2pConfig;
 use wp2p::ma::PrSchedule;
 
@@ -41,13 +41,6 @@ pub struct Fig9abResult {
     pub default_curve: PlayabilityCurve,
     /// wP2P mobility-aware fetching curve.
     pub wp2p_curve: PlayabilityCurve,
-}
-
-/// Runs one Fig. 9(a)/(b) panel with the paper's `p_r = downloaded
-/// fraction` schedule.
-#[deprecated(note = "use `run_fig9ab_with` or the `fig9ab` registry experiment")]
-pub fn run_fig9ab(params: &PlayabilityParams, seed: u64) -> Fig9abResult {
-    run_fig9ab_with(params, &MetricsHandle::disabled(), seed)
 }
 
 /// [`run_fig9ab`] with metrics: only the default arm is wired into
@@ -237,6 +230,7 @@ fn run_9c_once(
             torrent,
             start_complete: true,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: if rr {
                 WP2pConfig::role_reversal_only()
@@ -254,13 +248,6 @@ fn run_9c_once(
     w.run_for(params.duration, |_| {});
     let total: u64 = tasks.iter().map(|&t| w.delivered_up_bytes(t)).sum();
     total as f64 / params.duration.as_secs_f64() / 2.0
-}
-
-/// Runs the Fig. 9(c) sweep on the harness; default and role-reversal
-/// arms share a cell (common random numbers).
-#[deprecated(note = "use `run_fig9c_with` or the `fig9c` registry experiment")]
-pub fn run_fig9c(params: &Fig9cParams) -> Vec<Fig9cPoint> {
-    run_fig9c_with(params, &MetricsHandle::disabled(), FIG9C_SEED)
 }
 
 /// [`run_fig9c`] with metrics: the first cell's role-reversal world is

@@ -18,4 +18,5 @@ pub mod playability;
 pub mod registry;
 pub mod scale;
 pub mod search;
+pub mod service;
 pub mod soak;

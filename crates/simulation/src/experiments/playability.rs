@@ -155,17 +155,6 @@ impl PlayabilityCurve {
     }
 }
 
-/// Runs one playability measurement; `fetching` selects the wP2P
-/// mobility-aware schedule (`None` = default rarest-first).
-#[deprecated(note = "use `run_playability_with` or a registry experiment")]
-pub fn run_playability(
-    params: &PlayabilityParams,
-    fetching: Option<PrSchedule>,
-    base_seed: u64,
-) -> PlayabilityCurve {
-    run_playability_with(params, fetching, &MetricsHandle::disabled(), base_seed)
-}
-
 /// [`run_playability`] with metrics: the first run's world is wired into
 /// `metrics`, and the measured client's playable fraction is recorded as
 /// the `playability.playable` series.
@@ -199,6 +188,7 @@ pub fn run_playability_with(
                 torrent,
                 start_complete: false,
                 start_fraction: None,
+                start_at: SimTime::ZERO,
                 make_config: Box::new(ClientConfig::default),
                 wp2p: WP2pConfig {
                     mobility_fetching: fetching,

@@ -20,6 +20,7 @@ use super::fig9::{self, FIG9AB_SEED, FIG9C_SEED};
 use super::params::ExperimentParams;
 use super::playability::{self, PlayabilityParams};
 use super::scale::{self, SCALE_SEED};
+use super::service::{self, SERVICE_SEED};
 use super::soak::{self, SOAK_SEED};
 use crate::report::Table;
 use metrics::handle::MetricsHandle;
@@ -455,6 +456,32 @@ impl Experiment for Scale {
     }
 }
 
+struct Service;
+
+impl Experiment for Service {
+    fn name(&self) -> &'static str {
+        "service"
+    }
+    fn title(&self) -> &'static str {
+        "Multi-swarm service tier — sharded trackers, flash crowds, clustering"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        service::ServiceParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        service::ServiceParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        SERVICE_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = service::ServiceParams::from_params(params);
+        Report::single(service::service_table(&service::run_service_with(
+            &p, metrics, seed,
+        )))
+    }
+}
+
 struct Soak;
 
 impl Experiment for Soak {
@@ -485,7 +512,7 @@ impl Experiment for Soak {
 
 static EXPERIMENTS: &[&dyn Experiment] = &[
     &Fig2a, &Fig2bc, &Fig3ab, &Fig3c, &Fig4a, &Fig4bc, &Fig8a, &Fig8b, &Fig8c, &Fig9ab, &Fig9c,
-    &Scale, &Soak,
+    &Scale, &Soak, &Service,
 ];
 
 /// Every registered experiment, in the order `all_figures` runs them.

@@ -31,7 +31,9 @@ use bittorrent::metainfo::{InfoHash, Metainfo};
 use bittorrent::peer_id::{PeerId, PeerIdStyle};
 use bittorrent::progress::TorrentProgress;
 use bittorrent::rate::RateEstimator;
-use bittorrent::tracker::{AnnounceEvent, AnnounceResponse, Tracker, TrackerConfig};
+use bittorrent::tracker::{
+    AnnounceEvent, AnnounceRequest, AnnounceResponse, TrackerConfig, TrackerTier,
+};
 use bittorrent::wire::Message;
 use metrics::handle::MetricsHandle;
 use metrics::registry::{Counter, Histogram};
@@ -146,6 +148,15 @@ pub struct FlowConfig {
     pub announce_latency: SimDuration,
     /// Tracker behaviour.
     pub tracker: TrackerConfig,
+    /// Number of tracker shards in the tier (each owns a deterministic
+    /// slice of the info-hash space; see [`bittorrent::tracker::shard_of`]).
+    /// `1` (the default) is the single-tracker world every existing
+    /// experiment runs.
+    pub tracker_shards: usize,
+    /// Record piece bytes per `(receiver, sender)` task pair. Off by
+    /// default: the clustering analysis of the service experiment needs
+    /// it; the scale hot path doesn't pay for it.
+    pub track_peer_bytes: bool,
     /// Event-queue scheduler backing the world's simulator.
     pub scheduler: Scheduler,
     /// Per-connection stall watchdog: a connection with queued data that
@@ -174,6 +185,8 @@ impl Default for FlowConfig {
             dead_conn_timeout: SimDuration::from_secs(90),
             announce_latency: SimDuration::from_secs(1),
             tracker: TrackerConfig::default(),
+            tracker_shards: 1,
+            track_peer_bytes: false,
             scheduler: Scheduler::from_env(),
             stall_timeout: None,
             rate_solver: SolverMode::from_env(),
@@ -206,6 +219,10 @@ pub struct TaskSpec {
     pub make_config: Box<dyn Fn() -> ClientConfig>,
     /// wP2P components enabled for this task.
     pub wp2p: WP2pConfig,
+    /// When the task first joins its swarm. [`SimTime::ZERO`] (the
+    /// default) starts with the world; later instants model flash-crowd
+    /// arrivals — the client spawns at that virtual time instead.
+    pub start_at: SimTime,
 }
 
 impl TaskSpec {
@@ -218,6 +235,7 @@ impl TaskSpec {
             start_fraction: None,
             make_config: Box::new(ClientConfig::default),
             wp2p: WP2pConfig::default_client(),
+            start_at: SimTime::ZERO,
         }
     }
 }
@@ -252,6 +270,10 @@ struct TaskState {
     /// `(task, key)`) so per-message lookups hash a single small map and
     /// teardown walks only this task's entries.
     conn_index: FastHashMap<u64, (ConnId, bool)>,
+    /// Piece payload bytes received per sending task, across
+    /// re-initiations. Populated only under
+    /// [`FlowConfig::track_peer_bytes`] (the clustering analysis input).
+    peer_bytes: FastHashMap<TaskKey, u64>,
     rng: SimRng,
 }
 
@@ -442,6 +464,12 @@ enum Ev {
     StallCheck {
         cid: ConnId,
     },
+    /// Deferred task start (flash-crowd arrival): spawn the task's
+    /// client at its `start_at` instant. If the hosting node is mid
+    /// hand-off outage, the start retries a tick later.
+    TaskStart {
+        task: TaskKey,
+    },
 }
 
 /// The flow-level world. See the module docs.
@@ -465,7 +493,7 @@ enum Ev {
 pub struct FlowWorld {
     cfg: FlowConfig,
     sim: Simulator<Ev>,
-    tracker: Tracker,
+    tracker: TrackerTier,
     book: AddressBook,
     nodes: Vec<Node>,
     tasks: Vec<TaskState>,
@@ -523,6 +551,12 @@ pub struct FlowWorld {
     blackholed: BTreeSet<NodeKey>,
     /// Pre-fault access of nodes with an active capacity modifier.
     access_baseline: BTreeMap<NodeKey, Access>,
+    /// External upload cap per node, applied on top of the access
+    /// uplink — the cross-swarm seed-capacity budget: all of a node's
+    /// tasks, whatever swarm they serve, share `min(access_up, cap)`
+    /// through the node's up resource (the fluid equivalent of one
+    /// upload token bucket spanning the node's swarms).
+    node_upload_cap: BTreeMap<NodeKey, f64>,
     /// Active loss-burst capacity factor per node.
     lossy_factor: BTreeMap<NodeKey, f64>,
     /// Active bandwidth-squeeze factor per node.
@@ -536,7 +570,7 @@ impl FlowWorld {
     pub fn new(cfg: FlowConfig, seed: u64) -> Self {
         let rng = SimRng::new(seed);
         FlowWorld {
-            tracker: Tracker::new(cfg.tracker),
+            tracker: TrackerTier::new(cfg.tracker, cfg.tracker_shards),
             sim: Simulator::with_scheduler(cfg.scheduler),
             engine: RateEngine::new(cfg.rate_solver),
             cfg,
@@ -567,6 +601,7 @@ impl FlowWorld {
             tracker_down: false,
             blackholed: BTreeSet::new(),
             access_baseline: BTreeMap::new(),
+            node_upload_cap: BTreeMap::new(),
             lossy_factor: BTreeMap::new(),
             squeeze_factor: BTreeMap::new(),
             checker: crate::invariants::InvariantChecker::new(),
@@ -719,6 +754,7 @@ impl FlowWorld {
             completed_at: None,
             announce_fails: 0,
             conn_index: FastHashMap::default(),
+            peer_bytes: FastHashMap::default(),
             rng,
         });
         key
@@ -740,7 +776,13 @@ impl FlowWorld {
             self.sync_node_capacity(n);
         }
         for t in 0..self.tasks.len() {
-            self.spawn_client(t, now);
+            let at = self.tasks[t].spec.start_at;
+            if at > now {
+                // Flash-crowd arrival: the client joins later.
+                self.sim.schedule_at(at, Ev::TaskStart { task: t });
+            } else {
+                self.spawn_client(t, now);
+            }
         }
         self.pump_actions(now);
         self.sim.schedule_in(self.cfg.tick, Ev::Tick);
@@ -894,15 +936,14 @@ impl FlowWorld {
             if let Some(client) = &self.tasks[t].client {
                 let node = self.tasks[t].spec.node;
                 let mut rng = self.rng.fork(7777 + t as u64);
-                let _ = self.tracker.announce(
-                    client.info_hash(),
-                    client.peer_id(),
-                    self.nodes[node].addr,
-                    AnnounceEvent::Stopped,
-                    client.is_seed(),
-                    now,
-                    &mut rng,
-                );
+                let req = AnnounceRequest {
+                    info_hash: client.info_hash(),
+                    peer_id: client.peer_id(),
+                    addr: self.nodes[node].addr,
+                    event: AnnounceEvent::Stopped,
+                    is_seed: client.is_seed(),
+                };
+                let _ = self.tracker.announce(&req, now, &mut rng);
             }
         }
         self.kill_client(t, now);
@@ -1052,6 +1093,20 @@ impl FlowWorld {
                                 self.conns.stall[s] =
                                     Some(self.sim.schedule_at(deadline, Ev::StallCheck { cid }));
                             }
+                        }
+                    }
+                }
+                Ev::TaskStart { task } => {
+                    if !self.tasks[task].started {
+                        let node = self.tasks[task].spec.node;
+                        if self.nodes[node].alive {
+                            self.spawn_client(task, now);
+                            self.pump_actions(now);
+                        } else {
+                            // Node is mid hand-off outage: retry after
+                            // a tick (the outage ends at a known event).
+                            self.sim
+                                .schedule_in(self.cfg.tick, Ev::TaskStart { task });
                         }
                     }
                 }
@@ -1306,6 +1361,10 @@ impl FlowWorld {
             if let Message::Piece(b) = &msg {
                 self.tasks[dst_task].delivered_down += b.len as u64;
                 self.tasks[src_task].delivered_up += b.len as u64;
+                if self.cfg.track_peer_bytes {
+                    *self.tasks[dst_task].peer_bytes.entry(src_task).or_insert(0) +=
+                        b.len as u64;
+                }
             }
             if let Some(client) = self.tasks[dst_task].client.as_mut() {
                 client.on_message(dst_key, msg, now);
@@ -1638,16 +1697,22 @@ impl FlowWorld {
         let pid = client.peer_id();
         let seed = client.is_seed();
         let announce_policy = client.resilience().announce;
-        if self.tracker_down {
+        if self.tracker_down || self.tracker.is_down_for(ih) {
             // The request times out: nothing is registered and no peers
             // are learned. The retry interval follows the client's
             // announce backoff policy — capped exponential per
             // consecutive failure (the unarmed policy's first step is
-            // the legacy fixed 60 s).
+            // the legacy fixed 60 s). A shard outage reads the same to
+            // this swarm's peers; the rest of the tier keeps serving.
+            let cause = if self.tracker_down {
+                "tracker outage"
+            } else {
+                "tracker shard down"
+            };
             self.note(
                 now,
                 TraceKind::Tracker,
-                format!("task {t} announce {event:?} failed: tracker outage"),
+                format!("task {t} announce {event:?} failed: {cause}"),
             );
             if event != AnnounceEvent::Stopped {
                 let fails = self.tasks[t].announce_fails;
@@ -1655,6 +1720,7 @@ impl FlowWorld {
                 let mut rng = self.rng.fork(9100 + t as u64 + now.as_micros());
                 let retry = AnnounceResponse {
                     interval: announce_policy.delay(fails, &mut rng),
+                    min_interval: SimDuration::ZERO,
                     peers: Vec::new(),
                     complete: 0,
                     incomplete: 0,
@@ -1668,9 +1734,14 @@ impl FlowWorld {
         }
         self.tasks[t].announce_fails = 0;
         let mut rng = self.rng.fork(9000 + t as u64 + now.as_micros());
-        let resp = self
-            .tracker
-            .announce(ih, pid, addr, event, seed, now, &mut rng);
+        let req = AnnounceRequest {
+            info_hash: ih,
+            peer_id: pid,
+            addr,
+            event,
+            is_seed: seed,
+        };
+        let resp = self.tracker.announce(&req, now, &mut rng);
         self.note(
             now,
             TraceKind::Tracker,
@@ -1764,17 +1835,43 @@ impl FlowWorld {
         }
     }
 
-    /// Pushes a node's current access capacities into the solver.
+    /// Pushes a node's current access capacities into the solver. An
+    /// external per-node upload cap (the cross-swarm seed budget)
+    /// tightens the up/channel resource: every task the node hosts —
+    /// in whatever swarm — shares the tightened pipe.
     fn sync_node_capacity(&mut self, node: NodeKey) {
+        let up_cap = |up: f64| match self.node_upload_cap.get(&node) {
+            Some(&cap) => up.min(cap.max(1.0)),
+            None => up,
+        };
         match self.nodes[node].access {
             Access::Wired { up, down } => {
-                self.engine.set_capacity(2 * node, up);
+                self.engine.set_capacity(2 * node, up_cap(up));
                 self.engine.set_capacity(2 * node + 1, down);
             }
             Access::Wireless { capacity } => {
-                self.engine.set_capacity(2 * node, capacity);
+                self.engine.set_capacity(2 * node, up_cap(capacity));
                 self.engine.set_capacity(2 * node + 1, 0.0);
             }
+        }
+    }
+
+    /// Sets (or clears) a node's upload cap: one budget shared by every
+    /// task the node hosts across all its swarms, enforced through the
+    /// node's uplink resource in the max-min problem — the fluid
+    /// equivalent of a single upload token bucket spanning the node's
+    /// swarm memberships. Callable before or during a run.
+    pub fn set_node_upload_cap(&mut self, node: NodeKey, cap: Option<f64>) {
+        match cap {
+            Some(c) => {
+                self.node_upload_cap.insert(node, c);
+            }
+            None => {
+                self.node_upload_cap.remove(&node);
+            }
+        }
+        if self.started {
+            self.sync_node_capacity(node);
         }
     }
 
@@ -1910,6 +2007,51 @@ impl FlowWorld {
         self.tracker_down
     }
 
+    /// Number of tracker shards in the world's tier.
+    pub fn tracker_shard_count(&self) -> usize {
+        self.tracker.shard_count()
+    }
+
+    /// Announces served by one tracker shard so far (the per-shard load
+    /// series sample).
+    pub fn tracker_shard_announces(&self, shard: usize) -> u64 {
+        self.tracker.shard_announces(shard)
+    }
+
+    /// The shard serving a task's swarm.
+    pub fn tracker_shard_of(&self, t: TaskKey) -> usize {
+        self.tracker.shard_for(self.tasks[t].spec.torrent.info_hash)
+    }
+
+    /// Marks one tracker shard up or down (a partial-service fault:
+    /// announces for the swarms it owns are dropped; other shards keep
+    /// serving).
+    pub fn set_tracker_shard_down(&mut self, shard: usize, down: bool) {
+        self.tracker.set_shard_down(shard, down);
+        let what = if down { "down" } else { "back" };
+        self.fault_note(self.sim.now(), format!("fault: tracker shard {shard} {what}"));
+    }
+
+    /// Whether a specific tracker shard is down.
+    pub fn tracker_shard_is_down(&self, shard: usize) -> bool {
+        self.tracker.shard_is_down(shard)
+    }
+
+    /// The info-hash of the swarm a task belongs to.
+    pub fn task_info_hash(&self, t: TaskKey) -> bittorrent::metainfo::InfoHash {
+        self.tasks[t].spec.torrent.info_hash
+    }
+
+    /// Piece payload bytes this task received from each sending task,
+    /// sorted by sender. Empty unless [`FlowConfig::track_peer_bytes`]
+    /// was set — the input of the clustering analysis.
+    pub fn peer_download_bytes(&self, t: TaskKey) -> Vec<(TaskKey, u64)> {
+        let mut v: Vec<(TaskKey, u64)> =
+            self.tasks[t].peer_bytes.iter().map(|(&k, &b)| (k, b)).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Invariant passes run by the built-in debug-build checker.
     pub fn invariant_checks(&self) -> u64 {
         self.checker.checks()
@@ -1950,11 +2092,15 @@ impl FlowWorld {
         }
         let fits = |used: f64, cap: f64| used <= cap * (1.0 + 1e-6) + 1e-6;
         for (i, n) in self.nodes.iter().enumerate() {
-            let (up_cap, down_cap) = match n.access {
+            let (mut up_cap, down_cap) = match n.access {
                 Access::Wired { up, down } => (up, down),
                 // Shared channel: both directions land on resource 2i.
                 Access::Wireless { capacity } => (capacity, f64::INFINITY),
             };
+            // An external node upload cap tightens the uplink/channel.
+            if let Some(&cap) = self.node_upload_cap.get(&i) {
+                up_cap = up_cap.min(cap.max(1.0));
+            }
             if !fits(usage[2 * i], up_cap) {
                 return Err(format!(
                     "node {i}: uplink/channel used {:.1} of {:.1} B/s",
@@ -2062,6 +2208,7 @@ impl FlowWorld {
         w.put_bool(self.tracker_down);
         self.blackholed.snap(&mut w);
         self.access_baseline.snap(&mut w);
+        self.node_upload_cap.snap(&mut w);
         self.lossy_factor.snap(&mut w);
         self.squeeze_factor.snap(&mut w);
         self.checker.snap(&mut w);
@@ -2120,6 +2267,7 @@ impl FlowWorld {
         self.tracker_down = r.get_bool();
         self.blackholed = Snap::unsnap(&mut r);
         self.access_baseline = Snap::unsnap(&mut r);
+        self.node_upload_cap = Snap::unsnap(&mut r);
         self.lossy_factor = Snap::unsnap(&mut r);
         self.squeeze_factor = Snap::unsnap(&mut r);
         self.checker = Snap::unsnap(&mut r);
@@ -2335,6 +2483,7 @@ impl TaskState {
         self.completed_at.snap(w);
         w.put_u32(self.announce_fails);
         snap_hash_map(&self.conn_index, w);
+        snap_hash_map(&self.peer_bytes, w);
         self.rng.snap(w);
     }
 
@@ -2393,6 +2542,7 @@ impl TaskState {
         self.completed_at = Snap::unsnap(r);
         self.announce_fails = r.get_u32();
         self.conn_index = unsnap_hash_map(r);
+        self.peer_bytes = unsnap_hash_map(r);
         self.rng = Snap::unsnap(r);
     }
 }
@@ -2563,6 +2713,10 @@ impl Snap for Ev {
                 w.put_u8(5);
                 cid.snap(w);
             }
+            Ev::TaskStart { task } => {
+                w.put_u8(6);
+                w.put_usize(*task);
+            }
         }
     }
 
@@ -2589,6 +2743,7 @@ impl Snap for Ev {
                 node: r.get_usize(),
             },
             5 => Ev::StallCheck { cid: Snap::unsnap(r) },
+            6 => Ev::TaskStart { task: r.get_usize() },
             t => panic!("snapshot: unknown flow event tag {t}"),
         }
     }

@@ -19,7 +19,7 @@ use bittorrent::client::{Action, Client, ClientConfig};
 use bittorrent::metainfo::InfoHash;
 use bittorrent::peer_id::{PeerId, PeerIdStyle};
 use bittorrent::progress::TorrentProgress;
-use bittorrent::tracker::{AnnounceEvent, Tracker, TrackerConfig};
+use bittorrent::tracker::{AnnounceEvent, AnnounceRequest, Tracker, TrackerConfig};
 use bittorrent::wire::Message;
 use metrics::handle::MetricsHandle;
 use metrics::registry::Counter;
@@ -894,6 +894,7 @@ impl PacketWorld {
                             peers: Vec::new(),
                             complete: 0,
                             incomplete: 0,
+                            min_interval: SimDuration::ZERO,
                         };
                         if let Some(client) = self.nodes[node].client.as_mut() {
                             client.on_tracker_response(&resp, now);
@@ -910,9 +911,14 @@ impl PacketWorld {
                 let seed = client.is_seed();
                 let addr = self.nodes[node].addr;
                 let mut rng = self.rng.fork(800 + node as u64 + now.as_micros());
-                let resp = self
-                    .tracker
-                    .announce(ih, pid, addr, event, seed, now, &mut rng);
+                let req = AnnounceRequest {
+                    info_hash: ih,
+                    peer_id: pid,
+                    addr,
+                    event,
+                    is_seed: seed,
+                };
+                let resp = self.tracker.announce(&req, now, &mut rng);
                 if event != AnnounceEvent::Stopped {
                     if let Some(client) = self.nodes[node].client.as_mut() {
                         client.on_tracker_response(&resp, now);

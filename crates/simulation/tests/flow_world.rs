@@ -82,6 +82,7 @@ fn wireless_upload_contention_slows_downloads() {
             torrent: spec,
             start_complete: false,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(move || ClientConfig {
                 allow_upload,
                 ..ClientConfig::default()
@@ -164,6 +165,7 @@ fn identity_retention_helps_under_mobility() {
             torrent: spec,
             start_complete: false,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: if retention {
                 WP2pConfig::identity_only()
@@ -249,6 +251,7 @@ fn reinitiated_client_keys_do_not_alias_stale_connections() {
             torrent: spec,
             start_complete: false,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: if retention {
                 WP2pConfig::identity_only()

@@ -49,6 +49,7 @@ fn roam(wp2p: bool) -> Outcome {
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(ClientConfig::default),
         wp2p: if wp2p {
             WP2pConfig::full(capacity)

@@ -37,6 +37,7 @@ fn commute(fetching: Option<PrSchedule>, label: &str) {
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(ClientConfig::default),
         wp2p: WP2pConfig {
             mobility_fetching: fetching,

@@ -41,6 +41,7 @@ fn full_wp2p_stack_beats_default_under_roaming() {
             torrent,
             start_complete: false,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: if wp2p {
                 WP2pConfig::full(capacity)
@@ -89,6 +90,7 @@ fn wp2p_is_backward_compatible_when_stationary() {
             torrent,
             start_complete: true,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: if wp2p {
                 WP2pConfig::full(1_250_000.0)
@@ -134,6 +136,7 @@ fn whole_world_determinism_with_all_features() {
             torrent,
             start_complete: false,
             start_fraction: None,
+            start_at: SimTime::ZERO,
             make_config: Box::new(ClientConfig::default),
             wp2p: WP2pConfig::full(capacity),
         });

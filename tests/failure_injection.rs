@@ -212,6 +212,7 @@ fn scenario_identity_retention_survives_churn_storm() {
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(ClientConfig::default),
         wp2p: wp2p::config::WP2pConfig::full(300_000.0),
     });
@@ -472,6 +473,7 @@ fn pathological_mobility_is_stable() {
         torrent,
         start_complete: false,
         start_fraction: None,
+        start_at: SimTime::ZERO,
         make_config: Box::new(ClientConfig::default),
         wp2p: wp2p::config::WP2pConfig::full(300_000.0),
     });
