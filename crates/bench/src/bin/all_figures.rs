@@ -27,6 +27,11 @@
 //! trackers, a Zipf/Poisson workload with flash crowds, a mid-run
 //! tracker-shard outage, and the Legout clustering probes, emitting the
 //! `service.*` gauges and per-shard load series under `--metrics-out`.
+//! `--exploit <seed>` runs the identity-retention exploit probe (honest
+//! retainers vs deliberate id-churners) and emits the `exploit.*`
+//! gauges; `--erosion <seed>` sweeps the free-rider share of the
+//! fig8 background swarm and emits the `erosion.fr*.{default,retention}_bytes`
+//! gauges — both byte-identical across replays and worker counts.
 //! `--snapshot` runs the save/restore differential on two scenarios and
 //! a warm-started fork sweep (exits nonzero if restore-then-run is not
 //! byte-identical to the straight run). `--bisect <seed>` generates a
@@ -40,7 +45,7 @@
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{faults, registry, search, service, soak};
+use p2p_simulation::experiments::{erosion, exploit, faults, registry, search, service, soak};
 use p2p_simulation::harness::{self, SweepStats};
 use simnet::fault::{FaultPlan, FaultPlanConfig};
 use simnet::time::{SimDuration, SimTime};
@@ -186,6 +191,46 @@ fn main() {
         service::service_table(&outcome).print();
         if let Some(dir) = &metrics_out {
             dump_metrics(dir, "service", &handle);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--exploit")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--exploit takes a u64 seed");
+        let params = if quick {
+            exploit::ExploitParams::quick()
+        } else {
+            exploit::ExploitParams::paper()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let outcome = exploit::run_exploit_with(&params, &handle, seed);
+        exploit::exploit_table(&outcome).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "exploit", &handle);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--erosion")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--erosion takes a u64 seed");
+        let params = if quick {
+            erosion::ErosionParams::quick()
+        } else {
+            erosion::ErosionParams::paper()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let points = erosion::run_erosion_with(&params, &handle, seed);
+        erosion::erosion_table(&points).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "erosion", &handle);
         }
         return;
     }

@@ -82,6 +82,30 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                     && matches!(&rest[idx..], ".announces" | ".peak_qps")
             }))
     }
+    // Strategy-zoo gauges: per-class downloads and end-of-run spendable
+    // credit (exploit), and per-share-point probe downloads (erosion) are
+    // finite non-negative, never null. The derived gauges — exploit's
+    // churner-to-honest ratio and erosion's retention lead (which may go
+    // negative in a hostile swarm) — only get the generic rule.
+    fn is_exploit_gauge(name: &str) -> bool {
+        matches!(
+            name,
+            "exploit.honest.bytes"
+                | "exploit.honest.credit"
+                | "exploit.churner.bytes"
+                | "exploit.churner.credit"
+        )
+    }
+    fn is_erosion_gauge(name: &str) -> bool {
+        name.strip_prefix("erosion.fr").is_some_and(|rest| {
+            let Some(idx) = rest.find('.') else {
+                return false;
+            };
+            !rest[..idx].is_empty()
+                && rest[..idx].chars().all(|c| c.is_ascii_digit())
+                && matches!(&rest[idx..], ".default_bytes" | ".retention_bytes")
+        })
+    }
     if let Some(gauges) = top.get("gauges") {
         match gauges.as_obj() {
             Some(m) => {
@@ -108,6 +132,20 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                     {
                         errors.push(format!(
                             "gauge \"{name}\": service gauge must be a finite non-negative number"
+                        ));
+                    }
+                    if is_exploit_gauge(name)
+                        && !v.as_num().is_some_and(|x| x.is_finite() && x >= 0.0)
+                    {
+                        errors.push(format!(
+                            "gauge \"{name}\": exploit gauge must be a finite non-negative number"
+                        ));
+                    }
+                    if is_erosion_gauge(name)
+                        && !v.as_num().is_some_and(|x| x.is_finite() && x >= 0.0)
+                    {
+                        errors.push(format!(
+                            "gauge \"{name}\": erosion gauge must be a finite non-negative number"
                         ));
                     }
                 }
@@ -426,6 +464,42 @@ mod tests {
         assert!(
             errs.iter().any(|e| e.contains("shard qps")),
             "NaN shard qps series accepted: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn enforces_the_strategy_zoo_contract() {
+        let good = metrics::handle::MetricsHandle::enabled(1);
+        good.gauge("exploit.honest.bytes").set(32_400_000.0);
+        good.gauge("exploit.honest.credit").set(7_227_965.0);
+        good.gauge("exploit.churner.bytes").set(22_100_000.0);
+        good.gauge("exploit.churner.credit").set(0.0);
+        good.gauge("exploit.advantage").set(0.68);
+        good.gauge("erosion.fr0.default_bytes").set(15_100_000.0);
+        good.gauge("erosion.fr0.retention_bytes").set(22_300_000.0);
+        good.gauge("erosion.fr40.lead").set(500_000.0);
+        assert_eq!(errors_for(&good.to_json()), Vec::<String>::new());
+
+        // The lead is retention minus default and may go negative.
+        let hostile = metrics::handle::MetricsHandle::enabled(1);
+        hostile.gauge("erosion.fr40.lead").set(-2_000_000.0);
+        assert_eq!(errors_for(&hostile.to_json()), Vec::<String>::new());
+
+        let negative = metrics::handle::MetricsHandle::enabled(1);
+        negative.gauge("exploit.churner.credit").set(-1.0);
+        let errs = errors_for(&negative.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("exploit gauge")),
+            "negative exploit credit accepted: {errs:?}"
+        );
+
+        // Non-finite probe bytes dump as null and must be flagged.
+        let nan = metrics::handle::MetricsHandle::enabled(1);
+        nan.gauge("erosion.fr20.retention_bytes").set(f64::NAN);
+        let errs = errors_for(&nan.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("erosion gauge")),
+            "NaN erosion bytes accepted: {errs:?}"
         );
     }
 

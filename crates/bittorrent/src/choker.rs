@@ -146,7 +146,11 @@ impl Choker {
         let optimistic_alive = self
             .optimistic
             .is_some_and(|k| peers.iter().any(|p| p.key == k && p.interested));
-        if rotate || !optimistic_alive {
+        // A retained optimistic peer whose credit climbed into the regular
+        // set would leave the slot empty until the next rotation, shrinking
+        // the effective unchoke set below upload_slots + 1; re-pick now.
+        let promoted = self.optimistic.is_some_and(|k| regular.contains(&k));
+        if rotate || !optimistic_alive || promoted {
             let pool: Vec<ConnKey> = interested
                 .iter()
                 .map(|p| p.key)
@@ -157,8 +161,6 @@ impl Choker {
                 self.last_optimistic = Some(now);
             }
         }
-        // If the optimistic peer got promoted into the regular set, the
-        // slot is effectively free; leave it to the next rotation.
         let optimistic = self.optimistic.filter(|k| !regular.contains(k));
 
         let mut unchoked = regular;
@@ -361,6 +363,58 @@ mod tests {
             run(0xC4A0),
             "churn storm must replay identically"
         );
+    }
+
+    #[test]
+    fn full_interest_always_fills_all_slots_plus_optimistic() {
+        // With more interested peers than slots, the unchoke set must be
+        // exactly upload_slots + 1 every round — including the round where
+        // the reigning optimistic peer's credit climbs into the regular
+        // set (promotion used to leave the optimistic slot empty until the
+        // next rotation).
+        let slots = 2usize;
+        let cfg = ChokerConfig {
+            upload_slots: slots,
+            rechoke_interval: SimDuration::from_secs(10),
+            optimistic_interval: SimDuration::from_secs(30),
+        };
+        let mut ch = Choker::new(cfg);
+        let mut rng = SimRng::new(11);
+        let base = vec![
+            peer(1, true, 50.0),
+            peer(2, true, 40.0),
+            peer(3, true, 1.0),
+            peer(4, true, 1.0),
+            peer(5, true, 1.0),
+        ];
+        let d = ch.rechoke(SimTime::ZERO, &base, &mut rng);
+        assert_eq!(d.unchoked.len(), slots + 1, "round 0: {d:?}");
+        let opt = d.optimistic.expect("optimistic filled under full interest");
+
+        // Promote the optimistic peer into the top-2 before the rotation
+        // timer fires (10s < 30s): still exactly slots + 1 unchoked, with a
+        // fresh optimistic drawn from the remaining pool.
+        let promoted: Vec<PeerSnapshot> = base
+            .iter()
+            .map(|p| {
+                if p.key == opt {
+                    peer(p.key, true, 100.0)
+                } else {
+                    *p
+                }
+            })
+            .collect();
+        let d = ch.rechoke(SimTime::from_secs(10), &promoted, &mut rng);
+        assert_eq!(d.unchoked.len(), slots + 1, "promotion round: {d:?}");
+        assert!(d.unchoked.contains(&opt), "promoted peer keeps a regular slot");
+        let new_opt = d.optimistic.expect("slot re-picked after promotion");
+        assert_ne!(new_opt, opt, "optimistic may not double as regular");
+
+        // And every later round under full interest stays exactly full.
+        for i in 2..30u64 {
+            let d = ch.rechoke(SimTime::from_secs(10 * i), &promoted, &mut rng);
+            assert_eq!(d.unchoked.len(), slots + 1, "round {i}: {d:?}");
+        }
     }
 
     #[test]

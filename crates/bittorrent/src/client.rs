@@ -26,6 +26,7 @@ use crate::peer_id::PeerId;
 use crate::picker::{PickContext, PiecePicker, RarestFirst};
 use crate::progress::{BlockOutcome, TorrentProgress};
 use crate::rate::{RateEstimator, TokenBucket};
+use crate::strategy::{ClientStrategy, Honest, ServicePolicy, StrategyKind, StrategyPeer};
 use crate::tracker::{AnnounceEvent, AnnounceResponse};
 use crate::wire::{BlockRef, Message};
 use metrics::handle::MetricsHandle;
@@ -78,6 +79,12 @@ pub struct ClientConfig {
     /// exponential backoff with jitter, keepalive timeouts, and snub
     /// detection.
     pub resilience: ResilienceConfig,
+    /// Behaviour strategy (the population zoo). [`Honest`] is the
+    /// protocol-faithful baseline with every hook an identity.
+    pub strategy: Box<dyn ClientStrategy>,
+    /// How a seed's service order weighs relationship history — the
+    /// knob deciding who serves freshly re-initiated mobile peers.
+    pub service_policy: ServicePolicy,
 }
 
 impl Default for ClientConfig {
@@ -95,6 +102,8 @@ impl Default for ClientConfig {
             dial_backoff: SimDuration::from_secs(30),
             dial_while_seeding: false,
             resilience: ResilienceConfig::default(),
+            strategy: Box::new(Honest),
+            service_policy: ServicePolicy::Standing,
         }
     }
 }
@@ -244,6 +253,12 @@ pub struct Client {
     credit: FastHashMap<PeerId, f64>,
     /// Bytes served per peer-id (the seed-side relationship history).
     served: FastHashMap<PeerId, f64>,
+    /// Last address each peer-id handshook from. Standing must survive
+    /// disconnects (the identity-retention contract), but entries whose
+    /// standing has fully decayed and whose address is Dead in the
+    /// lifecycle machine are evicted at rechoke — without this map a
+    /// churn-heavy run grows `credit`/`served` without bound.
+    id_addr: FastHashMap<PeerId, SimAddr>,
     actions: VecDeque<Action>,
     rng: SimRng,
     /// Dedicated stream for backoff jitter, forked from `rng` at
@@ -327,6 +342,7 @@ impl Client {
             choker: Choker::new(ChokerConfig::default()),
             credit: FastHashMap::default(),
             served: FastHashMap::default(),
+            id_addr: FastHashMap::default(),
             actions: VecDeque::new(),
             backoff_rng: rng.fork(0xBAC0FF),
             rng,
@@ -462,6 +478,25 @@ impl Client {
     /// Current credit for a peer-id.
     pub fn credit_of(&self, id: PeerId) -> f64 {
         self.credit.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Sizes of the per-peer-id standing tables:
+    /// `(credit, served, id_addr)`. The credit-eviction regression test
+    /// watches these stay bounded under churn.
+    pub fn standing_table_sizes(&self) -> (usize, usize, usize) {
+        (self.credit.len(), self.served.len(), self.id_addr.len())
+    }
+
+    /// The strategy class this client runs.
+    pub fn strategy_kind(&self) -> StrategyKind {
+        self.config.strategy.kind()
+    }
+
+    /// Strategy hook proxy: whether this client deliberately
+    /// regenerates its peer-id at re-initiation (worlds consult this
+    /// when deciding identity retention).
+    pub fn churns_identity(&self) -> bool {
+        self.config.strategy.churn_identity()
     }
 
     /// The resilience configuration in force.
@@ -745,6 +780,7 @@ impl Client {
                 }
                 if let Some(peer) = self.conns.get_mut(&conn) {
                     peer.peer_id = Some(peer_id);
+                    self.id_addr.insert(peer_id, peer.addr);
                 } else {
                     return; // closed while deduplicating
                 }
@@ -839,6 +875,7 @@ impl Client {
         let max_block = self.progress.piece_length().max(128 * 1024);
         if peer.am_choking
             || !self.config.allow_upload
+            || !self.config.strategy.uploads()
             || block.len > max_block
             || block.piece >= self.progress.num_pieces()
             || !self.progress.have().get(block.piece)
@@ -919,7 +956,16 @@ impl Client {
 
     /// The tracker answered an announce.
     pub fn on_tracker_response(&mut self, resp: &AnnounceResponse, now: SimTime) {
-        self.next_announce = now + resp.interval;
+        // Strategy hook: adversarial clients stretch or compress the
+        // tracker's schedule. The honest stretch (1.0) takes the exact
+        // legacy path so its announce timing is bit-for-bit unchanged.
+        let stretch = self.config.strategy.announce_stretch();
+        let interval = if stretch == 1.0 {
+            resp.interval
+        } else {
+            SimDuration::from_secs_f64(resp.interval.as_secs_f64() * stretch.max(0.0))
+        };
+        self.next_announce = now + interval;
         if !resp.min_interval.is_zero() {
             self.min_reannounce = resp.min_interval;
         }
@@ -1075,19 +1121,34 @@ impl Client {
         // relationships stay warm across brief absences, but the choke
         // order never freezes into a permanent oligarchy.
         const HISTORY_TAU_SECS: f64 = 300.0;
+        // Standing below this is treated as fully decayed: flushed to an
+        // exact zero so the eviction pass below can spot dead
+        // relationships (exponential decay alone never reaches 0.0).
+        const HISTORY_EPSILON: f64 = 1e-9;
         let dt = now.saturating_since(self.last_decay).as_secs_f64();
         self.last_decay = now;
         if dt > 0.0 {
             let factor = (-dt / HISTORY_TAU_SECS).exp();
             for v in self.credit.values_mut() {
                 *v *= factor;
+                if *v < HISTORY_EPSILON {
+                    *v = 0.0;
+                }
             }
             for v in self.served.values_mut() {
                 *v *= factor;
+                if *v < HISTORY_EPSILON {
+                    *v = 0.0;
+                }
             }
+            self.evict_dead_standing();
         }
         let seeding = self.is_seed();
-        let mut snapshots = Vec::with_capacity(self.conns.len());
+        // Seed-side service order: the policy decides how much standing
+        // (vs live push rate) counts — i.e. whether freshly re-initiated
+        // mobile peers wait behind proven relationships.
+        let seed_hist_weight = self.config.service_policy.history_weight(HISTORY_WEIGHT);
+        let mut speers = Vec::with_capacity(self.conns.len());
         let mut conns: Vec<(&ConnKey, &mut Peer)> = self.conns.iter_mut().collect();
         conns.sort_by_key(|(k, _)| **k);
         for (k, peer) in conns {
@@ -1098,7 +1159,7 @@ impl Client {
                     .peer_id
                     .map(|id| self.served.get(&id).copied().unwrap_or(0.0))
                     .unwrap_or(0.0);
-                peer.upload_est.rate(now) + hist * HISTORY_WEIGHT
+                peer.upload_est.rate(now) + hist * seed_hist_weight
             } else {
                 // Leeches favour peers by live download rate plus the
                 // accumulated peer-id credit.
@@ -1108,12 +1169,27 @@ impl Client {
                     .unwrap_or(0.0);
                 peer.download_est.rate(now) + hist * HISTORY_WEIGHT
             };
-            snapshots.push(PeerSnapshot {
+            speers.push(StrategyPeer {
                 key: *k,
+                peer_id: peer.peer_id,
                 interested: peer.peer_interested,
                 credit,
+                unchoked_us: !peer.peer_choking,
+                we_unchoked: !peer.am_choking,
             });
         }
+        // Strategy hooks: learn from this round's reciprocation state,
+        // then rewrite the credit the choker ranks by. Honest leaves the
+        // credit untouched.
+        self.config.strategy.observe_rechoke(&speers);
+        let snapshots: Vec<PeerSnapshot> = speers
+            .iter()
+            .map(|sp| PeerSnapshot {
+                key: sp.key,
+                interested: sp.interested,
+                credit: self.config.strategy.shape_credit(sp),
+            })
+            .collect();
         self.metrics.rechokes.inc();
         if self.metrics.handle.is_enabled() {
             // Per-peer tit-for-tat credit, refreshed once per rechoke so
@@ -1154,6 +1230,48 @@ impl Client {
                 });
             }
         }
+    }
+
+    /// Evicts fully-decayed standing for peers that are gone for good.
+    ///
+    /// The identity-retention contract says standing survives
+    /// disconnections — a returning peer-id must find its credit — so
+    /// only entries that are *both* at exactly zero (flushed by the
+    /// decay pass) *and* belong to a peer with no live connection whose
+    /// last-known address is Dead in the lifecycle machine are removed.
+    /// Without this, every peer-id ever handshaken leaves a permanent
+    /// `credit` entry and churn-heavy runs sweep an ever-growing map at
+    /// each rechoke.
+    fn evict_dead_standing(&mut self) {
+        let res = self.config.resilience;
+        let mut live: Vec<PeerId> = self.conns.values().filter_map(|p| p.peer_id).collect();
+        live.sort_unstable();
+        let addrs = &self.addrs;
+        let id_addr = &self.id_addr;
+        // An id is reclaimable when its address's dial budget is spent
+        // (or the address was never recorded, so nothing will re-dial
+        // it). The predicate is pure, so `retain`'s hash-order visit is
+        // commutative and replays identically.
+        let reclaimable = |id: &PeerId| -> bool {
+            if live.binary_search(id).is_ok() {
+                return false;
+            }
+            match id_addr.get(id).and_then(|a| addrs.get(a)) {
+                Some(st) => {
+                    !st.connected
+                        && (st.next_attempt == SimTime::MAX
+                            || (res.armed && st.failures >= res.max_dial_attempts))
+                }
+                None => true,
+            }
+        };
+        self.credit.retain(|id, v| *v != 0.0 || !reclaimable(id));
+        self.served.retain(|id, v| *v != 0.0 || !reclaimable(id));
+        let credit = &self.credit;
+        let served = &self.served;
+        self.id_addr.retain(|id, _| {
+            credit.contains_key(id) || served.contains_key(id) || live.binary_search(id).is_ok()
+        });
     }
 
     fn drain_uploads(&mut self, now: SimTime) {
@@ -1267,10 +1385,14 @@ impl Client {
             }
             // A snubbed peer keeps a single probe request outstanding:
             // enough to notice recovery, not enough to strand blocks.
+            // Otherwise the strategy may resize the configured pipeline
+            // (greedy clients widen it; Honest keeps it).
             let pipeline = if peer.snubbed {
                 1
             } else {
-                self.config.request_pipeline
+                self.config
+                    .strategy
+                    .pipeline_cap(self.config.request_pipeline)
             };
             let room = pipeline.saturating_sub(peer.inflight.len());
             if room == 0 {
@@ -1383,6 +1505,7 @@ impl Client {
         self.choker.snap(w);
         snap_hash_map(&self.credit, w);
         snap_hash_map(&self.served, w);
+        snap_hash_map(&self.id_addr, w);
         self.actions.snap(w);
         self.rng.snap(w);
         self.backoff_rng.snap(w);
@@ -1395,6 +1518,10 @@ impl Client {
         self.last_decay.snap(w);
         self.stats.snap(w);
         self.own_addr.snap(w);
+        // Strategy state rides at the tail: the config (and thus the
+        // strategy *type*) is rebuilt by the scenario's `make_config`,
+        // and `load` restores the instance's mutable state onto it.
+        self.config.strategy.save(w);
     }
 
     /// Restores state saved by [`Client::save_state`] onto a client freshly
@@ -1415,6 +1542,7 @@ impl Client {
         self.choker = Snap::unsnap(r);
         self.credit = unsnap_hash_map(r);
         self.served = unsnap_hash_map(r);
+        self.id_addr = unsnap_hash_map(r);
         self.actions = Snap::unsnap(r);
         self.rng = Snap::unsnap(r);
         self.backoff_rng = Snap::unsnap(r);
@@ -1427,6 +1555,7 @@ impl Client {
         self.last_decay = Snap::unsnap(r);
         self.stats = Snap::unsnap(r);
         self.own_addr = Snap::unsnap(r);
+        self.config.strategy.load(r);
     }
 }
 
@@ -2081,6 +2210,105 @@ mod tests {
         drain(&mut c);
         assert_eq!(c.is_snubbed(1), Some(false));
         assert!(c.conns.get(&1).unwrap().inflight.len() > 1);
+    }
+
+    #[test]
+    fn zero_credit_entries_evicted_once_peer_is_dead() {
+        let mut res = ResilienceConfig::armed();
+        res.max_dial_attempts = 2;
+        let mut c = armed_client(res);
+        establish(&mut c, SimTime::ZERO);
+        // The handshake minted a zero-credit entry for the peer-id.
+        assert_eq!(c.standing_table_sizes(), (1, 0, 1));
+        // Live connection: the entry survives rechokes even at zero.
+        c.on_tick(SimTime::from_secs(50));
+        drain(&mut c);
+        assert_eq!(c.standing_table_sizes(), (1, 0, 1));
+        // The peer disconnects and its dial budget is exhausted: Dead.
+        c.on_conn_closed(1, SimTime::from_secs(60));
+        c.on_conn_failed(SimAddr(5), SimTime::from_secs(61));
+        c.on_conn_failed(SimAddr(5), SimTime::from_secs(62));
+        assert_eq!(
+            c.lifecycle_of(SimAddr(5), SimTime::from_secs(62)),
+            Some(ConnState::Dead)
+        );
+        // The next rechoke reclaims the orphaned zero-credit entry.
+        c.on_tick(SimTime::from_secs(70));
+        drain(&mut c);
+        assert_eq!(c.standing_table_sizes(), (0, 0, 0), "dead zero-credit leak");
+    }
+
+    #[test]
+    fn earned_credit_survives_death_until_fully_decayed() {
+        let mut res = ResilienceConfig::armed();
+        res.max_dial_attempts = 2;
+        let mut c = armed_client(res);
+        establish(&mut c, SimTime::ZERO);
+        // The peer delivers a block: its id now holds real credit.
+        let block = c.conns.get(&1).unwrap().inflight[0];
+        c.on_message(1, Message::Piece(block), SimTime::from_secs(1));
+        drain(&mut c);
+        assert!(c.credit_of(PeerId([2; 20])) > 0.0);
+        // Disconnect and exhaust the dial budget: Dead, but standing is
+        // the identity-retention contract — the entry must survive while
+        // any credit remains, so a returning peer-id finds it.
+        c.on_conn_closed(1, SimTime::from_secs(2));
+        c.on_conn_failed(SimAddr(5), SimTime::from_secs(3));
+        c.on_conn_failed(SimAddr(5), SimTime::from_secs(4));
+        c.on_tick(SimTime::from_secs(100));
+        drain(&mut c);
+        assert!(
+            c.credit_of(PeerId([2; 20])) > 0.0,
+            "nonzero credit evicted while peer Dead"
+        );
+        assert_eq!(c.standing_table_sizes().0, 1);
+        // Hours later the credit has decayed through the flush epsilon:
+        // now (and only now) the dead entry is reclaimed.
+        c.on_tick(SimTime::from_secs(20_000));
+        drain(&mut c);
+        assert_eq!(c.standing_table_sizes(), (0, 0, 0), "decayed entry kept");
+    }
+
+    #[test]
+    fn free_rider_strategy_never_serves_requests() {
+        let mut c = Client::with_progress(
+            ClientConfig {
+                strategy: Box::new(crate::strategy::FreeRider),
+                ..ClientConfig::default()
+            },
+            InfoHash([1; 20]),
+            PeerId([7; 20]),
+            TorrentProgress::complete(PIECE, LEN),
+            SimAddr(1),
+            SimRng::new(9),
+        );
+        let now = SimTime::ZERO;
+        c.on_connected(1, SimAddr(5), now);
+        drain(&mut c);
+        c.on_message(
+            1,
+            Message::Handshake {
+                info_hash: InfoHash([1; 20]),
+                peer_id: PeerId([2; 20]),
+            },
+            now,
+        );
+        c.on_message(1, Message::Interested, now);
+        c.on_tick(SimTime::from_secs(1)); // rechoke may unchoke the peer
+        drain(&mut c);
+        c.on_message(
+            1,
+            Message::Request(c.progress.block_ref(0, 0)),
+            SimTime::from_secs(2),
+        );
+        let actions = drain(&mut c);
+        assert!(
+            sends_to(&actions, 1)
+                .iter()
+                .all(|m| !matches!(m, Message::Piece(_))),
+            "free rider served a request"
+        );
+        assert_eq!(c.stats().uploaded_payload, 0);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod picker;
 pub mod progress;
 pub mod rate;
 pub mod sha1;
+pub mod strategy;
 pub mod tracker;
 pub mod wire;
 
@@ -62,6 +63,10 @@ pub mod prelude {
     pub use crate::progress::{BlockOutcome, TorrentProgress};
     pub use crate::rate::{RateEstimator, TokenBucket};
     pub use crate::sha1::{Digest, Sha1};
+    pub use crate::strategy::{
+        BitTyrant, ClientStrategy, FreeRider, Honest, HybridMobility, PopulationMix,
+        ServicePolicy, StrategyKind, StrategyPeer,
+    };
     pub use crate::tracker::{AnnounceEvent, AnnounceResponse, Tracker, TrackerConfig};
     pub use crate::wire::{BlockRef, Message, BLOCK_SIZE};
 }

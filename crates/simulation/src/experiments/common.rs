@@ -1,7 +1,9 @@
 //! Shared scaffolding for the per-figure experiment drivers.
 
 use crate::flow::{Access, FlowWorld, TaskKey, TaskSpec, TorrentSpec};
+use bittorrent::client::ClientConfig;
 use bittorrent::metainfo::Metainfo;
+use bittorrent::strategy::PopulationMix;
 
 /// Builds a [`TorrentSpec`] for a synthetic file. Flow transfers use
 /// 64 KB blocks: coarse enough to bound event counts at swarm scale, fine
@@ -64,6 +66,42 @@ pub fn populate_swarm(
             spec.start_fraction =
                 Some(setup.leech_head_start * (i + 1) as f64 / (setup.leeches + 1) as f64);
         }
+        leeches.push(world.add_task(spec));
+    }
+    (seeds, leeches)
+}
+
+/// [`populate_swarm`], but background leeches draw their client strategy
+/// from `mix` (seeds stay honest — a free-riding seed is a no-op and
+/// would only dilute the mix over the peers that matter). Leech `i` gets
+/// `mix.build(mix_seed, i)`, so the assignment depends only on
+/// `(mix, mix_seed, i)`: the same leech keeps its class across share
+/// points when the sweep reuses `mix_seed`, which is what makes
+/// fraction sweeps nested rather than resampled.
+pub fn populate_swarm_with_mix(
+    world: &mut FlowWorld,
+    torrent: TorrentSpec,
+    setup: &SwarmSetup,
+    mix: PopulationMix,
+    mix_seed: u64,
+) -> (Vec<TaskKey>, Vec<TaskKey>) {
+    let mut seeds = Vec::new();
+    let mut leeches = Vec::new();
+    for _ in 0..setup.seeds {
+        let n = world.add_node(setup.seed_access);
+        seeds.push(world.add_task(TaskSpec::default_client(n, torrent, true)));
+    }
+    for i in 0..setup.leeches {
+        let n = world.add_node(setup.leech_access);
+        let mut spec = TaskSpec::default_client(n, torrent, false);
+        if setup.leech_head_start > 0.0 {
+            spec.start_fraction =
+                Some(setup.leech_head_start * (i + 1) as f64 / (setup.leeches + 1) as f64);
+        }
+        spec.make_config = Box::new(move || ClientConfig {
+            strategy: mix.build(mix_seed, i as u64),
+            ..ClientConfig::default()
+        });
         leeches.push(world.add_task(spec));
     }
     (seeds, leeches)

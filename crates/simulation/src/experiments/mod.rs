@@ -7,6 +7,8 @@
 
 pub mod ablations;
 pub mod common;
+pub mod erosion;
+pub mod exploit;
 pub mod faults;
 pub mod fig2;
 pub mod fig3;

@@ -12,6 +12,8 @@
 //! `all_figures` runs them, [`find`] resolves an exact name, and
 //! [`matching`] implements `--only`'s substring filter.
 
+use super::erosion::{self, EROSION_SEED};
+use super::exploit::{self, EXPLOIT_SEED};
 use super::fig2::{self, FIG2A_SEED, FIG2BC_SEED};
 use super::fig3::{self, FIG3AB_SEED, FIG3C_SEED};
 use super::fig4::{self, FIG4A_SEED, FIG4BC_SEED};
@@ -510,9 +512,61 @@ impl Experiment for Soak {
 // The registry
 // ---------------------------------------------------------------------
 
+struct Exploit;
+
+impl Experiment for Exploit {
+    fn name(&self) -> &'static str {
+        "exploit"
+    }
+    fn title(&self) -> &'static str {
+        "Identity-retention exploit probe — honest retainers vs deliberate id-churners"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        exploit::ExploitParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        exploit::ExploitParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        EXPLOIT_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = exploit::ExploitParams::from_params(params);
+        Report::single(exploit::exploit_table(&exploit::run_exploit_with(
+            &p, metrics, seed,
+        )))
+    }
+}
+
+struct Erosion;
+
+impl Experiment for Erosion {
+    fn name(&self) -> &'static str {
+        "erosion"
+    }
+    fn title(&self) -> &'static str {
+        "Free-rider erosion — fig8 retention lead vs adversarial population share"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        erosion::ErosionParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        erosion::ErosionParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        EROSION_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = erosion::ErosionParams::from_params(params);
+        Report::single(erosion::erosion_table(&erosion::run_erosion_with(
+            &p, metrics, seed,
+        )))
+    }
+}
+
 static EXPERIMENTS: &[&dyn Experiment] = &[
     &Fig2a, &Fig2bc, &Fig3ab, &Fig3c, &Fig4a, &Fig4bc, &Fig8a, &Fig8b, &Fig8c, &Fig9ab, &Fig9c,
-    &Scale, &Soak, &Service,
+    &Scale, &Soak, &Service, &Exploit, &Erosion,
 ];
 
 /// Every registered experiment, in the order `all_figures` runs them.

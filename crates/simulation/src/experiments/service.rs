@@ -1211,13 +1211,13 @@ mod tests {
         // The Legout regression: three upload classes, all fixed hosts
         // vs 30% mobile. Clustering must emerge in the fixed probe and
         // the mobile probe must not cluster harder than the fixed one.
-        // The probes get the quick preset's full 24-leech roster and a
-        // longer transfer: the coefficient is statistical, and a
-        // 12-leech probe is too noisy to order the two reliably.
+        // The probes get a 30-leech roster and a longer transfer: the
+        // coefficient is statistical, and a smaller probe is too noisy
+        // to order the two reliably.
         let p = tiny()
             .swarms(2)
             .total_peers(16)
-            .probe_leeches_per_class(8)
+            .probe_leeches_per_class(10)
             .probe_file_size(48 * 1024 * 1024)
             .flash_crowds(0)
             .horizon(SimDuration::from_secs(360));

@@ -821,8 +821,18 @@ impl FlowWorld {
         if task.spec.wp2p.role_reversal {
             config.dial_while_seeding = true;
         }
+        // Strategy handoff hooks: the strategy sees every (re)initiation
+        // (hybrids draw their per-generation degrade here, from the
+        // task's seeded stream), and may then insist on a fresh peer-id
+        // even when the world would have retained it — the deliberate
+        // address-churn exploit. Honest draws nothing and never churns,
+        // so legacy rng streams are untouched.
+        config
+            .strategy
+            .on_reinit(task.generation, &mut task.rng);
+        let churn = config.strategy.churn_identity();
         let fresh = PeerId::generate(PeerIdStyle::Random, addr, &mut task.rng);
-        let peer_id = if task.spec.wp2p.identity_retention {
+        let peer_id = if task.spec.wp2p.identity_retention && !churn {
             *task.identity.get_or_insert(fresh)
         } else {
             task.identity = Some(fresh);
@@ -1994,7 +2004,19 @@ impl FlowWorld {
 
     /// True when the task runs wP2P identity retention.
     pub fn task_retains_identity(&self, t: TaskKey) -> bool {
-        self.tasks[t].spec.wp2p.identity_retention
+        // Effective retention: a strategy that churns its identity on
+        // purpose (the exploit probe's BitTyrant::churning) opts out of
+        // the retained-peer-id contract even when the wP2P knob is on,
+        // so the identity-stability invariant must not bind it. Between
+        // teardown and re-initiation there is no live client; a freshly
+        // built config answers for it (churn intent is set at strategy
+        // construction).
+        let task = &self.tasks[t];
+        task.spec.wp2p.identity_retention
+            && match &task.client {
+                Some(c) => !c.churns_identity(),
+                None => !(task.spec.make_config)().strategy.churn_identity(),
+            }
     }
 
     /// Whether a node currently has connectivity.

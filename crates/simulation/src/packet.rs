@@ -436,7 +436,7 @@ impl PacketWorld {
     pub fn add_client(
         &mut self,
         node: PNodeKey,
-        config: ClientConfig,
+        mut config: ClientConfig,
         info_hash: InfoHash,
         piece_length: u32,
         length: u64,
@@ -445,6 +445,10 @@ impl PacketWorld {
     ) {
         let addr = self.nodes[node].addr;
         let mut rng = self.rng.fork(300 + node as u64);
+        // Strategy hook: PacketWorld clients live one generation, but a
+        // hybrid still draws its initial (possibly degraded) mode here.
+        // Honest draws nothing, keeping legacy streams bit-identical.
+        config.strategy.on_reinit(0, &mut rng);
         let peer_id = PeerId::generate(PeerIdStyle::Random, addr, &mut rng);
         let progress = if complete {
             TorrentProgress::complete(piece_length, length)
@@ -463,12 +467,13 @@ impl PacketWorld {
     pub fn add_client_with_progress(
         &mut self,
         node: PNodeKey,
-        config: ClientConfig,
+        mut config: ClientConfig,
         info_hash: InfoHash,
         progress: TorrentProgress,
     ) {
         let addr = self.nodes[node].addr;
         let mut rng = self.rng.fork(300 + node as u64);
+        config.strategy.on_reinit(0, &mut rng);
         let peer_id = PeerId::generate(PeerIdStyle::Random, addr, &mut rng);
         let mut client = Client::with_progress(config, info_hash, peer_id, progress, addr, rng);
         if self.metrics.is_enabled() {
