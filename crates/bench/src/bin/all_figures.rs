@@ -27,6 +27,11 @@
 //! trackers, a Zipf/Poisson workload with flash crowds, a mid-run
 //! tracker-shard outage, and the Legout clustering probes, emitting the
 //! `service.*` gauges and per-shard load series under `--metrics-out`.
+//! `--blackout <seed>` runs the dark-tracker-tier degradation ladder:
+//! replica failover plus overload shedding while the tier is up, then a
+//! permanent whole-tier blackout the swarm must survive on PEX gossip
+//! alone (100% completions asserted), emitting the `blackout.*` and
+//! `pex.*` gauges under `--metrics-out`.
 //! `--exploit <seed>` runs the identity-retention exploit probe (honest
 //! retainers vs deliberate id-churners) and emits the `exploit.*`
 //! gauges; `--erosion <seed>` sweeps the free-rider share of the
@@ -45,7 +50,9 @@
 //! A figure driver that panics is reported and the process exits
 //! nonzero after the remaining figures have run.
 
-use p2p_simulation::experiments::{erosion, exploit, faults, registry, search, service, soak};
+use p2p_simulation::experiments::{
+    blackout, erosion, exploit, faults, registry, search, service, soak,
+};
 use p2p_simulation::harness::{self, SweepStats};
 use simnet::fault::{FaultPlan, FaultPlanConfig};
 use simnet::time::{SimDuration, SimTime};
@@ -191,6 +198,26 @@ fn main() {
         service::service_table(&outcome).print();
         if let Some(dir) = &metrics_out {
             dump_metrics(dir, "service", &handle);
+        }
+        return;
+    }
+
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--blackout")
+        .and_then(|i| args.get(i + 1))
+    {
+        let seed: u64 = seed.parse().expect("--blackout takes a u64 seed");
+        let params = if quick {
+            blackout::BlackoutParams::quick()
+        } else {
+            blackout::BlackoutParams::paper()
+        };
+        let handle = metrics_handle(metrics_out.as_deref(), seed);
+        let outcome = blackout::run_blackout_with(&params, &handle, seed);
+        blackout::blackout_table(&outcome).print();
+        if let Some(dir) = &metrics_out {
+            dump_metrics(dir, "blackout", &handle);
         }
         return;
     }

@@ -106,6 +106,40 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                 && matches!(&rest[idx..], ".default_bytes" | ".retention_bytes")
         })
     }
+    // Dark-tier blackout gauges: per-arm completion/percentile/load
+    // figures, dark-over-on degradation ratios, and the swarm-wide PEX
+    // gossip counters are all finite non-negative, never null.
+    const BLACKOUT_ARMS: [&str; 4] = ["on_fixed", "on_mobile", "dark_fixed", "dark_mobile"];
+    fn is_blackout_gauge(name: &str) -> bool {
+        if matches!(
+            name,
+            "blackout.degradation.fixed" | "blackout.degradation.mobile"
+        ) {
+            return true;
+        }
+        name.strip_prefix("blackout.").is_some_and(|rest| {
+            rest.split_once('.').is_some_and(|(arm, field)| {
+                BLACKOUT_ARMS.contains(&arm)
+                    && matches!(
+                        field,
+                        "completed_frac"
+                            | "p50_s"
+                            | "p90_s"
+                            | "worst_s"
+                            | "announces"
+                            | "sheds"
+                            | "breaker_trips"
+                    )
+            })
+        })
+    }
+    fn is_pex_gauge(name: &str) -> bool {
+        name.strip_prefix("pex.").is_some_and(|rest| {
+            rest.split_once('.').is_some_and(|(arm, field)| {
+                BLACKOUT_ARMS.contains(&arm) && matches!(field, "sent" | "received" | "learned")
+            })
+        })
+    }
     if let Some(gauges) = top.get("gauges") {
         match gauges.as_obj() {
             Some(m) => {
@@ -146,6 +180,13 @@ fn validate(doc: &Json, errors: &mut Vec<String>) {
                     {
                         errors.push(format!(
                             "gauge \"{name}\": erosion gauge must be a finite non-negative number"
+                        ));
+                    }
+                    if (is_blackout_gauge(name) || is_pex_gauge(name))
+                        && !v.as_num().is_some_and(|x| x.is_finite() && x >= 0.0)
+                    {
+                        errors.push(format!(
+                            "gauge \"{name}\": blackout gauge must be a finite non-negative number"
                         ));
                     }
                 }
@@ -501,6 +542,36 @@ mod tests {
             errs.iter().any(|e| e.contains("erosion gauge")),
             "NaN erosion bytes accepted: {errs:?}"
         );
+    }
+
+    #[test]
+    fn enforces_the_blackout_contract() {
+        let good = metrics::handle::MetricsHandle::enabled(1);
+        good.gauge("blackout.dark_fixed.completed_frac").set(1.0);
+        good.gauge("blackout.dark_mobile.p50_s").set(212.0);
+        good.gauge("blackout.on_fixed.sheds").set(3.0);
+        good.gauge("blackout.on_mobile.breaker_trips").set(0.0);
+        good.gauge("blackout.degradation.fixed").set(1.42);
+        good.gauge("pex.dark_fixed.sent").set(310.0);
+        good.gauge("pex.dark_mobile.learned").set(14.0);
+        assert_eq!(errors_for(&good.to_json()), Vec::<String>::new());
+
+        let negative = metrics::handle::MetricsHandle::enabled(1);
+        negative.gauge("blackout.dark_fixed.p90_s").set(-1.0);
+        let errs = errors_for(&negative.to_json());
+        assert!(
+            errs.iter().any(|e| e.contains("blackout gauge")),
+            "negative blackout percentile accepted: {errs:?}"
+        );
+
+        // Non-finite gossip counters dump as null and must be flagged;
+        // a gauge outside the four arms only gets the generic rule.
+        let nan = metrics::handle::MetricsHandle::enabled(1);
+        nan.gauge("pex.on_fixed.received").set(f64::NAN);
+        nan.gauge("pex.someday.received").set(f64::NAN);
+        let errs = errors_for(&nan.to_json());
+        assert_eq!(errs.len(), 1, "exactly the arm gauge flagged: {errs:?}");
+        assert!(errs[0].contains("pex.on_fixed.received"));
     }
 
     #[test]

@@ -41,6 +41,35 @@ use std::collections::VecDeque;
 /// supplies a `min interval` of its own.
 const DEFAULT_MIN_REANNOUNCE: SimDuration = SimDuration::from_secs(60);
 
+/// Peer-exchange (PEX) gossip knobs — the third rung of the discovery
+/// degradation ladder. Disabled by default: a client with PEX off never
+/// emits a [`Message::Pex`], ignores any it receives, and keeps no
+/// gossip state, so legacy runs are byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PexConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// How often a round of PEX messages goes out to every peer.
+    pub gossip_interval: SimDuration,
+    /// Most entries per PEX message (freshest win).
+    pub max_entries: usize,
+    /// Entries older than this are pruned locally and dropped on
+    /// receipt — the staleness horizon that keeps a moved mobile host's
+    /// abandoned address from circulating forever.
+    pub max_age: SimDuration,
+}
+
+impl Default for PexConfig {
+    fn default() -> Self {
+        PexConfig {
+            enabled: false,
+            gossip_interval: SimDuration::from_secs(60),
+            max_entries: 25,
+            max_age: SimDuration::from_secs(600),
+        }
+    }
+}
+
 /// Client tunables.
 #[derive(Debug)]
 pub struct ClientConfig {
@@ -85,6 +114,8 @@ pub struct ClientConfig {
     /// How a seed's service order weighs relationship history — the
     /// knob deciding who serves freshly re-initiated mobile peers.
     pub service_policy: ServicePolicy,
+    /// Peer-exchange gossip (tracker-free discovery fallback).
+    pub pex: PexConfig,
 }
 
 impl Default for ClientConfig {
@@ -104,6 +135,7 @@ impl Default for ClientConfig {
             resilience: ResilienceConfig::default(),
             strategy: Box::new(Honest),
             service_policy: ServicePolicy::Standing,
+            pex: PexConfig::default(),
         }
     }
 }
@@ -191,6 +223,14 @@ pub struct ClientStats {
     pub snubs: u64,
     /// Connections closed for total silence (armed lifecycle only).
     pub keepalive_closes: u64,
+    /// PEX messages sent (one per peer per gossip round).
+    pub pex_sent: u64,
+    /// PEX messages received and processed.
+    pub pex_received: u64,
+    /// Addresses first learned through PEX (not the tracker).
+    pub pex_addrs_learned: u64,
+    /// Times the announce circuit breaker opened.
+    pub breaker_trips: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -279,6 +319,16 @@ pub struct Client {
     min_reannounce: SimDuration,
     /// When relationship history was last decayed.
     last_decay: SimTime,
+    /// PEX freshness book: the last time each address was known good —
+    /// directly (a handshake) or transitively (a gossiped entry whose
+    /// age dates it). Entries past `pex.max_age` are pruned at gossip
+    /// time. Empty whenever PEX is disabled.
+    gossip_age: FastHashMap<SimAddr, SimTime>,
+    /// Next PEX gossip round (`MAX` when PEX is disabled).
+    next_pex: SimTime,
+    /// Consecutive announce failures (reset by any tracker response);
+    /// drives the announce circuit breaker.
+    announce_fail_streak: u32,
     stats: ClientStats,
     /// Own current address (not dialled, filtered from tracker responses).
     own_addr: SimAddr,
@@ -329,6 +379,11 @@ impl Client {
             config.upload_limit.unwrap_or(1.0).max(1.0),
         );
         let num_pieces = progress.num_pieces() as usize;
+        let next_pex = if config.pex.enabled {
+            SimTime::ZERO
+        } else {
+            SimTime::MAX
+        };
         let mut client = Client {
             config,
             info_hash,
@@ -353,6 +408,9 @@ impl Client {
             last_announce: SimTime::ZERO,
             min_reannounce: DEFAULT_MIN_REANNOUNCE,
             last_decay: SimTime::ZERO,
+            gossip_age: FastHashMap::default(),
+            next_pex,
+            announce_fail_streak: 0,
             stats: ClientStats::default(),
             own_addr,
             metrics: ClientMetrics::default(),
@@ -502,6 +560,48 @@ impl Client {
     /// The resilience configuration in force.
     pub fn resilience(&self) -> &ResilienceConfig {
         &self.config.resilience
+    }
+
+    /// Whether the announce circuit breaker is currently open (the
+    /// consecutive-failure streak reached the threshold and no tracker
+    /// response has closed it since). Always `false` when the breaker
+    /// is disabled. While open, only the scheduled cooloff probe
+    /// announces — the empty-swarm early re-announce is suppressed.
+    pub fn breaker_is_open(&self) -> bool {
+        let res = &self.config.resilience;
+        res.breaker_threshold > 0 && self.announce_fail_streak >= res.breaker_threshold
+    }
+
+    /// Consecutive failed announces since the last tracker response.
+    pub fn announce_fail_streak(&self) -> u32 {
+        self.announce_fail_streak
+    }
+
+    /// The early re-announce floor currently in force.
+    pub fn min_reannounce(&self) -> SimDuration {
+        self.min_reannounce
+    }
+
+    /// Whether PEX gossip is enabled on this session.
+    pub fn pex_enabled(&self) -> bool {
+        self.config.pex.enabled
+    }
+
+    /// The PEX freshness book, sorted by address: `(addr, last known
+    /// good)`. Deterministic — invariant checks and tests diff it.
+    pub fn pex_book(&self) -> Vec<(SimAddr, SimTime)> {
+        let mut v: Vec<(SimAddr, SimTime)> = self.gossip_age.iter().map(|(a, t)| (*a, *t)).collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
+    }
+
+    /// Every address this client knows how to dial, sorted. PEX state
+    /// persistence hands this to the re-initiated task after a hand-off
+    /// so a moved host can rejoin a tracker-dark swarm.
+    pub fn known_addrs(&self) -> Vec<SimAddr> {
+        let mut v: Vec<SimAddr> = self.addrs.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// Whether a connection is currently snubbed (armed lifecycle only).
@@ -778,11 +878,22 @@ impl Client {
                 for k in stale {
                     self.close_conn(k);
                 }
-                if let Some(peer) = self.conns.get_mut(&conn) {
+                let addr = if let Some(peer) = self.conns.get_mut(&conn) {
                     peer.peer_id = Some(peer_id);
                     self.id_addr.insert(peer_id, peer.addr);
+                    peer.addr
                 } else {
                     return; // closed while deduplicating
+                };
+                if self.config.pex.enabled {
+                    // A completed handshake is first-hand liveness
+                    // evidence — age 0 in the gossip book. This is also
+                    // how a moved mobile host's *new* address enters
+                    // circulation: it dials from the new address, the
+                    // handshake carries its retained peer-id (standing
+                    // re-attaches via `id_addr`/`credit`), and the next
+                    // gossip round spreads the new address.
+                    self.gossip_age.insert(addr, now);
                 }
                 self.credit.entry(peer_id).or_insert(0.0);
                 self.choker.invalidate();
@@ -861,6 +972,107 @@ impl Client {
                     }
                 }
             }
+            Message::Pex { peers } => self.on_pex(peers, now),
+        }
+    }
+
+    /// Merges a received PEX message into the freshness book and the
+    /// dial address book. Second-hand evidence only ever *improves*
+    /// freshness (max-merge), and a [`ConnState::Dead`] address is
+    /// revived only by evidence strictly newer than what buried it —
+    /// otherwise every gossip round would resurrect a moved mobile
+    /// host's abandoned address and re-burn the dial budget on it.
+    fn on_pex(&mut self, peers: Vec<(SimAddr, u32)>, now: SimTime) {
+        if !self.config.pex.enabled {
+            return; // gossip-deaf: legacy behaviour, byte-identical
+        }
+        self.stats.pex_received += 1;
+        let res = self.config.resilience;
+        let max_age = self.config.pex.max_age;
+        for (addr, age) in peers {
+            if addr == self.own_addr {
+                continue;
+            }
+            let age = SimDuration::from_secs(u64::from(age));
+            if age > max_age {
+                continue; // past the staleness horizon on arrival
+            }
+            let fresh_at = if now.as_micros() >= age.as_micros() {
+                now - age
+            } else {
+                SimTime::ZERO
+            };
+            let newer = match self.gossip_age.get(&addr) {
+                Some(&prev) => fresh_at > prev,
+                None => true,
+            };
+            if !newer {
+                continue;
+            }
+            self.gossip_age.insert(addr, fresh_at);
+            match self.addrs.get_mut(&addr) {
+                None => {
+                    self.stats.pex_addrs_learned += 1;
+                    self.addrs.insert(
+                        addr,
+                        AddrState {
+                            failures: 0,
+                            next_attempt: now,
+                            connected: false,
+                        },
+                    );
+                }
+                Some(st) => {
+                    let dead = st.next_attempt == SimTime::MAX
+                        || (res.armed && st.failures >= res.max_dial_attempts);
+                    if dead && !st.connected {
+                        st.failures = 0;
+                        st.next_attempt = now;
+                    }
+                }
+            }
+        }
+        self.try_connects(now);
+    }
+
+    /// Emits one PEX round: refreshes live connections to age 0, prunes
+    /// the book past the staleness horizon, and sends the freshest
+    /// `max_entries` (address-sorted on the wire) to every peer.
+    fn gossip_pex(&mut self, now: SimTime) {
+        let pex = self.config.pex;
+        self.next_pex = now + pex.gossip_interval;
+        for addr in self.connected_addrs() {
+            self.gossip_age.insert(addr, now);
+        }
+        let own = self.own_addr;
+        // Pure predicate: hash-order retain is commutative and replays
+        // identically.
+        self.gossip_age
+            .retain(|a, t| *a != own && now.saturating_since(*t) <= pex.max_age);
+        let mut entries: Vec<(SimAddr, u32)> = self
+            .gossip_age
+            .iter()
+            .map(|(a, t)| {
+                let age = now.saturating_since(*t).as_micros() / 1_000_000;
+                (*a, u32::try_from(age).unwrap_or(u32::MAX))
+            })
+            .collect();
+        // Freshest first (address as tie-break), capped, then back to
+        // the wire's address order.
+        entries.sort_unstable_by_key(|&(a, age)| (age, a));
+        entries.truncate(pex.max_entries);
+        entries.sort_unstable_by_key(|e| e.0);
+        if entries.is_empty() {
+            return;
+        }
+        for conn in self.connections() {
+            self.stats.pex_sent += 1;
+            self.actions.push_back(Action::Send {
+                conn,
+                msg: Message::Pex {
+                    peers: entries.clone(),
+                },
+            });
         }
     }
 
@@ -966,12 +1178,41 @@ impl Client {
             SimDuration::from_secs_f64(resp.interval.as_secs_f64() * stretch.max(0.0))
         };
         self.next_announce = now + interval;
-        if !resp.min_interval.is_zero() {
-            self.min_reannounce = resp.min_interval;
-        }
+        self.announce_fail_streak = 0;
+        // The tracker owns re-announce pacing: a non-zero `min interval`
+        // replaces ours, and a zero one ("unspecified") restores the
+        // default floor — a tracker that once tightened the floor and
+        // later relaxed it must not leave clients pinned forever.
+        self.min_reannounce = if resp.min_interval.is_zero() {
+            DEFAULT_MIN_REANNOUNCE
+        } else {
+            resp.min_interval
+        };
         let addrs: Vec<SimAddr> = resp.peers.iter().map(|&(_, a)| a).collect();
         self.seed_known_addrs(&addrs, now);
         self.try_connects(now);
+    }
+
+    /// An announce could not be served (every routable shard is down).
+    /// Worlds call this *instead of* synthesizing a retry response when
+    /// the circuit breaker is armed (`breaker_threshold > 0`): the first
+    /// failures climb the resilience announce-backoff ladder, and once
+    /// the streak reaches the threshold the breaker opens — the next
+    /// probe waits a full `breaker_cooloff`, so a dead tier is polled,
+    /// not hammered, while PEX keeps discovery alive.
+    pub fn on_announce_failed(&mut self, now: SimTime) {
+        let res = self.config.resilience;
+        self.announce_fail_streak = self.announce_fail_streak.saturating_add(1);
+        let delay = if res.breaker_threshold > 0 && self.announce_fail_streak >= res.breaker_threshold
+        {
+            self.stats.breaker_trips += 1;
+            res.breaker_cooloff
+        } else {
+            res.announce
+                .delay(self.announce_fail_streak - 1, &mut self.backoff_rng)
+        };
+        self.last_announce = now;
+        self.next_announce = now + delay.max(self.min_reannounce);
     }
 
     // ------------------------------------------------------------------
@@ -993,11 +1234,16 @@ impl Client {
         } else if self.conns.is_empty()
             && self.next_announce != SimTime::MAX
             && now.saturating_since(self.last_announce) >= self.min_reannounce
+            && !self.breaker_is_open()
         {
             self.last_announce = now;
             self.actions.push_back(Action::Announce {
                 event: AnnounceEvent::Periodic,
             });
+        }
+        // PEX gossip round (next_pex is MAX whenever PEX is disabled).
+        if now >= self.next_pex {
+            self.gossip_pex(now);
         }
         // Armed lifecycle: silence closes, keepalives, snub detection.
         if self.config.resilience.armed {
@@ -1518,6 +1764,9 @@ impl Client {
         self.last_decay.snap(w);
         self.stats.snap(w);
         self.own_addr.snap(w);
+        snap_hash_map(&self.gossip_age, w);
+        self.next_pex.snap(w);
+        w.put_u32(self.announce_fail_streak);
         // Strategy state rides at the tail: the config (and thus the
         // strategy *type*) is rebuilt by the scenario's `make_config`,
         // and `load` restores the instance's mutable state onto it.
@@ -1555,6 +1804,9 @@ impl Client {
         self.last_decay = Snap::unsnap(r);
         self.stats = Snap::unsnap(r);
         self.own_addr = Snap::unsnap(r);
+        self.gossip_age = unsnap_hash_map(r);
+        self.next_pex = Snap::unsnap(r);
+        self.announce_fail_streak = r.get_u32();
         self.config.strategy.load(r);
     }
 }
@@ -1628,6 +1880,10 @@ impl Snap for ClientStats {
         w.put_u64(self.duplicate_blocks);
         w.put_u64(self.snubs);
         w.put_u64(self.keepalive_closes);
+        w.put_u64(self.pex_sent);
+        w.put_u64(self.pex_received);
+        w.put_u64(self.pex_addrs_learned);
+        w.put_u64(self.breaker_trips);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Self {
         ClientStats {
@@ -1638,6 +1894,10 @@ impl Snap for ClientStats {
             duplicate_blocks: r.get_u64(),
             snubs: r.get_u64(),
             keepalive_closes: r.get_u64(),
+            pex_sent: r.get_u64(),
+            pex_received: r.get_u64(),
+            pex_addrs_learned: r.get_u64(),
+            breaker_trips: r.get_u64(),
         }
     }
 }
@@ -2378,5 +2638,236 @@ mod tests {
         c.on_connected(2, SimAddr(5), now);
         drain(&mut c);
         assert_eq!(c.addr_states()[0].1, 0, "success resets the ladder");
+    }
+
+    // ------------------------------------------------------------------
+    // PEX gossip and the announce circuit breaker
+    // ------------------------------------------------------------------
+
+    fn pex_client(pex: PexConfig) -> Client {
+        Client::with_progress(
+            ClientConfig {
+                pex,
+                ..ClientConfig::default()
+            },
+            InfoHash([1; 20]),
+            PeerId([7; 20]),
+            TorrentProgress::new(PIECE, LEN),
+            SimAddr(1),
+            SimRng::new(9),
+        )
+    }
+
+    fn pex_sends(actions: &[Action]) -> Vec<(ConnKey, Vec<(SimAddr, u32)>)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    conn,
+                    msg: Message::Pex { peers },
+                } => Some((*conn, peers.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pex_gossip_carries_fresh_connected_peers() {
+        let mut c = pex_client(PexConfig {
+            enabled: true,
+            ..PexConfig::default()
+        });
+        establish(&mut c, SimTime::ZERO);
+        c.on_tick(SimTime::from_secs(1));
+        let gossip = pex_sends(&drain(&mut c));
+        assert_eq!(gossip.len(), 1, "one PEX per connection per round");
+        // Live connections are refreshed to age 0 at gossip time.
+        assert_eq!(gossip[0].1, vec![(SimAddr(5), 0)]);
+        // The next round waits out the gossip interval.
+        c.on_tick(SimTime::from_secs(2));
+        assert!(pex_sends(&drain(&mut c)).is_empty());
+        c.on_tick(SimTime::from_secs(61));
+        assert_eq!(pex_sends(&drain(&mut c)).len(), 1);
+    }
+
+    #[test]
+    fn received_pex_seeds_dials_and_freshness() {
+        let mut c = pex_client(PexConfig {
+            enabled: true,
+            ..PexConfig::default()
+        });
+        let now = SimTime::from_secs(100);
+        establish(&mut c, now);
+        c.on_message(
+            1,
+            Message::Pex {
+                peers: vec![(SimAddr(10), 40), (SimAddr(1), 0)],
+            },
+            now,
+        );
+        let actions = drain(&mut c);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Connect { addr, .. } if *addr == SimAddr(10))),
+            "gossiped address must be dialled"
+        );
+        assert_eq!(c.stats().pex_addrs_learned, 1);
+        // Our own address never enters the book; the gossiped entry is
+        // dated by its age.
+        assert_eq!(
+            c.pex_book(),
+            vec![(SimAddr(5), now), (SimAddr(10), SimTime::from_secs(60))]
+        );
+    }
+
+    #[test]
+    fn pex_disabled_ignores_gossip() {
+        let mut c = client(false);
+        let now = SimTime::ZERO;
+        establish(&mut c, now);
+        c.on_message(
+            1,
+            Message::Pex {
+                peers: vec![(SimAddr(10), 0)],
+            },
+            now,
+        );
+        let actions = drain(&mut c);
+        assert!(actions.iter().all(|a| !matches!(a, Action::Connect { .. })));
+        assert!(c.pex_book().is_empty());
+        assert_eq!(c.stats().pex_received, 0);
+        // And a disabled client never gossips.
+        c.on_tick(SimTime::from_secs(3600));
+        assert!(pex_sends(&drain(&mut c)).is_empty());
+    }
+
+    #[test]
+    fn stale_pex_entries_are_dropped_and_dead_addrs_need_newer_evidence() {
+        let mut res = ResilienceConfig::armed();
+        res.max_dial_attempts = 2;
+        let mut c = Client::with_progress(
+            ClientConfig {
+                resilience: res,
+                pex: PexConfig {
+                    enabled: true,
+                    ..PexConfig::default()
+                },
+                ..ClientConfig::default()
+            },
+            InfoHash([1; 20]),
+            PeerId([7; 20]),
+            TorrentProgress::new(PIECE, LEN),
+            SimAddr(1),
+            SimRng::new(9),
+        );
+        let now = SimTime::from_secs(1000);
+        establish(&mut c, now);
+        // Past the staleness horizon: never enters the book.
+        c.on_message(
+            1,
+            Message::Pex {
+                peers: vec![(SimAddr(20), 700)],
+            },
+            now,
+        );
+        drain(&mut c);
+        assert_eq!(c.pex_book(), vec![(SimAddr(5), now)]);
+        // Learn and kill an address: two failed dials exhaust the budget.
+        c.on_message(
+            1,
+            Message::Pex {
+                peers: vec![(SimAddr(30), 10)],
+            },
+            now,
+        );
+        drain(&mut c);
+        c.on_conn_failed(SimAddr(30), now);
+        c.on_conn_failed(SimAddr(30), now);
+        assert_eq!(c.lifecycle_of(SimAddr(30), now), Some(ConnState::Dead));
+        // Re-gossip with *older* freshness: stays dead, no dial.
+        c.on_message(
+            1,
+            Message::Pex {
+                peers: vec![(SimAddr(30), 20)],
+            },
+            now,
+        );
+        drain(&mut c);
+        assert_eq!(c.lifecycle_of(SimAddr(30), now), Some(ConnState::Dead));
+        // Strictly newer evidence revives it.
+        let later = SimTime::from_secs(1060);
+        c.on_message(
+            1,
+            Message::Pex {
+                peers: vec![(SimAddr(30), 0)],
+            },
+            later,
+        );
+        let actions = drain(&mut c);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Connect { addr, .. } if *addr == SimAddr(30))));
+    }
+
+    #[test]
+    fn breaker_opens_after_streak_and_closes_on_response() {
+        let res = ResilienceConfig {
+            breaker_threshold: 2,
+            breaker_cooloff: SimDuration::from_secs(300),
+            ..ResilienceConfig::default()
+        };
+        let mut c = armed_client(res);
+        c.start(SimTime::ZERO);
+        drain(&mut c);
+        let now = SimTime::from_secs(10);
+        // First failure: the backoff ladder, breaker still closed.
+        c.on_announce_failed(now);
+        assert!(!c.breaker_is_open());
+        assert_eq!(c.announce_fail_streak(), 1);
+        // Second failure: the breaker opens and parks the next probe a
+        // full cooloff away.
+        c.on_announce_failed(now);
+        assert!(c.breaker_is_open());
+        assert_eq!(c.stats().breaker_trips, 1);
+        // While open, the empty-swarm early re-announce is suppressed…
+        c.on_tick(SimTime::from_secs(200));
+        assert!(drain(&mut c)
+            .iter()
+            .all(|a| !matches!(a, Action::Announce { .. })));
+        // …but the scheduled cooloff probe still goes out.
+        c.on_tick(SimTime::from_secs(310));
+        assert!(drain(&mut c)
+            .iter()
+            .any(|a| matches!(a, Action::Announce { .. })));
+        // A served announce closes the breaker.
+        let resp = AnnounceResponse {
+            interval: SimDuration::from_mins(15),
+            min_interval: SimDuration::ZERO,
+            peers: vec![],
+            complete: 0,
+            incomplete: 0,
+        };
+        c.on_tracker_response(&resp, SimTime::from_secs(311));
+        assert!(!c.breaker_is_open());
+        assert_eq!(c.announce_fail_streak(), 0);
+    }
+
+    #[test]
+    fn min_reannounce_resets_to_default_on_zero() {
+        let mut c = client(false);
+        let resp = |min: SimDuration| AnnounceResponse {
+            interval: SimDuration::from_mins(15),
+            min_interval: min,
+            peers: vec![],
+            complete: 0,
+            incomplete: 0,
+        };
+        c.on_tracker_response(&resp(SimDuration::from_secs(240)), SimTime::ZERO);
+        assert_eq!(c.min_reannounce(), SimDuration::from_secs(240));
+        // The tracker relaxing back to "unspecified" must not leave the
+        // old stricter floor pinned.
+        c.on_tracker_response(&resp(SimDuration::ZERO), SimTime::from_secs(1));
+        assert_eq!(c.min_reannounce(), DEFAULT_MIN_REANNOUNCE);
     }
 }

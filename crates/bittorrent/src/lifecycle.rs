@@ -128,6 +128,13 @@ pub struct ResilienceConfig {
     pub keepalive_timeout: SimDuration,
     /// Jitter spread applied to tracker re-announce intervals.
     pub reannounce_jitter: f64,
+    /// Announce circuit breaker: after this many *consecutive* announce
+    /// failures the client stops climbing the backoff ladder and parks
+    /// the next announce a full `breaker_cooloff` away — a dark shard is
+    /// probed, not hammered. `0` disables the breaker (legacy retries).
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before the next probe announce.
+    pub breaker_cooloff: SimDuration,
 }
 
 impl Default for ResilienceConfig {
@@ -150,6 +157,8 @@ impl Default for ResilienceConfig {
             keepalive_interval: SimDuration::from_secs(60),
             keepalive_timeout: SimDuration::from_secs(150),
             reannounce_jitter: 0.0,
+            breaker_threshold: 0,
+            breaker_cooloff: SimDuration::from_secs(300),
         }
     }
 }
@@ -243,6 +252,7 @@ mod tests {
         assert_eq!(c.announce.jitter, 0.0);
         assert_eq!(c.reannounce_jitter, 0.0);
         assert_eq!(c.max_dial_attempts, u32::MAX);
+        assert_eq!(c.breaker_threshold, 0, "breaker must default off");
         // The unarmed announce policy's first retry matches the legacy
         // fixed 60 s outage retry.
         let mut rng = SimRng::new(1);

@@ -39,6 +39,18 @@ pub struct TrackerConfig {
     /// default) draws nothing from the RNG — byte-identical to the
     /// fixed-interval behaviour.
     pub interval_jitter: f64,
+    /// Overload shedding: announces a shard absorbs per
+    /// [`TrackerConfig::shed_window`] before it pushes back. Past the
+    /// capacity, responses carry `interval`/`min_interval` scaled by the
+    /// overload ratio (capped at [`TrackerConfig::shed_max_scale`]), so
+    /// a flash crowd degrades announce *freshness* instead of toppling
+    /// the shard. `0` (the default) disables shedding — responses are
+    /// byte-identical to the unshedded tracker.
+    pub shed_capacity: u64,
+    /// Load-accounting window for [`TrackerConfig::shed_capacity`].
+    pub shed_window: SimDuration,
+    /// Upper bound on the shedding interval multiplier.
+    pub shed_max_scale: u32,
 }
 
 impl Default for TrackerConfig {
@@ -49,6 +61,9 @@ impl Default for TrackerConfig {
             max_peers_returned: 50,
             expiry_intervals: 2,
             interval_jitter: 0.0,
+            shed_capacity: 0,
+            shed_window: SimDuration::from_secs(60),
+            shed_max_scale: 8,
         }
     }
 }
@@ -199,6 +214,12 @@ pub struct Tracker {
     order: Vec<InfoHash>,
     /// Next `order` index the sweep visits.
     sweep_cursor: usize,
+    /// Start of the current load-accounting window (overload shedding).
+    window_start: SimTime,
+    /// Announces absorbed in the current window.
+    window_count: u64,
+    /// Responses that went out with a shedding-scaled interval.
+    sheds: u64,
 }
 
 impl Tracker {
@@ -211,6 +232,9 @@ impl Tracker {
             downloads: HashMap::new(),
             order: Vec::new(),
             sweep_cursor: 0,
+            window_start: SimTime::ZERO,
+            window_count: 0,
+            sheds: 0,
         }
     }
 
@@ -222,6 +246,31 @@ impl Tracker {
     /// Total announces served.
     pub fn announces(&self) -> u64 {
         self.announces
+    }
+
+    /// Responses served with a shedding-scaled interval.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Advances the load window and returns the interval multiplier for
+    /// the announce being served: `1` while within capacity (or with
+    /// shedding off), else the overload ratio capped at
+    /// `shed_max_scale`. Pure arithmetic — no RNG.
+    fn shed_scale(&mut self, now: SimTime) -> u64 {
+        if now.saturating_since(self.window_start) >= self.config.shed_window {
+            self.window_start = now;
+            self.window_count = 0;
+        }
+        self.window_count += 1;
+        let cap = self.config.shed_capacity;
+        if cap == 0 || self.window_count <= cap {
+            return 1;
+        }
+        self.sheds += 1;
+        self.window_count
+            .div_ceil(cap)
+            .min(u64::from(self.config.shed_max_scale.max(1)))
     }
 
     /// Current size of a swarm (after expiry at `now`).
@@ -370,9 +419,12 @@ impl Tracker {
                 rng.jitter(base.as_secs_f64(), self.config.interval_jitter),
             )
         };
+        // Overload shedding: past capacity the response stretches both
+        // pacing knobs, so the crowd thins its own announce rate.
+        let scale = self.shed_scale(now);
         AnnounceResponse {
-            interval,
-            min_interval: self.config.min_interval,
+            interval: interval.saturating_mul(scale),
+            min_interval: self.config.min_interval.saturating_mul(scale),
             peers: others,
             complete,
             incomplete,
@@ -494,6 +546,34 @@ pub fn shard_of(info_hash: InfoHash, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// Deterministic *secondary* (replica) shard for an info-hash:
+/// an independent second hash (FNV-1a with the alternate 64-bit prime
+/// offset basis, same avalanche) reduced modulo `shards − 1` and then
+/// skipped past the primary, so the secondary is **guaranteed distinct**
+/// from [`shard_of`] whenever the tier has more than one shard. With a
+/// single shard there is nowhere else to go and the primary is returned.
+pub fn secondary_shard_of(info_hash: InfoHash, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    if shards == 1 {
+        return 0;
+    }
+    let primary = shard_of(info_hash, shards);
+    let mut h: u64 = 0x6c62_272e_07bb_0142;
+    for &b in &info_hash.0 {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    let slot = (h % (shards as u64 - 1)) as usize;
+    if slot >= primary {
+        slot + 1
+    } else {
+        slot
+    }
+}
+
 /// A tier of tracker shards, each owning a deterministic slice of the
 /// info-hash space (see [`shard_of`]). Routing is transparent to
 /// callers: the tier exposes the same announce/scrape surface as a
@@ -527,6 +607,31 @@ impl TrackerTier {
         shard_of(info_hash, self.shards.len())
     }
 
+    /// The replica shard for `info_hash` — distinct from
+    /// [`TrackerTier::shard_for`] whenever the tier has more than one
+    /// shard (see [`secondary_shard_of`]).
+    pub fn secondary_shard_for(&self, info_hash: InfoHash) -> usize {
+        secondary_shard_of(info_hash, self.shards.len())
+    }
+
+    /// Failover routing: the shard an announce for `info_hash` should
+    /// land on. The primary while it is up; with `replicas` enabled, the
+    /// secondary while the primary is dark; `None` when every eligible
+    /// shard is down (the announce fails and the client backs off).
+    pub fn route_for(&self, info_hash: InfoHash, replicas: bool) -> Option<usize> {
+        let primary = self.shard_for(info_hash);
+        if !self.down[primary] {
+            return Some(primary);
+        }
+        if replicas {
+            let secondary = self.secondary_shard_for(info_hash);
+            if !self.down[secondary] {
+                return Some(secondary);
+            }
+        }
+        None
+    }
+
     /// The configuration in use (shared by every shard).
     pub fn config(&self) -> &TrackerConfig {
         self.shards[0].config()
@@ -543,6 +648,23 @@ impl TrackerTier {
     ) -> AnnounceResponse {
         let s = self.shard_for(req.info_hash);
         self.shards[s].announce(req, now, rng)
+    }
+
+    /// An announce routed to an explicit shard — the failover path, where
+    /// the caller picked the shard via [`TrackerTier::route_for`].
+    pub fn announce_on(
+        &mut self,
+        shard: usize,
+        req: &AnnounceRequest,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> AnnounceResponse {
+        self.shards[shard].announce(req, now, rng)
+    }
+
+    /// Shed responses served by one shard (overload-shedding telemetry).
+    pub fn shard_sheds(&self, shard: usize) -> u64 {
+        self.shards[shard].sheds()
     }
 
     /// Current size of a swarm (after expiry at `now`).
@@ -593,6 +715,9 @@ impl Snap for TrackerConfig {
         w.put_usize(self.max_peers_returned);
         w.put_u32(self.expiry_intervals);
         w.put_f64(self.interval_jitter);
+        w.put_u64(self.shed_capacity);
+        self.shed_window.snap(w);
+        w.put_u32(self.shed_max_scale);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Self {
         TrackerConfig {
@@ -601,6 +726,9 @@ impl Snap for TrackerConfig {
             max_peers_returned: r.get_usize(),
             expiry_intervals: r.get_u32(),
             interval_jitter: r.get_f64(),
+            shed_capacity: r.get_u64(),
+            shed_window: Snap::unsnap(r),
+            shed_max_scale: r.get_u32(),
         }
     }
 }
@@ -674,6 +802,9 @@ impl Snap for Tracker {
         snap_hash_map(&self.downloads, w);
         self.order.snap(w);
         w.put_usize(self.sweep_cursor);
+        self.window_start.snap(w);
+        w.put_u64(self.window_count);
+        w.put_u64(self.sheds);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Self {
         Tracker {
@@ -683,6 +814,9 @@ impl Snap for Tracker {
             downloads: unsnap_hash_map(r),
             order: Snap::unsnap(r),
             sweep_cursor: r.get_usize(),
+            window_start: Snap::unsnap(r),
+            window_count: r.get_u64(),
+            sheds: r.get_u64(),
         }
     }
 }
@@ -1099,6 +1233,144 @@ mod tests {
         }
         tier.set_shard_down(2, false);
         assert!(hashes.iter().all(|&ih| !tier.is_down_for(ih)));
+    }
+
+    #[test]
+    fn secondary_shard_differs_for_every_hash() {
+        for shards in [2usize, 3, 4, 7, 16] {
+            let mut secondary_hit = vec![0usize; shards];
+            for i in 0..512u32 {
+                let mut bytes = [0u8; 20];
+                bytes[..4].copy_from_slice(&i.to_be_bytes());
+                bytes[7] = (i * 131) as u8;
+                let ih = InfoHash(bytes);
+                let p = shard_of(ih, shards);
+                let s = secondary_shard_of(ih, shards);
+                assert!(s < shards);
+                assert_ne!(p, s, "replica must live on a different shard");
+                assert_eq!(s, secondary_shard_of(ih, shards), "routing must be stable");
+                secondary_hit[s] += 1;
+            }
+            assert!(
+                secondary_hit.iter().all(|&c| c > 0),
+                "512 hashes must place replicas on every one of {shards} shards: \
+                 {secondary_hit:?}"
+            );
+        }
+        // A single shard has nowhere else to go.
+        assert_eq!(secondary_shard_of(InfoHash([9; 20]), 1), 0);
+    }
+
+    #[test]
+    fn failover_routes_to_secondary_and_returns_after_recovery() {
+        let mut tier = TrackerTier::new(TrackerConfig::default(), 4);
+        let mut rng = SimRng::new(41);
+        let ih = InfoHash([13; 20]);
+        let primary = tier.shard_for(ih);
+        let secondary = tier.secondary_shard_for(ih);
+        assert_ne!(primary, secondary);
+        let announce_routed = |tier: &mut TrackerTier, rng: &mut SimRng, at: u64| {
+            let shard = tier.route_for(ih, true).expect("a shard is up");
+            tier.announce_on(
+                shard,
+                &req(ih, PeerId([1; 20]), SimAddr(1), AnnounceEvent::Periodic),
+                SimTime::from_secs(at),
+                rng,
+            );
+            shard
+        };
+        // Healthy tier: everything lands on the primary.
+        for at in 0..3 {
+            assert_eq!(announce_routed(&mut tier, &mut rng, at), primary);
+        }
+        assert_eq!(tier.shard_announces(primary), 3);
+        assert_eq!(tier.shard_announces(secondary), 0);
+        // Primary dark: failover announces land on the secondary.
+        tier.set_shard_down(primary, true);
+        for at in 3..6 {
+            assert_eq!(announce_routed(&mut tier, &mut rng, at), secondary);
+        }
+        assert_eq!(tier.shard_announces(primary), 3, "dark primary takes nothing");
+        assert_eq!(tier.shard_announces(secondary), 3);
+        // Without replicas enabled the same outage is a dead end.
+        assert_eq!(tier.route_for(ih, false), None);
+        // Both replicas dark: nowhere to go even with failover.
+        tier.set_shard_down(secondary, true);
+        assert_eq!(tier.route_for(ih, true), None);
+        // Recovery: traffic returns to the primary.
+        tier.set_shard_down(primary, false);
+        tier.set_shard_down(secondary, false);
+        for at in 6..9 {
+            assert_eq!(announce_routed(&mut tier, &mut rng, at), primary);
+        }
+        assert_eq!(tier.shard_announces(primary), 6);
+        assert_eq!(tier.shard_announces(secondary), 3);
+    }
+
+    #[test]
+    fn overload_shedding_scales_pacing_and_recovers() {
+        let cfg = TrackerConfig {
+            shed_capacity: 2,
+            shed_window: SimDuration::from_secs(60),
+            shed_max_scale: 4,
+            ..TrackerConfig::default()
+        };
+        let base = cfg.announce_interval;
+        let floor = cfg.min_interval;
+        let mut tr = Tracker::new(cfg);
+        let mut rng = SimRng::new(6);
+        let ih = InfoHash([3; 20]);
+        let mut announce = |tr: &mut Tracker, i: u8, at: u64| {
+            tr.announce(
+                &req(
+                    ih,
+                    PeerId([i; 20]),
+                    SimAddr(u32::from(i)),
+                    AnnounceEvent::Started,
+                ),
+                SimTime::from_secs(at),
+                &mut rng,
+            )
+        };
+        // Within capacity: untouched pacing.
+        assert_eq!(announce(&mut tr, 1, 0).interval, base);
+        assert_eq!(announce(&mut tr, 2, 1).interval, base);
+        assert_eq!(tr.sheds(), 0);
+        // Past capacity: both knobs stretch by the overload ratio.
+        let shed = announce(&mut tr, 3, 2);
+        assert_eq!(shed.interval, base.saturating_mul(2));
+        assert_eq!(shed.min_interval, floor.saturating_mul(2));
+        assert_eq!(tr.sheds(), 1);
+        // The multiplier is capped at shed_max_scale.
+        for i in 4..32u8 {
+            announce(&mut tr, i, 3);
+        }
+        let worst = announce(&mut tr, 32, 4);
+        assert_eq!(worst.interval, base.saturating_mul(4));
+        // A fresh window clears the pressure entirely.
+        assert_eq!(announce(&mut tr, 1, 120).interval, base);
+    }
+
+    #[test]
+    fn shedding_off_by_default_means_untouched_pacing() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let mut rng = SimRng::new(2);
+        let ih = InfoHash([8; 20]);
+        for i in 0..64u8 {
+            let resp = tr.announce(
+                &req(
+                    ih,
+                    PeerId([i; 20]),
+                    SimAddr(u32::from(i)),
+                    AnnounceEvent::Started,
+                ),
+                SimTime::ZERO,
+                &mut rng,
+            );
+            assert_eq!(resp.interval, TrackerConfig::default().announce_interval);
+            assert_eq!(resp.min_interval, TrackerConfig::default().min_interval);
+        }
+        assert_eq!(tr.sheds(), 0);
     }
 
     #[test]

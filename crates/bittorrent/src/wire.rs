@@ -11,6 +11,7 @@
 use crate::bitfield::Bitfield;
 use crate::metainfo::InfoHash;
 use crate::peer_id::PeerId;
+use simnet::addr::SimAddr;
 use std::fmt;
 
 /// Identifies one block (sub-piece): the request/transfer unit. Clients
@@ -67,6 +68,15 @@ pub enum Message {
     Piece(BlockRef),
     /// Cancels a previous request (endgame).
     Cancel(BlockRef),
+    /// Peer exchange: gossips known-good swarm addresses with a
+    /// per-entry age (seconds since the sender last verified the
+    /// address live). The discovery fallback when the tracker tier is
+    /// dark — modelled on ut_pex but carried as a first-class message
+    /// (id 20) instead of an extension-protocol envelope.
+    Pex {
+        /// `(address, age in seconds)` entries, sender-sorted by address.
+        peers: Vec<(SimAddr, u32)>,
+    },
 }
 
 impl Message {
@@ -81,6 +91,8 @@ impl Message {
             Message::Bitfield(bf) => 5 + bf.byte_len(),
             Message::Request(_) | Message::Cancel(_) => 17,
             Message::Piece(b) => 13 + b.len,
+            // prefix + id + u32 count + 8 bytes (addr + age) per entry.
+            Message::Pex { peers } => 9 + 8 * peers.len() as u32,
         }
     }
 
@@ -106,6 +118,7 @@ impl fmt::Display for Message {
             Message::Request(b) => write!(f, "request({}, {}, {})", b.piece, b.offset, b.len),
             Message::Piece(b) => write!(f, "piece({}, {}, {})", b.piece, b.offset, b.len),
             Message::Cancel(b) => write!(f, "cancel({}, {}, {})", b.piece, b.offset, b.len),
+            Message::Pex { peers } => write!(f, "pex({} peers)", peers.len()),
         }
     }
 }
@@ -226,6 +239,15 @@ pub fn encode(msg: &Message, payload: Option<&[u8]>, out: &mut Vec<u8>) {
             out.extend_from_slice(&b.offset.to_be_bytes());
             out.extend_from_slice(&b.len.to_be_bytes());
         }
+        Message::Pex { peers } => {
+            let count = u32::try_from(peers.len()).expect("pex entry count fits u32");
+            prefix(out, 5 + 8 * count, 20);
+            out.extend_from_slice(&count.to_be_bytes());
+            for &(addr, age) in peers {
+                out.extend_from_slice(&addr.0.to_be_bytes());
+                out.extend_from_slice(&age.to_be_bytes());
+            }
+        }
     }
 }
 
@@ -335,6 +357,28 @@ pub fn decode(buf: &[u8], num_pieces: u32) -> Result<Option<Decoded>, WireError>
                 consumed: 4 + len,
                 payload: Some((13, 4 + len)),
             }));
+        }
+        20 => {
+            if body.len() < 4 {
+                return Err(WireError::BadLength {
+                    id,
+                    len: len as u32,
+                });
+            }
+            let count = read_u32(body, 0) as usize;
+            if body.len() != 4 + 8 * count {
+                return Err(WireError::BadLength {
+                    id,
+                    len: len as u32,
+                });
+            }
+            let peers = (0..count)
+                .map(|i| {
+                    let at = 4 + 8 * i;
+                    (SimAddr(read_u32(body, at)), read_u32(body, at + 4))
+                })
+                .collect();
+            Message::Pex { peers }
         }
         other => return Err(WireError::UnknownId(other)),
     };
@@ -446,6 +490,14 @@ impl Snap for Message {
                 w.put_u8(10);
                 b.snap(w);
             }
+            Message::Pex { peers } => {
+                w.put_u8(11);
+                w.put_usize(peers.len());
+                for (addr, age) in peers {
+                    addr.snap(w);
+                    w.put_u32(*age);
+                }
+            }
         }
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Self {
@@ -464,6 +516,16 @@ impl Snap for Message {
             8 => Message::Request(Snap::unsnap(r)),
             9 => Message::Piece(Snap::unsnap(r)),
             10 => Message::Cancel(Snap::unsnap(r)),
+            11 => {
+                let n = r.get_usize();
+                let peers = (0..n)
+                    .map(|_| {
+                        let addr: SimAddr = Snap::unsnap(r);
+                        (addr, r.get_u32())
+                    })
+                    .collect();
+                Message::Pex { peers }
+            }
             t => panic!("unknown Message tag {t} in snapshot"),
         }
     }
@@ -504,6 +566,32 @@ mod tests {
         roundtrip(Message::Request(b), None, 8);
         roundtrip(Message::Cancel(b), None, 8);
         roundtrip(Message::Piece(b), Some(b"hello"), 8);
+        roundtrip(Message::Pex { peers: Vec::new() }, None, 8);
+        roundtrip(
+            Message::Pex {
+                peers: vec![(SimAddr(11), 0), (SimAddr(42), 600)],
+            },
+            None,
+            8,
+        );
+    }
+
+    #[test]
+    fn pex_rejects_inconsistent_count() {
+        // Declares 2 entries but carries bytes for 1.
+        let mut buf = Vec::new();
+        encode(
+            &Message::Pex {
+                peers: vec![(SimAddr(7), 30)],
+            },
+            None,
+            &mut buf,
+        );
+        buf[8] = 2; // count low byte (big-endian u32 at offset 5..9)
+        assert!(matches!(
+            decode(&buf, 8),
+            Err(WireError::BadLength { id: 20, .. })
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `quick` preset (CI-sized) and a `paper` preset (full scale).
 
 pub mod ablations;
+pub mod blackout;
 pub mod common;
 pub mod erosion;
 pub mod exploit;

@@ -12,6 +12,7 @@
 //! `all_figures` runs them, [`find`] resolves an exact name, and
 //! [`matching`] implements `--only`'s substring filter.
 
+use super::blackout::{self, BLACKOUT_SEED};
 use super::erosion::{self, EROSION_SEED};
 use super::exploit::{self, EXPLOIT_SEED};
 use super::fig2::{self, FIG2A_SEED, FIG2BC_SEED};
@@ -564,9 +565,35 @@ impl Experiment for Erosion {
     }
 }
 
+struct Blackout;
+
+impl Experiment for Blackout {
+    fn name(&self) -> &'static str {
+        "blackout"
+    }
+    fn title(&self) -> &'static str {
+        "Dark tracker tier — replica failover, overload shedding, PEX fallback"
+    }
+    fn default_params(&self) -> ExperimentParams {
+        blackout::BlackoutParams::quick().to_params()
+    }
+    fn paper_params(&self) -> ExperimentParams {
+        blackout::BlackoutParams::paper().to_params()
+    }
+    fn default_seed(&self) -> u64 {
+        BLACKOUT_SEED
+    }
+    fn run(&self, params: &ExperimentParams, metrics: &MetricsHandle, seed: u64) -> Report {
+        let p = blackout::BlackoutParams::from_params(params);
+        Report::single(blackout::blackout_table(&blackout::run_blackout_with(
+            &p, metrics, seed,
+        )))
+    }
+}
+
 static EXPERIMENTS: &[&dyn Experiment] = &[
     &Fig2a, &Fig2bc, &Fig3ab, &Fig3c, &Fig4a, &Fig4bc, &Fig8a, &Fig8b, &Fig8c, &Fig9ab, &Fig9c,
-    &Scale, &Soak, &Service, &Exploit, &Erosion,
+    &Scale, &Soak, &Service, &Exploit, &Erosion, &Blackout,
 ];
 
 /// Every registered experiment, in the order `all_figures` runs them.

@@ -153,6 +153,12 @@ pub struct FlowConfig {
     /// `1` (the default) is the single-tracker world every existing
     /// experiment runs.
     pub tracker_shards: usize,
+    /// Replica failover: when a swarm's primary shard is down, announces
+    /// are routed to its deterministic secondary
+    /// ([`bittorrent::tracker::secondary_shard_of`]) instead of failing.
+    /// Off by default — a down primary reads as an outage, the legacy
+    /// behaviour.
+    pub tracker_replicas: bool,
     /// Record piece bytes per `(receiver, sender)` task pair. Off by
     /// default: the clustering analysis of the service experiment needs
     /// it; the scale hot path doesn't pay for it.
@@ -186,6 +192,7 @@ impl Default for FlowConfig {
             announce_latency: SimDuration::from_secs(1),
             tracker: TrackerConfig::default(),
             tracker_shards: 1,
+            tracker_replicas: false,
             track_peer_bytes: false,
             scheduler: Scheduler::from_env(),
             stall_timeout: None,
@@ -265,6 +272,17 @@ struct TaskState {
     /// client's announce [`bittorrent::lifecycle::BackoffPolicy`]; reset
     /// by the first successful announce.
     announce_fails: u32,
+    /// The `min interval` of the last *served* announce. Outage-retry
+    /// responses are synthesized with this floor so a recovering shard
+    /// is never hammered faster than it ever allowed ([`SimDuration::ZERO`]
+    /// until the first real response, which the client maps back to its
+    /// default floor).
+    last_min_interval: SimDuration,
+    /// Dial address book saved across re-initiation when the client runs
+    /// PEX: the paper's knowledge-retention analogue. A moved host
+    /// re-dials its old correspondents from its new address — the only
+    /// rejoin path while the tracker tier is dark.
+    saved_addrs: Vec<SimAddr>,
     /// Client conn key → `(conn id, is_a_side)` for this task's live
     /// connection ends. Per-task (instead of one global map keyed by
     /// `(task, key)`) so per-message lookups hash a single small map and
@@ -753,6 +771,8 @@ impl FlowWorld {
             started: false,
             completed_at: None,
             announce_fails: 0,
+            last_min_interval: SimDuration::ZERO,
+            saved_addrs: Vec::new(),
             conn_index: FastHashMap::default(),
             peer_bytes: FastHashMap::default(),
             rng,
@@ -878,6 +898,15 @@ impl FlowWorld {
             let stored: Vec<SimAddr> = task.rr.stored_peers().to_vec();
             client.seed_known_addrs(&stored, now);
         }
+        if client.pex_enabled() && !task.saved_addrs.is_empty() {
+            // Re-seed the retained dial book (minus whatever address the
+            // node now occupies — `seed_known_addrs` filters it). The
+            // rebuilt client dials its old correspondents from its new
+            // address; their handshakes re-attach standing by peer-id
+            // and their gossip spreads the new address.
+            let saved = std::mem::take(&mut task.saved_addrs);
+            client.seed_known_addrs(&saved, now);
+        }
         task.client = Some(client);
         task.started = true;
         task.next_client_tick = now;
@@ -900,6 +929,17 @@ impl FlowWorld {
             acc.connections_opened += stats.connections_opened;
             acc.dial_failures += stats.dial_failures;
             acc.duplicate_blocks += stats.duplicate_blocks;
+            acc.pex_sent += stats.pex_sent;
+            acc.pex_received += stats.pex_received;
+            acc.pex_addrs_learned += stats.pex_addrs_learned;
+            acc.breaker_trips += stats.breaker_trips;
+            if client.pex_enabled() {
+                // Knowledge retention: a PEX client keeps its dial book
+                // across re-initiation, the way it keeps its identity —
+                // after a hand-off the *addresses* are the only way back
+                // into a tracker-dark swarm.
+                self.tasks[t].saved_addrs = client.known_addrs();
+            }
             let mut progress = client.into_progress();
             progress.clear_in_flight();
             self.tasks[t].saved_progress = Some(progress);
@@ -1707,7 +1747,16 @@ impl FlowWorld {
         let pid = client.peer_id();
         let seed = client.is_seed();
         let announce_policy = client.resilience().announce;
-        if self.tracker_down || self.tracker.is_down_for(ih) {
+        let breaker_armed = client.resilience().breaker_threshold > 0;
+        // Degradation ladder rung 1: route to the primary shard, or —
+        // with replicas enabled — fail over to the swarm's deterministic
+        // secondary while the primary is down.
+        let routed = if self.tracker_down {
+            None
+        } else {
+            self.tracker.route_for(ih, self.cfg.tracker_replicas)
+        };
+        let Some(shard) = routed else {
             // The request times out: nothing is registered and no peers
             // are learned. The retry interval follows the client's
             // announce backoff policy — capped exponential per
@@ -1727,21 +1776,31 @@ impl FlowWorld {
             if event != AnnounceEvent::Stopped {
                 let fails = self.tasks[t].announce_fails;
                 self.tasks[t].announce_fails = fails.saturating_add(1);
-                let mut rng = self.rng.fork(9100 + t as u64 + now.as_micros());
-                let retry = AnnounceResponse {
-                    interval: announce_policy.delay(fails, &mut rng),
-                    min_interval: SimDuration::ZERO,
-                    peers: Vec::new(),
-                    complete: 0,
-                    incomplete: 0,
-                };
-                if let Some(client) = self.tasks[t].client.as_mut() {
-                    client.on_tracker_response(&retry, now);
-                    self.mark_pending(t);
+                if breaker_armed {
+                    // Rung 1b: the client's circuit breaker owns retry
+                    // pacing — the backoff ladder up to the threshold,
+                    // then cooloff-spaced probes.
+                    if let Some(client) = self.tasks[t].client.as_mut() {
+                        client.on_announce_failed(now);
+                        self.mark_pending(t);
+                    }
+                } else {
+                    let mut rng = self.rng.fork(9100 + t as u64 + now.as_micros());
+                    let retry = AnnounceResponse {
+                        interval: announce_policy.delay(fails, &mut rng),
+                        min_interval: self.tasks[t].last_min_interval,
+                        peers: Vec::new(),
+                        complete: 0,
+                        incomplete: 0,
+                    };
+                    if let Some(client) = self.tasks[t].client.as_mut() {
+                        client.on_tracker_response(&retry, now);
+                        self.mark_pending(t);
+                    }
                 }
             }
             return;
-        }
+        };
         self.tasks[t].announce_fails = 0;
         let mut rng = self.rng.fork(9000 + t as u64 + now.as_micros());
         let req = AnnounceRequest {
@@ -1751,7 +1810,10 @@ impl FlowWorld {
             event,
             is_seed: seed,
         };
-        let resp = self.tracker.announce(&req, now, &mut rng);
+        let resp = self.tracker.announce_on(shard, &req, now, &mut rng);
+        // Remember the served floor (possibly shed-scaled) for outage
+        // retries.
+        self.tasks[t].last_min_interval = resp.min_interval;
         self.note(
             now,
             TraceKind::Tracker,
@@ -2057,6 +2119,33 @@ impl FlowWorld {
     /// Whether a specific tracker shard is down.
     pub fn tracker_shard_is_down(&self, shard: usize) -> bool {
         self.tracker.shard_is_down(shard)
+    }
+
+    /// Shed (scaled-pacing) responses served by one tracker shard — the
+    /// overload-shedding telemetry.
+    pub fn tracker_shard_sheds(&self, shard: usize) -> u64 {
+        self.tracker.shard_sheds(shard)
+    }
+
+    /// Cumulative PEX/breaker counters for a task, across every
+    /// re-initiation: `(pex_sent, pex_received, pex_addrs_learned,
+    /// breaker_trips)`.
+    pub fn task_pex_stats(&self, t: TaskKey) -> (u64, u64, u64, u64) {
+        let acc = &self.tasks[t].acc;
+        let mut out = (
+            acc.pex_sent,
+            acc.pex_received,
+            acc.pex_addrs_learned,
+            acc.breaker_trips,
+        );
+        if let Some(c) = &self.tasks[t].client {
+            let st = c.stats();
+            out.0 += st.pex_sent;
+            out.1 += st.pex_received;
+            out.2 += st.pex_addrs_learned;
+            out.3 += st.breaker_trips;
+        }
+        out
     }
 
     /// The info-hash of the swarm a task belongs to.
@@ -2504,6 +2593,8 @@ impl TaskState {
         w.put_bool(self.started);
         self.completed_at.snap(w);
         w.put_u32(self.announce_fails);
+        self.last_min_interval.snap(w);
+        self.saved_addrs.snap(w);
         snap_hash_map(&self.conn_index, w);
         snap_hash_map(&self.peer_bytes, w);
         self.rng.snap(w);
@@ -2563,6 +2654,8 @@ impl TaskState {
         self.started = r.get_bool();
         self.completed_at = Snap::unsnap(r);
         self.announce_fails = r.get_u32();
+        self.last_min_interval = Snap::unsnap(r);
+        self.saved_addrs = Snap::unsnap(r);
         self.conn_index = unsnap_hash_map(r);
         self.peer_bytes = unsnap_hash_map(r);
         self.rng = Snap::unsnap(r);

@@ -109,6 +109,23 @@ impl InvariantChecker {
                         );
                     }
                 }
+                // 6. PEX gossip-book sanity: a disabled client keeps no
+                // book at all, and no entry claims freshness from the
+                // future.
+                let book = c.pex_book();
+                if !c.pex_enabled() {
+                    assert!(
+                        book.is_empty(),
+                        "task {t} has PEX disabled but holds gossip state"
+                    );
+                }
+                let now = w.now();
+                for (addr, fresh_at) in book {
+                    assert!(
+                        fresh_at <= now,
+                        "task {t} gossip book dates {addr} in the future"
+                    );
+                }
             }
         }
         // 4. Max-min feasibility of the current allocation.

@@ -76,6 +76,9 @@ struct PNode {
     /// Consecutive failed announces (tracker outage); indexes the
     /// client's announce backoff policy, reset on success.
     announce_fails: u32,
+    /// `min interval` of the last served announce, echoed in synthesized
+    /// outage-retry responses so a recovering tracker keeps its floor.
+    last_min_interval: SimDuration,
 }
 
 /// One TCP connection between two nodes (with optional BT framing).
@@ -238,6 +241,7 @@ impl PacketWorld {
             delivered_down: 0,
             delivered_up: 0,
             announce_fails: 0,
+            last_min_interval: SimDuration::ZERO,
         });
         self.node_conns.push(BTreeSet::new());
         key
@@ -899,7 +903,10 @@ impl PacketWorld {
                             peers: Vec::new(),
                             complete: 0,
                             incomplete: 0,
-                            min_interval: SimDuration::ZERO,
+                            // The last served floor, not ZERO: outage
+                            // retries must never pace faster than the
+                            // healthy tracker ever allowed.
+                            min_interval: self.nodes[node].last_min_interval,
                         };
                         if let Some(client) = self.nodes[node].client.as_mut() {
                             client.on_tracker_response(&resp, now);
@@ -924,6 +931,7 @@ impl PacketWorld {
                     is_seed: seed,
                 };
                 let resp = self.tracker.announce(&req, now, &mut rng);
+                self.nodes[node].last_min_interval = resp.min_interval;
                 if event != AnnounceEvent::Stopped {
                     if let Some(client) = self.nodes[node].client.as_mut() {
                         client.on_tracker_response(&resp, now);
@@ -1224,6 +1232,7 @@ impl PNode {
         w.put_u64(self.delivered_down);
         w.put_u64(self.delivered_up);
         w.put_u32(self.announce_fails);
+        self.last_min_interval.snap(w);
     }
 
     /// Overlays serialized node state. The client session — whose
@@ -1247,6 +1256,7 @@ impl PNode {
         self.delivered_down = r.get_u64();
         self.delivered_up = r.get_u64();
         self.announce_fails = r.get_u32();
+        self.last_min_interval = Snap::unsnap(r);
     }
 }
 

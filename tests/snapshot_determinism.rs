@@ -8,9 +8,10 @@
 //! snapshots taken mid-fault-window, inside an announce backoff ladder,
 //! and at times that land between timer-wheel cascades.
 
-use bittorrent::client::ClientConfig;
+use bittorrent::client::{ClientConfig, PexConfig};
 use bittorrent::lifecycle::ResilienceConfig;
 use bittorrent::metainfo::Metainfo;
+use bittorrent::tracker::TrackerConfig;
 use p2p_simulation::flow::{Access, FlowConfig, FlowWorld, TaskKey, TaskSpec, TorrentSpec};
 use p2p_simulation::packet::{PacketConfig, PacketWorld};
 use p2p_simulation::rates::SolverMode;
@@ -336,6 +337,142 @@ fn flow_snapshot_inside_backoff_ladder() {
 }
 
 // ----------------------------------------------------------------------
+// PEX gossip state under a dark tracker tier
+// ----------------------------------------------------------------------
+
+/// A degradation-ladder swarm: PEX-enabled armed clients with announce
+/// circuit breakers, a four-shard replica tracker tier, and one mobile
+/// hand-off node. Snapshots of this world must carry gossip books,
+/// per-entry ages, breaker states, and saved-address reseeds.
+fn pex_world(seed: u64, scheduler: Scheduler) -> (FlowWorld, Vec<TaskKey>) {
+    let meta = Metainfo::synthetic("pexsnap.bin", "tr", 256 * 1024, 16 * MB, seed);
+    let torrent = TorrentSpec::from_metainfo(&meta, 256 * 1024);
+    let cfg = FlowConfig {
+        scheduler,
+        tracker: TrackerConfig {
+            announce_interval: secs(30),
+            min_interval: secs(15),
+            max_peers_returned: 2,
+            ..TrackerConfig::default()
+        },
+        tracker_shards: 4,
+        tracker_replicas: true,
+        ..FlowConfig::default()
+    };
+    let mut w = FlowWorld::new(cfg, seed);
+    let pexed = || {
+        Box::new(|| ClientConfig {
+            resilience: ResilienceConfig {
+                breaker_threshold: 2,
+                breaker_cooloff: secs(90),
+                ..ResilienceConfig::armed()
+            },
+            pex: PexConfig {
+                enabled: true,
+                gossip_interval: secs(15),
+                max_entries: 8,
+                max_age: secs(240),
+            },
+            ..ClientConfig::default()
+        }) as Box<dyn Fn() -> ClientConfig>
+    };
+    let seed_node = w.add_node(Access::campus());
+    let mut seed_spec = TaskSpec::default_client(seed_node, torrent, true);
+    seed_spec.make_config = pexed();
+    let mut tasks = vec![w.add_task(seed_spec)];
+    for i in 0..2 {
+        let n = w.add_node(Access::residential());
+        let mut spec = TaskSpec::default_client(n, torrent, false);
+        spec.make_config = pexed();
+        spec.start_fraction = Some(0.25 * (i + 1) as f64);
+        tasks.push(w.add_task(spec));
+    }
+    let mobile = w.add_node(Access::Wireless {
+        capacity: 2_000_000.0 / 8.0,
+    });
+    let mut mspec = TaskSpec::default_client(mobile, torrent, false);
+    mspec.make_config = pexed();
+    tasks.push(w.add_task(mspec));
+    w.set_mobility(mobile, MobilityProcess::periodic(secs(25), secs(4)));
+    w.start();
+    (w, tasks)
+}
+
+/// Snapshot while the whole tracker tier is dark and PEX gossip is the
+/// only discovery channel: breakers open, gossip books populated, the
+/// mobile node mid-hand-off-cycle. The restored run must continue all
+/// three rungs of the ladder byte-identically.
+fn assert_pex_blackout_differential(scheduler: Scheduler) {
+    let plan = {
+        let mut p = FaultPlan::empty(17);
+        p.push(at(15), FaultKind::TrackerOutage { duration: secs(300) });
+        p
+    };
+    // Straight arm: run into the blackout, snapshot, keep going.
+    let (mut straight, tasks) = pex_world(17, scheduler);
+    let mut inj = FaultInjector::new(&plan);
+    straight.run_driven_until(
+        at(100),
+        |w| {
+            inj.poll(w);
+        },
+        |_| false,
+    );
+    assert!(straight.tracker_is_down(), "snapshot must land mid-blackout");
+    let gossiped: u64 = tasks.iter().map(|&t| straight.task_pex_stats(t).0).sum();
+    assert!(gossiped > 0, "PEX gossip must be active at the snapshot instant");
+    assert!(
+        tasks
+            .iter()
+            .any(|&t| straight.client(t).is_some_and(|c| c.breaker_is_open())),
+        "at least one announce breaker must be open at the snapshot instant"
+    );
+    let blob = straight.save();
+    let applied = inj.applied();
+    straight.run_driven_until(
+        at(170),
+        |w| {
+            inj.poll(w);
+        },
+        |_| false,
+    );
+    let want = straight.save();
+    // Restored arm.
+    let (mut restored, _tasks) = pex_world(17, scheduler);
+    restored.restore(&blob);
+    assert!(
+        restored.save() == blob,
+        "mid-blackout PEX snapshot is not a round-trip fixed point"
+    );
+    let mut inj2 = FaultInjector::new(&plan);
+    inj2.skip_to(applied);
+    restored.run_driven_until(
+        at(170),
+        |w| {
+            inj2.poll(w);
+        },
+        |_| false,
+    );
+    let got = restored.save();
+    assert!(
+        want == got,
+        "mid-blackout PEX restore diverged from straight run"
+    );
+    assert_eq!(straight.queue_stats(), restored.queue_stats());
+    assert_eq!(straight.solver_stats(), restored.solver_stats());
+}
+
+#[test]
+fn flow_pex_snapshot_mid_blackout_heap() {
+    assert_pex_blackout_differential(Scheduler::Heap);
+}
+
+#[test]
+fn flow_pex_snapshot_mid_blackout_wheel() {
+    assert_pex_blackout_differential(Scheduler::Wheel);
+}
+
+// ----------------------------------------------------------------------
 // Packet-world scenarios
 // ----------------------------------------------------------------------
 
@@ -475,6 +612,104 @@ fn packet_snapshot_mid_blackhole() {
         want == got,
         "packet mid-blackhole restore diverged from straight run"
     );
+}
+
+/// Packet-world overlay with PEX + breakers on both clients, for the
+/// dark-tier snapshot variant below.
+fn packet_pex_world(scheduler: Scheduler, seed: u64) -> PacketWorld {
+    let meta = Metainfo::synthetic("ppexsnap.bin", "tr", 64 * 1024, 2 * MB, seed);
+    let ih = meta.info.info_hash();
+    let cfg = PacketConfig {
+        scheduler,
+        ..PacketConfig::default()
+    };
+    let mut w = PacketWorld::new(cfg, seed);
+    let pexed = || ClientConfig {
+        resilience: ResilienceConfig {
+            breaker_threshold: 2,
+            breaker_cooloff: secs(90),
+            ..ResilienceConfig::armed()
+        },
+        pex: PexConfig {
+            enabled: true,
+            gossip_interval: secs(10),
+            max_entries: 8,
+            max_age: secs(240),
+        },
+        ..ClientConfig::default()
+    };
+    let seeder = w.add_node(None);
+    let leech = w.add_node(Some(WirelessConfig::wlan_80211g()));
+    w.add_client(
+        seeder,
+        pexed(),
+        ih,
+        meta.info.piece_length,
+        meta.info.length,
+        16 * 1024,
+        true,
+    );
+    w.add_client(
+        leech,
+        pexed(),
+        ih,
+        meta.info.piece_length,
+        meta.info.length,
+        16 * 1024,
+        false,
+    );
+    w.start_clients();
+    w
+}
+
+/// Packet-world dark-tier snapshot: the tracker outage is open and PEX
+/// gossip timers are mid-cycle when the blob is taken.
+fn assert_packet_pex_blackout_differential(scheduler: Scheduler) {
+    let plan = {
+        let mut p = FaultPlan::empty(6);
+        p.push(at(5), FaultKind::TrackerOutage { duration: secs(120) });
+        p
+    };
+    let build = || packet_pex_world(scheduler, 21);
+    let mut straight = build();
+    let mut inj = FaultInjector::new(&plan);
+    straight.run_until(at(25), |w| {
+        inj.poll(w);
+    });
+    assert!(straight.tracker_is_down(), "snapshot must land mid-blackout");
+    let blob = straight.save();
+    let applied = inj.applied();
+    straight.run_until(at(70), |w| {
+        inj.poll(w);
+    });
+    let want = straight.save();
+
+    let mut restored = build();
+    restored.restore(&blob);
+    assert!(
+        restored.save() == blob,
+        "packet mid-blackout PEX snapshot is not a round-trip fixed point"
+    );
+    let mut inj2 = FaultInjector::new(&plan);
+    inj2.skip_to(applied);
+    restored.run_until(at(70), |w| {
+        inj2.poll(w);
+    });
+    assert!(
+        restored.save() == want,
+        "packet mid-blackout PEX restore diverged from straight run"
+    );
+    assert_eq!(straight.queue_stats(), restored.queue_stats());
+}
+
+#[test]
+fn packet_pex_snapshot_mid_blackout_heap() {
+    assert_packet_pex_blackout_differential(Scheduler::Heap);
+}
+
+#[test]
+fn packet_pex_snapshot_mid_blackout_wheel() {
+    assert_packet_pex_blackout_differential(Scheduler::Wheel);
 }
 
 // ----------------------------------------------------------------------
